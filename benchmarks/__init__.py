@@ -1,0 +1,7 @@
+"""Figure/table regeneration benchmarks (pytest-benchmark).
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each module regenerates
+one table or figure of the paper at a reduced scale (set ``REPRO_FULL=1``
+for the paper's exact protocol), asserts its qualitative shape, and saves
+the text rendering under ``benchmarks/_reports/``.
+"""

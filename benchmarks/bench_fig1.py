@@ -1,0 +1,16 @@
+"""Fig. 1: the example instance and schedule Gantt chart."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig1_example
+
+
+def test_fig1_example(benchmark, save_report):
+    result = run_once(benchmark, fig1_example.run)
+    # All schedules valid (run() validates) and finite.
+    for schedule in result.schedules.values():
+        assert schedule.makespan > 0
+    # FastestNode's serial schedule equals total cost / max speed = 5.9/1.5.
+    assert abs(result.schedules["FastestNode"].makespan - 5.9 / 1.5) < 1e-9
+    save_report("fig1", result.report)

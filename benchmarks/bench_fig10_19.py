@@ -1,0 +1,42 @@
+"""Figs. 10-19: application-specific benchmarking + PISA panels.
+
+Default scale regenerates the two body-figure workflows (srasearch,
+blast) at CCR in {0.2, 1.0}; REPRO_FULL=1 runs all nine workflows at all
+five CCRs (the appendix).
+
+Shape checks (Section VII-B):
+
+* benchmarking rows look benign — the non-baseline schedulers all sit
+  near ratio 1 (FastestNode is the visible outlier);
+* PISA still finds in-family instances where some scheduler clearly
+  loses to another (the section's whole point).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10_19_app_specific
+
+
+def test_fig10_19_panels(benchmark, save_report):
+    result = run_once(benchmark, fig10_19_app_specific.run, rng=0)
+    assert result.panels
+
+    for panel in result.panels:
+        bench = panel.benchmark
+        # Benchmarking looks benign for the completion-time schedulers...
+        assert bench.summary("HEFT").median < 1.6
+        # ...while FastestNode pays for serializing wide workflows at low CCR.
+        if panel.ccr <= 1.0:
+            assert bench.summary("FastestNode").median > 1.2
+
+    # Adversarial gap: across the regenerated panels, PISA finds at least
+    # one in-family instance with a clearly losing scheduler.
+    worst = max(
+        res.best_ratio
+        for panel in result.panels
+        for res in panel.pisa.results.values()
+    )
+    assert worst > 1.3, f"no adversarial in-family instance found (max {worst:.2f})"
+
+    save_report("fig10_19", result.report)

@@ -1,0 +1,36 @@
+"""Fig. 2: the 15-scheduler x 16-dataset benchmarking grid.
+
+Shape checks (what the paper's Fig. 2 shows):
+
+* FastestNode and the schedulers not designed for fully heterogeneous
+  instances (ETF) perform poorly on at least some datasets;
+* the completion-time list schedulers (HEFT, BIL, GDL) sit near ratio 1
+  on the scientific-workflow datasets;
+* every scheduler achieves ratio >= 1 by construction.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig2_benchmarking
+
+
+def test_fig2_grid(benchmark, save_report):
+    result = run_once(benchmark, fig2_benchmarking.run, rng=0)
+    grid = result.grid
+    assert len(grid.datasets) == 16
+    assert len(grid.schedulers) == 15
+
+    # FastestNode lags badly on the wide scientific workflows.
+    for dataset in ("blast", "seismology", "epigenomics"):
+        assert grid.results[dataset].summary("FastestNode").median > 1.5
+
+    # ETF (speed-blind start-time rule) is catastrophic on edge/fog/cloud.
+    for dataset in ("etl", "predict", "stats", "train"):
+        assert grid.results[dataset].summary("ETF").median > 2.0
+
+    # HEFT stays close to the best across workflow datasets (Fig. 2 shape).
+    for dataset in ("blast", "bwa", "montage", "genome"):
+        assert grid.results[dataset].summary("HEFT").median < 1.2
+
+    save_report("fig2", result.report)

@@ -1,0 +1,38 @@
+"""Fig. 4: the full pairwise PISA heatmap over the 15 schedulers.
+
+Shape checks mirroring the paper's headline observations (Section VI-A):
+
+* for (most) schedulers PISA finds an instance where they are clearly
+  worse than some other scheduler (the paper: >= 2x for all 15, >= 5x
+  for 10 — at the reduced default schedule we check the weaker "most
+  schedulers have a clearly-losing instance" form);
+* comparisons go both ways: A beats B somewhere and B beats A somewhere
+  for at least one pair (no strict dominance).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig4_pisa_heatmap
+from repro.experiments.config import is_full_scale
+
+
+def test_fig4_pairwise(benchmark, save_report):
+    result = run_once(benchmark, fig4_pisa_heatmap.run, rng=0)
+    worst = result.pairwise.worst_case_row()
+    assert len(worst) == 15
+
+    # Adversarial instances found: most schedulers clearly lose somewhere.
+    losing = sum(1 for ratio in worst.values() if ratio > 1.2)
+    assert losing >= 10, f"only {losing}/15 schedulers have a >1.2x losing instance"
+
+    if is_full_scale():
+        # Paper scale: every scheduler at least 2x worse somewhere.
+        assert all(r >= 2.0 for r in worst.values())
+        assert sum(1 for r in worst.values() if r >= 5.0) >= 10
+
+    # Both-ways property for the classic pair.
+    assert result.pairwise.ratio("HEFT", "CPoP") > 1.0
+    assert result.pairwise.ratio("CPoP", "HEFT") > 1.0
+
+    save_report("fig4", result.report)

@@ -1,0 +1,24 @@
+"""Figs. 7/8: the crafted instance families.
+
+Paper shape: on the Fig. 7 family (fork-join with one expensive initial
+communication) HEFT's makespans are clearly worse than CPoP's; on the
+Fig. 8 family (wide fork-join, expensive join, weak fast-fast link) CPoP's
+are clearly worse than HEFT's."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig7_fig8_families
+
+
+def test_fig7_fig8_families(benchmark, save_report):
+    result = run_once(benchmark, fig7_fig8_families.run, rng=0)
+
+    # Fig. 7: HEFT worse (mean and median).
+    assert result.fig7.mean("HEFT") > result.fig7.mean("CPoP")
+    assert result.fig7.median("HEFT") > result.fig7.median("CPoP")
+
+    # Fig. 8: CPoP worse — by a sizable factor (paper shows ~2-4x).
+    assert result.fig8.mean("CPoP") > 1.5 * result.fig8.mean("HEFT")
+
+    save_report("fig7_fig8", result.report)

@@ -1,0 +1,23 @@
+"""Fig. 9: srasearch and blast structural reports."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig9_structures
+
+
+def test_fig9_structures(benchmark, save_report):
+    result = run_once(benchmark, fig9_structures.run, rng=0)
+    by_wf = {}
+    for summary in result.summaries:
+        by_wf.setdefault(summary["workflow"], []).append(summary)
+
+    # blast: 1 split source, exactly 2 gather sinks (Fig. 9b).
+    for s in by_wf["blast"]:
+        assert s["sources"] == 1
+        assert s["sinks"] == 2
+    # srasearch: many block sources, single finalize sink (Fig. 9a).
+    for s in by_wf["srasearch"]:
+        assert s["sources"] >= 6
+        assert s["sinks"] == 1
+    save_report("fig9", result.report)

@@ -1,0 +1,90 @@
+"""Ablation benches for PISA's design choices (DESIGN.md section 3).
+
+Two knobs the paper fixes without ablation:
+
+* **Acceptance rule**: Algorithm 1's exp(-(M'/M_best)/T) vs. the standard
+  Metropolis rule.  Both must find adversarial instances; we record the
+  ratios side by side.
+* **Restarts**: 1 vs. 5 restarts at a fixed per-restart budget.  The
+  5-restart best must dominate (it contains the 1-restart run's seed
+  stream as its first restart).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.pisa import PISA, AnnealingConfig, PISAConfig
+
+PAIR = ("HEFT", "FastestNode")  # the paper's headline comparison
+ITERS = 120
+ALPHA = 0.96
+
+
+def _search(acceptance: str, restarts: int, rng: int) -> float:
+    config = PISAConfig(
+        annealing=AnnealingConfig(max_iterations=ITERS, alpha=ALPHA, acceptance=acceptance),
+        restarts=restarts,
+    )
+    return PISA(*PAIR, config=config).run(rng=rng).best_ratio
+
+
+def test_ablation_acceptance_rule(benchmark, save_report):
+    def run_both():
+        paper = _search("paper", restarts=2, rng=0)
+        metropolis = _search("metropolis", restarts=2, rng=0)
+        return paper, metropolis
+
+    paper, metropolis = run_once(benchmark, run_both)
+    # Both acceptance rules find adversarial instances (ratio > 1).
+    assert paper > 1.0
+    assert metropolis > 1.0
+    save_report(
+        "ablation_acceptance",
+        f"PISA {PAIR[0]} vs {PAIR[1]} ({ITERS} iters, 2 restarts)\n"
+        f"paper acceptance rule:      best ratio {paper:.3f}\n"
+        f"metropolis acceptance rule: best ratio {metropolis:.3f}\n",
+    )
+
+
+def test_ablation_simulated_annealing_vs_genetic(benchmark, save_report):
+    """Meta-heuristic ablation (the paper's Section VIII future work):
+    PISA's simulated annealing vs. the GISA genetic algorithm at a
+    matched evaluation budget (~2 * 120 energy evaluations each)."""
+    from repro.pisa import GeneticConfig, GeneticInstanceFinder
+
+    def run_both():
+        # Matched budgets: SA 3 restarts x 120 iterations = 360 energy
+        # evaluations; GA 12 individuals x 30 generations = 360.
+        sa = _search("paper", restarts=3, rng=0)
+        ga = GeneticInstanceFinder(
+            *PAIR, config=GeneticConfig(population_size=12, generations=30)
+        ).run(rng=0)
+        return sa, ga.best_ratio
+
+    sa, ga = run_once(benchmark, run_both)
+    # Both meta-heuristics find adversarial instances.
+    assert sa > 1.0
+    assert ga > 1.0
+    save_report(
+        "ablation_sa_vs_ga",
+        f"adversarial search {PAIR[0]} vs {PAIR[1]} (matched ~360-evaluation budget)\n"
+        f"simulated annealing (PISA): best ratio {sa:.3f}\n"
+        f"genetic algorithm (GISA):   best ratio {ga:.3f}\n",
+    )
+
+
+def test_ablation_restarts(benchmark, save_report):
+    def run_both():
+        one = _search("paper", restarts=1, rng=7)
+        five = _search("paper", restarts=5, rng=7)
+        return one, five
+
+    one, five = run_once(benchmark, run_both)
+    # Same seed stream: the 5-restart search contains the 1-restart run.
+    assert five >= one
+    save_report(
+        "ablation_restarts",
+        f"PISA {PAIR[0]} vs {PAIR[1]} ({ITERS} iters)\n"
+        f"1 restart:  best ratio {one:.3f}\n"
+        f"5 restarts: best ratio {five:.3f}\n",
+    )

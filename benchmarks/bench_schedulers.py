@@ -1,0 +1,32 @@
+"""Scheduler micro-benchmarks: schedule-generation time.
+
+Table I reports each algorithm's scheduling complexity; the original
+HEFT/CPoP paper also compares schedule generation times.  This module
+times every polynomial scheduler on a mid-size workflow instance so the
+complexity ordering is visible in the benchmark table (GDL's extra |V|
+factor, OLB/MET's near-linear time, ...).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import get_scheduler, list_schedulers
+from repro.datasets.workflows import get_recipe
+
+POLY_SCHEDULERS = list_schedulers(include_exponential=False)
+
+
+@pytest.fixture(scope="module")
+def workflow_instance():
+    """A ~50-task epigenomics instance on a 6-node network."""
+    recipe = get_recipe("epigenomics")
+    instance = recipe.instance(rng=0)
+    return instance
+
+
+@pytest.mark.parametrize("name", POLY_SCHEDULERS)
+def test_schedule_generation_time(benchmark, name, workflow_instance):
+    scheduler = get_scheduler(name)
+    schedule = benchmark(scheduler.schedule, workflow_instance)
+    schedule.validate(workflow_instance)

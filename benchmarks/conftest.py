@@ -1,0 +1,38 @@
+"""Shared helpers for the figure/table regeneration benchmarks.
+
+Every bench runs the corresponding experiment driver once (pedantic mode:
+these are end-to-end experiment timings, not micro-benchmarks), asserts
+the paper's qualitative shape, and writes the regenerated report to
+``benchmarks/_reports/<name>.txt`` so EXPERIMENTS.md can be cross-checked
+against fresh output.
+
+Scale: reduced by default; set ``REPRO_FULL=1`` for the paper's protocol
+(hours).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORT_DIR = Path(__file__).resolve().parent / "_reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture
+def save_report(report_dir):
+    def _save(name: str, text: str) -> None:
+        (report_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _save
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

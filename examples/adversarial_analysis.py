@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Scenario: adversarial comparison of two schedulers with PISA.
+
+Reproduces the Section VI-B workflow in miniature: search for instances
+where HEFT maximally under-performs CPoP and vice versa, then inspect the
+discovered instances to understand *why* each algorithm fails — the
+analysis loop the paper argues benchmarking cannot provide.
+
+Run:  python examples/adversarial_analysis.py
+"""
+
+from repro import get_scheduler
+from repro.benchmarking import render_gantt
+from repro.pisa import PISA, AnnealingConfig, PISAConfig, random_chain_instance
+
+
+def inspect(result) -> None:
+    instance = result.best_instance
+    print(f"\nbest ratio {result.best_ratio:.3f} on instance with:")
+    print(
+        "  tasks: "
+        + ", ".join(
+            f"{t}(c={instance.task_graph.cost(t):.2f})" for t in instance.task_graph.tasks
+        )
+    )
+    print(
+        "  deps:  "
+        + (
+            ", ".join(
+                f"{u}->{v}(d={instance.task_graph.data_size(u, v):.2f})"
+                for u, v in instance.task_graph.dependencies
+            )
+            or "(none)"
+        )
+    )
+    print(
+        "  nodes: "
+        + ", ".join(
+            f"{v}(s={instance.network.speed(v):.2f})" for v in instance.network.nodes
+        )
+    )
+    for name in (result.target, result.baseline):
+        schedule = get_scheduler(name).schedule(instance)
+        print(f"\n  {name} (makespan {schedule.makespan:.3f}):")
+        for line in render_gantt(schedule, width=48).splitlines():
+            print("  " + line)
+
+
+def main() -> None:
+    # The paper's annealing parameters are Tmax=10, Tmin=0.1, Imax=1000,
+    # alpha=0.99 with 5 restarts; this demo shortens the schedule.
+    config = PISAConfig(
+        annealing=AnnealingConfig(t_max=10, t_min=0.1, max_iterations=300, alpha=0.985),
+        restarts=3,
+    )
+
+    print("=== searching for instances where HEFT loses to CPoP ===")
+    finder = PISA("HEFT", "CPoP", config=config, initial_factory=random_chain_instance)
+    inspect(finder.run(rng=0))
+
+    print("\n=== searching for instances where CPoP loses to HEFT ===")
+    finder = PISA("CPoP", "HEFT", config=config, initial_factory=random_chain_instance)
+    inspect(finder.run(rng=0))
+
+    print(
+        "\nEach direction finds instances the other scheduler handles better —"
+        "\nneither algorithm dominates (the paper's Fig. 4 observation)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Scenario: building a scheduler portfolio (the paper's future-work idea).
+
+Section VII-B suggests a WFMS "might run PISA and choose the three
+algorithms with the combined minimum maximum makespan ratio" — i.e. a
+portfolio whose *best member* is never far from optimal on adversarial
+instances.  This example implements that selection:
+
+1. run a reduced pairwise PISA over a scheduler pool,
+2. for every k-subset of the pool, compute the worst ratio any pool
+   member can inflict on the subset's best member,
+3. report the best portfolio of each size, and sanity-check it on a
+   benchmark dataset (a portfolio scheduler = run all members, keep the
+   best schedule — exactly how Duplex composes MinMin and MaxMin).
+
+Run:  python examples/hybrid_portfolio.py
+"""
+
+from repro.analysis import portfolio_table
+from repro.benchmarking import benchmark_dataset, format_table
+from repro.datasets import generate_dataset
+from repro.pisa import AnnealingConfig, PISAConfig, pairwise_comparison
+from repro.schedulers import EnsembleScheduler
+
+POOL = ["CPoP", "FastestNode", "HEFT", "MaxMin", "MinMin", "WBA"]
+CONFIG = PISAConfig(
+    annealing=AnnealingConfig(max_iterations=80, alpha=0.945), restarts=2
+)
+
+
+def main() -> None:
+    print(f"pool: {', '.join(POOL)}")
+    print("running pairwise PISA (reduced schedule)...")
+    pairwise = pairwise_comparison(POOL, config=CONFIG, rng=0)
+
+    # The Section VII-B criterion: for a portfolio P, its exposure to a
+    # baseline b is min over members of ratio(member, b) — the adversary
+    # must beat every member at once — and its score is the worst exposure
+    # over baselines outside P.  repro.analysis.portfolio implements it.
+    table = portfolio_table(pairwise, max_size=3)
+    print()
+    print(
+        format_table(
+            ["size", "best portfolio", "worst-case exposure"],
+            [
+                (len(c.members), " + ".join(c.members), f"{c.exposure:.3f}")
+                for c in table
+            ],
+        )
+    )
+
+    # Sanity check the best 3-portfolio on a benchmark dataset by running
+    # it as an actual scheduler (EnsembleScheduler = best-of-members).
+    best3 = table[-1].members
+    ensemble = EnsembleScheduler(members=list(best3))
+    dataset = generate_dataset("chains", num_instances=20, rng=5)
+    bench = benchmark_dataset(list(POOL) + [ensemble], dataset)
+    wins = sum(
+        1
+        for inst_result in bench.per_instance
+        if inst_result.ratios["Ensemble"] <= 1.0 + 1e-12
+    )
+    print(
+        f"\nportfolio {{{', '.join(best3)}}} (as an Ensemble scheduler) achieves the "
+        f"overall-best makespan on {wins}/{len(bench.per_instance)} chains instances"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Scenario: how robust are static schedules when reality is noisy?
+
+The paper's Section VIII names stochastic problem instances (random task
+costs, data sizes, speeds, communication strengths) as the next step for
+SAGA/PISA.  This example uses the library's stochastic extension:
+
+1. lift a scientific-workflow instance into a stochastic instance whose
+   task costs follow the paper's clipped-Gaussian convention,
+2. plan schedules on the *expected* instance with several algorithms,
+3. replay each plan (same task-to-node mapping and per-node order) on
+   sampled realizations, and
+4. compare planned vs. realized makespans — which scheduler's plans
+   degrade most under uncertainty?
+
+Run:  python examples/stochastic_robustness.py
+"""
+
+from repro import get_scheduler
+from repro.benchmarking import format_table
+from repro.datasets.workflows import get_recipe
+from repro.stochastic import ClippedGaussianRV, StochasticInstance, evaluate_robustness
+
+SCHEDULERS = ["HEFT", "CPoP", "MinMin", "MaxMin", "FastestNode"]
+RELATIVE_STD = 1.0 / 3.0  # the paper's std/mean convention
+SAMPLES = 200
+
+
+def main() -> None:
+    # A mid-size montage instance as the planning base.
+    instance = get_recipe("montage").instance(rng=0)
+    print(
+        f"base instance: montage, {len(instance.task_graph)} tasks on "
+        f"{len(instance.network)} nodes\n"
+    )
+
+    # Task costs become clipped Gaussians centered on the sampled values;
+    # everything else stays deterministic (the Chameleon network's shared
+    # filesystem already removes communication noise).
+    jitter = {
+        task: ClippedGaussianRV(
+            nominal_mean=instance.task_graph.cost(task),
+            std=instance.task_graph.cost(task) * RELATIVE_STD,
+            low=0.0,
+        )
+        for task in instance.task_graph.tasks
+    }
+    stochastic = StochasticInstance.from_instance(instance, jitter=jitter)
+
+    rows = []
+    for name in SCHEDULERS:
+        report = evaluate_robustness(
+            get_scheduler(name), stochastic, samples=SAMPLES, rng=1
+        )
+        rows.append(
+            (
+                name,
+                f"{report.planned_makespan:.1f}",
+                f"{report.mean:.1f}",
+                f"{report.maximum:.1f}",
+                f"{report.degradation:.3f}",
+            )
+        )
+    print(
+        format_table(
+            ["scheduler", "planned", "realized mean", "realized max", "mean/planned"],
+            rows,
+        )
+    )
+    print(
+        f"\n({SAMPLES} realizations; task costs ~ clipped N(c, c/3).)\n"
+        "Schedules that pack many tasks tightly onto few nodes degrade more\n"
+        "gracefully than plans whose critical path depends on one noisy task\n"
+        "finishing exactly on time."
+    )
+
+
+if __name__ == "__main__":
+    main()

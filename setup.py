@@ -1,0 +1,7 @@
+"""Thin setup.py shim so `pip install -e .` / `setup.py develop` work on
+environments without the `wheel` package (PEP 517 editable installs need
+it; this offline environment does not have it).  All real metadata lives
+in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""repro — reproduction of "PISA: An Adversarial Approach to Comparing
+Task Graph Scheduling Algorithms" (Coleman & Krishnamachari, IPPS 2025).
+
+The package contains the two systems the paper describes:
+
+* **SAGA** (Sections II, IV, V): the task-scheduling framework — problem
+  model (:mod:`repro.core`), 17 scheduler implementations
+  (:mod:`repro.schedulers`), 16 dataset generators (:mod:`repro.datasets`)
+  and a benchmarking harness (:mod:`repro.benchmarking`).
+* **PISA** (Sections VI, VII): the simulated-annealing adversarial
+  instance finder (:mod:`repro.pisa`).
+
+Quickstart
+----------
+>>> from repro import TaskGraph, Network, ProblemInstance, get_scheduler
+>>> tg = TaskGraph.from_dicts(
+...     {"A": 1.0, "B": 2.0}, {("A", "B"): 1.0})
+>>> net = Network.homogeneous(2, speed=1.0, strength=1.0)
+>>> schedule = get_scheduler("HEFT").schedule(ProblemInstance(net, tg))
+>>> schedule.makespan
+3.0
+"""
+
+from repro.core import (
+    ReproError,
+    InvalidInstanceError,
+    InvalidScheduleError,
+    SchedulingError,
+    DatasetError,
+    TaskGraph,
+    Network,
+    ProblemInstance,
+    Schedule,
+    ScheduledTask,
+    ScheduleBuilder,
+    Scheduler,
+    SchedulerInfo,
+    get_scheduler,
+    list_schedulers,
+    scheduler_registry,
+)
+
+# Importing the subpackage registers all 17 algorithms.
+from repro.schedulers import PAPER_SCHEDULERS, APP_SPECIFIC_SCHEDULERS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidScheduleError",
+    "SchedulingError",
+    "DatasetError",
+    "TaskGraph",
+    "Network",
+    "ProblemInstance",
+    "Schedule",
+    "ScheduledTask",
+    "ScheduleBuilder",
+    "Scheduler",
+    "SchedulerInfo",
+    "get_scheduler",
+    "list_schedulers",
+    "scheduler_registry",
+    "PAPER_SCHEDULERS",
+    "APP_SPECIFIC_SCHEDULERS",
+    "__version__",
+]

@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+list
+    List registered schedulers and dataset generators.
+schedule
+    Generate one dataset instance, schedule it, print the Gantt chart.
+benchmark
+    Benchmark schedulers over datasets (a slice of Fig. 2).
+pisa
+    Run an adversarial search for one scheduler pair (Section VI).
+experiment
+    Regenerate a paper table/figure by name (tables, fig1, ..., fig10_19).
+
+Examples
+--------
+    python -m repro list
+    python -m repro schedule --scheduler HEFT --dataset chains --seed 1
+    python -m repro benchmark --datasets chains,blast --schedulers HEFT,CPoP
+    python -m repro pisa --target HEFT --baseline FastestNode --iterations 200
+    python -m repro experiment fig4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.benchmarking import (
+    benchmark_grid,
+    format_ratio,
+    render_benchmark_rows,
+    render_gantt,
+)
+from repro.core.scheduler import get_scheduler, list_schedulers
+from repro.datasets import generate_dataset, list_datasets
+from repro.pisa import PISA, AnnealingConfig, PISAConfig
+from repro.utils.rng import as_generator, derive_seed
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SAGA + PISA reproduction: task-graph scheduling and adversarial analysis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered schedulers and datasets")
+
+    p = sub.add_parser("schedule", help="schedule one dataset instance")
+    p.add_argument("--scheduler", required=True, help="scheduler name (see `list`)")
+    p.add_argument("--dataset", required=True, help="dataset name (see `list`)")
+    p.add_argument("--index", type=int, default=0, help="instance index in the dataset")
+    p.add_argument("--seed", type=int, default=0, help="dataset generation seed")
+
+    p = sub.add_parser("benchmark", help="benchmark schedulers over datasets")
+    p.add_argument("--datasets", required=True, help="comma-separated dataset names")
+    p.add_argument("--schedulers", required=True, help="comma-separated scheduler names")
+    p.add_argument("--instances", type=int, default=10, help="instances per dataset")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("pisa", help="adversarial search for one scheduler pair")
+    p.add_argument("--target", required=True, help="the scheduler being attacked")
+    p.add_argument("--baseline", required=True, help="the comparison scheduler")
+    p.add_argument("--iterations", type=int, default=459, help="annealing iterations")
+    p.add_argument("--restarts", type=int, default=5)
+    p.add_argument("--alpha", type=float, default=0.99, help="cooling rate")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument(
+        "name",
+        choices=[
+            "tables",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5_fig6",
+            "fig7_fig8",
+            "fig9",
+            "fig10_19",
+        ],
+    )
+    p.add_argument("--full", action="store_true", help="paper-scale protocol (slow)")
+    p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list(_args) -> int:
+    print("schedulers:")
+    for name in list_schedulers():
+        print(f"  {name}")
+    print("datasets:")
+    for name in list_datasets():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    dataset = generate_dataset(
+        args.dataset,
+        num_instances=args.index + 1,
+        rng=as_generator(derive_seed(args.seed, args.dataset)),
+    )
+    instance = dataset[args.index]
+    scheduler = get_scheduler(args.scheduler)
+    schedule = scheduler.schedule(instance)
+    schedule.validate(instance)
+    print(
+        f"{args.scheduler} on {instance.name}: makespan {schedule.makespan:.4f} "
+        f"({len(instance.task_graph)} tasks, {len(instance.network)} nodes)"
+    )
+    print(render_gantt(schedule))
+    return 0
+
+
+def _cmd_benchmark(args) -> int:
+    schedulers = [s.strip() for s in args.schedulers.split(",") if s.strip()]
+    names = [d.strip() for d in args.datasets.split(",") if d.strip()]
+    datasets = [
+        generate_dataset(
+            n, num_instances=args.instances, rng=as_generator(derive_seed(args.seed, n))
+        )
+        for n in names
+    ]
+    grid = benchmark_grid(schedulers, datasets)
+    summaries = {name: grid.results[name].summaries() for name in grid.datasets}
+    print(
+        render_benchmark_rows(
+            summaries,
+            row_labels=grid.datasets,
+            col_labels=schedulers,
+            title=f"makespan ratios over {args.instances} instances (median~max)",
+        )
+    )
+    return 0
+
+
+def _cmd_pisa(args) -> int:
+    config = PISAConfig(
+        annealing=AnnealingConfig(max_iterations=args.iterations, alpha=args.alpha),
+        restarts=args.restarts,
+    )
+    result = PISA(args.target, args.baseline, config=config).run(rng=args.seed)
+    print(
+        f"PISA {args.target} vs {args.baseline}: worst ratio found "
+        f"{format_ratio(result.best_ratio)} "
+        f"(restarts: {', '.join(format_ratio(r) for r in result.restart_ratios)})"
+    )
+    inst = result.best_instance
+    for name in (args.target, args.baseline):
+        sched = get_scheduler(name).schedule(inst)
+        print(f"\n{name} schedule (makespan {sched.makespan:.4f}):")
+        print(render_gantt(sched, node_order=list(inst.network.nodes)))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments import (
+        fig1_example,
+        fig2_benchmarking,
+        fig3_motivating,
+        fig4_pisa_heatmap,
+        fig5_fig6_case_study,
+        fig7_fig8_families,
+        fig9_structures,
+        fig10_19_app_specific,
+        tables,
+    )
+
+    if args.name == "tables":
+        print(tables.run())
+        return 0
+    drivers = {
+        "fig1": lambda: fig1_example.run().report,
+        "fig2": lambda: fig2_benchmarking.run(rng=args.seed, full=args.full).report,
+        "fig3": lambda: fig3_motivating.run(rng=args.seed, full=args.full).report,
+        "fig4": lambda: fig4_pisa_heatmap.run(rng=args.seed, full=args.full).report,
+        "fig5_fig6": lambda: fig5_fig6_case_study.run(rng=args.seed, full=args.full).report,
+        "fig7_fig8": lambda: fig7_fig8_families.run(rng=args.seed, full=args.full).report,
+        "fig9": lambda: fig9_structures.run(rng=args.seed).report,
+        "fig10_19": lambda: fig10_19_app_specific.run(rng=args.seed, full=args.full).report,
+    }
+    print(drivers[args.name]())
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "schedule": _cmd_schedule,
+    "benchmark": _cmd_benchmark,
+    "pisa": _cmd_pisa,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

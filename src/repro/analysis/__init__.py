@@ -1,0 +1,32 @@
+"""Analysis tools: instance profiling, portfolio selection, trajectories.
+
+The Section VI-B / VII-B companion toolkit: quantify *why* a scheduler
+fails on a PISA-found instance (:mod:`instance_stats`), choose scheduler
+portfolios with minimal adversarial exposure (:mod:`portfolio`), and
+inspect the annealing search itself (:mod:`trajectory`).
+"""
+
+from repro.analysis.instance_stats import InstanceStats, instance_stats
+from repro.analysis.portfolio import (
+    PortfolioChoice,
+    best_portfolio,
+    portfolio_exposure,
+    portfolio_table,
+)
+from repro.analysis.trajectory import (
+    TrajectorySummary,
+    restart_contributions,
+    summarize_trajectory,
+)
+
+__all__ = [
+    "InstanceStats",
+    "instance_stats",
+    "PortfolioChoice",
+    "portfolio_exposure",
+    "best_portfolio",
+    "portfolio_table",
+    "TrajectorySummary",
+    "summarize_trajectory",
+    "restart_contributions",
+]

@@ -1,0 +1,75 @@
+"""Scheduler-portfolio selection from PISA results (Section VII-B).
+
+"It may be reasonable for a WFMS to run a set of scheduling algorithms
+that best covers the different types of client scientific workflows ...
+a WFMS designer might run PISA and choose the three algorithms with the
+combined minimum maximum makespan ratio."
+
+Given a pairwise PISA matrix, a portfolio's *exposure* to a baseline
+scheduler is the best (minimum) adversarial ratio any member achieves
+against that baseline — an adversary must beat every member at once.
+The portfolio's score is its worst exposure over all baselines outside
+the portfolio; :func:`best_portfolio` minimizes it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.pisa.pisa import PairwiseResult
+
+__all__ = ["PortfolioChoice", "portfolio_exposure", "best_portfolio", "portfolio_table"]
+
+
+@dataclass(frozen=True)
+class PortfolioChoice:
+    members: tuple[str, ...]
+    exposure: float
+
+
+def portfolio_exposure(pairwise: PairwiseResult, members: Sequence[str]) -> float:
+    """Worst-case exposure of ``members`` per the Section VII-B criterion.
+
+    For each baseline b outside the portfolio, the adversary's best known
+    instance inflicts ``min over m in members of ratio(m, b)`` on the
+    portfolio's best member; the exposure is the max over baselines.
+    Returns 1.0 when the portfolio covers every baseline (nothing outside).
+    """
+    if not members:
+        raise ValueError("portfolio needs at least one member")
+    unknown = set(members) - set(pairwise.schedulers)
+    if unknown:
+        raise ValueError(f"members not in the pairwise matrix: {sorted(unknown)}")
+    worst = 1.0
+    for baseline in pairwise.schedulers:
+        if baseline in members:
+            continue
+        exposure = min(pairwise.ratio(m, baseline) for m in members)
+        worst = max(worst, exposure)
+    return worst
+
+
+def best_portfolio(pairwise: PairwiseResult, size: int) -> PortfolioChoice:
+    """The ``size``-member portfolio minimizing worst-case exposure.
+
+    Exhaustive over all subsets (the scheduler pool is small: 15 choose 3
+    = 455); ties break lexicographically for determinism.
+    """
+    if not 1 <= size <= len(pairwise.schedulers):
+        raise ValueError(
+            f"size must be in [1, {len(pairwise.schedulers)}], got {size}"
+        )
+    best: PortfolioChoice | None = None
+    for members in itertools.combinations(sorted(pairwise.schedulers), size):
+        exposure = portfolio_exposure(pairwise, members)
+        if best is None or exposure < best.exposure:
+            best = PortfolioChoice(members=members, exposure=exposure)
+    assert best is not None
+    return best
+
+
+def portfolio_table(pairwise: PairwiseResult, max_size: int = 3) -> list[PortfolioChoice]:
+    """Best portfolio of each size 1..max_size (the Section VII-B table)."""
+    return [best_portfolio(pairwise, k) for k in range(1, max_size + 1)]

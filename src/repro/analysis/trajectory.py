@@ -1,0 +1,98 @@
+"""Search-trajectory analysis for PISA runs.
+
+PISA keeps a per-iteration history (:class:`repro.pisa.AnnealingStep`);
+these summaries answer the questions one asks when tuning the search:
+how often were moves accepted, when did the best stop improving, and how
+much did each restart contribute — the evidence behind the restart
+ablation in ``benchmarks/bench_pisa_ablation.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pisa.annealing import AnnealingResult
+from repro.pisa.pisa import PISAResult
+
+__all__ = ["TrajectorySummary", "summarize_trajectory", "restart_contributions"]
+
+
+@dataclass(frozen=True)
+class TrajectorySummary:
+    """One annealing run's trajectory in numbers."""
+
+    iterations: int
+    acceptance_rate: float
+    #: Iteration index of the last strict improvement of the best energy
+    #: (-1 if the initial state was never improved).
+    last_improvement: int
+    initial_energy: float
+    best_energy: float
+
+    @property
+    def improvement(self) -> float:
+        if self.initial_energy == 0:
+            return 1.0 if self.best_energy == 0 else float("inf")
+        return self.best_energy / self.initial_energy
+
+    @property
+    def converged_early(self) -> bool:
+        """True when the final quarter of the run brought no improvement."""
+        if self.iterations == 0:
+            return True
+        return self.last_improvement < 0.75 * self.iterations
+
+
+def summarize_trajectory(result: AnnealingResult) -> TrajectorySummary:
+    """Summarize one :class:`AnnealingResult` (requires kept history)."""
+    history = result.history
+    if not history:
+        return TrajectorySummary(
+            iterations=result.iterations,
+            acceptance_rate=0.0,
+            last_improvement=-1,
+            initial_energy=result.initial_energy,
+            best_energy=result.best_energy,
+        )
+    accepted = sum(1 for step in history if step.accepted)
+    last_improvement = -1
+    best = result.initial_energy
+    for step in history:
+        if step.best_energy > best:
+            best = step.best_energy
+            last_improvement = step.iteration
+    return TrajectorySummary(
+        iterations=len(history),
+        acceptance_rate=accepted / len(history),
+        last_improvement=last_improvement,
+        initial_energy=result.initial_energy,
+        best_energy=result.best_energy,
+    )
+
+
+def restart_contributions(result: PISAResult) -> list[dict]:
+    """Per-restart outcomes of a PISA run, best-first rank included.
+
+    Shows how much of the final answer each restart delivered — the
+    paper's 5-restart choice is justified exactly when the best restart
+    is much better than the median one.
+    """
+    rows = []
+    ranked = sorted(
+        range(len(result.restart_results)),
+        key=lambda i: -result.restart_results[i].best_energy,
+    )
+    rank_of = {idx: rank + 1 for rank, idx in enumerate(ranked)}
+    for i, restart in enumerate(result.restart_results):
+        summary = summarize_trajectory(restart)
+        rows.append(
+            {
+                "restart": i,
+                "rank": rank_of[i],
+                "initial": restart.initial_energy,
+                "best": restart.best_energy,
+                "acceptance_rate": round(summary.acceptance_rate, 3),
+                "last_improvement": summary.last_improvement,
+            }
+        )
+    return rows

@@ -1,0 +1,43 @@
+"""Benchmarking tools: makespan ratios, dataset harness, text renderings."""
+
+from repro.benchmarking.metrics import (
+    RATIO_CAP,
+    RatioSummary,
+    makespan_ratio,
+    summarize_ratios,
+)
+from repro.benchmarking.harness import (
+    BenchmarkResult,
+    GridResult,
+    InstanceResult,
+    benchmark_dataset,
+    benchmark_grid,
+)
+from repro.benchmarking.heatmap import (
+    format_gradient,
+    format_ratio,
+    render_benchmark_rows,
+    render_matrix,
+)
+from repro.benchmarking.gantt import render_gantt
+from repro.benchmarking.report import boxplot_row, format_table, to_csv
+
+__all__ = [
+    "RATIO_CAP",
+    "RatioSummary",
+    "makespan_ratio",
+    "summarize_ratios",
+    "BenchmarkResult",
+    "GridResult",
+    "InstanceResult",
+    "benchmark_dataset",
+    "benchmark_grid",
+    "format_gradient",
+    "format_ratio",
+    "render_benchmark_rows",
+    "render_matrix",
+    "render_gantt",
+    "boxplot_row",
+    "format_table",
+    "to_csv",
+]

@@ -1,0 +1,61 @@
+"""ASCII Gantt charts (the schedule visualizations of Figs. 1, 3, 5, 6).
+
+The paper's schedule figures are Gantt charts: one row per node, tasks as
+labeled bars along a time axis.  ``render_gantt`` reproduces them in
+monospace text so the experiment drivers and examples can show schedules
+without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.schedule import Schedule
+
+__all__ = ["render_gantt"]
+
+
+def render_gantt(schedule: Schedule, width: int = 64, node_order: list | None = None) -> str:
+    """Render ``schedule`` as a text Gantt chart.
+
+    Each node is one row; a task running during ``[start, end)`` occupies
+    the proportional span of the ``width``-character timeline, labeled
+    with (a prefix of) its name.  Tasks at infinite start times are listed
+    after the chart (they never execute — see the zero-strength-link
+    semantics in :mod:`repro.core.simulator`).
+    """
+    finite = [e for e in schedule if not math.isinf(e.start)]
+    infinite = [e for e in schedule if math.isinf(e.start)]
+    if not finite:
+        return "(empty schedule)" + _infinite_note(infinite)
+
+    horizon = max(e.end for e in finite)
+    horizon = horizon if horizon > 0 else 1.0
+    nodes = node_order if node_order is not None else sorted(schedule.nodes, key=str)
+    label_width = max(len(str(n)) for n in nodes)
+
+    lines = []
+    for node in nodes:
+        row = [" "] * width
+        for entry in schedule.on_node(node):
+            if math.isinf(entry.start):
+                continue
+            lo = int(entry.start / horizon * (width - 1))
+            hi = max(int(entry.end / horizon * (width - 1)), lo + 1)
+            for x in range(lo, min(hi, width)):
+                row[x] = "#"
+            label = str(entry.task)[: max(hi - lo, 1)]
+            for k, ch in enumerate(label):
+                if lo + k < width:
+                    row[lo + k] = ch
+        lines.append(f"{str(node):>{label_width}} |{''.join(row)}|")
+    axis = f"{'':>{label_width}}  0{'':{width - len(f'{horizon:.2f}') - 1}}{horizon:.2f}"
+    lines.append(axis)
+    return "\n".join(lines) + _infinite_note(infinite)
+
+
+def _infinite_note(entries) -> str:
+    if not entries:
+        return ""
+    names = ", ".join(sorted(str(e.task) for e in entries))
+    return f"\n(never executes — dead link upstream: {names})"

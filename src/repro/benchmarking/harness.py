@@ -1,0 +1,114 @@
+"""Benchmarking harness (Section V / Fig. 2).
+
+Runs a set of schedulers over a dataset, computes per-instance makespan
+ratios against the best-of-all baseline ("the makespan of the schedule
+produced by the algorithm divided by the minimum makespan of the
+schedules produced by the baseline algorithms"), and aggregates them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.benchmarking.metrics import RatioSummary, makespan_ratio, summarize_ratios
+from repro.core.instance import ProblemInstance
+from repro.core.scheduler import Scheduler, get_scheduler
+from repro.datasets.base import Dataset
+
+__all__ = ["InstanceResult", "BenchmarkResult", "benchmark_dataset", "benchmark_grid", "GridResult"]
+
+
+@dataclass(frozen=True)
+class InstanceResult:
+    """All schedulers' makespans and ratios on one instance."""
+
+    instance_name: str
+    makespans: dict[str, float]
+    ratios: dict[str, float]
+
+    @property
+    def best_scheduler(self) -> str:
+        return min(self.makespans, key=lambda s: (self.makespans[s], s))
+
+
+@dataclass
+class BenchmarkResult:
+    """One dataset's benchmark: per-instance results + per-scheduler summaries."""
+
+    dataset_name: str
+    schedulers: list[str]
+    per_instance: list[InstanceResult] = field(default_factory=list)
+
+    def ratios(self, scheduler: str) -> list[float]:
+        return [r.ratios[scheduler] for r in self.per_instance]
+
+    def summary(self, scheduler: str) -> RatioSummary:
+        return summarize_ratios(self.ratios(scheduler))
+
+    def summaries(self) -> dict[str, RatioSummary]:
+        return {s: self.summary(s) for s in self.schedulers}
+
+    def max_ratio(self, scheduler: str) -> float:
+        """The statistic Fig. 2's color scale is keyed to."""
+        return max(self.ratios(scheduler))
+
+
+def _resolve(schedulers: Iterable[Scheduler | str]) -> list[Scheduler]:
+    return [get_scheduler(s) if isinstance(s, str) else s for s in schedulers]
+
+
+def benchmark_dataset(
+    schedulers: Iterable[Scheduler | str],
+    dataset: Dataset,
+    progress: Callable[[int, InstanceResult], None] | None = None,
+) -> BenchmarkResult:
+    """Benchmark ``schedulers`` on every instance of ``dataset``.
+
+    Each scheduler's ratio on an instance is its makespan divided by the
+    minimum makespan achieved by *any* of the schedulers on that instance
+    (so the per-instance minimum ratio is exactly 1.0).
+    """
+    resolved = _resolve(schedulers)
+    names = [s.name for s in resolved]
+    result = BenchmarkResult(dataset_name=dataset.name, schedulers=names)
+    for i, instance in enumerate(dataset):
+        makespans = {s.name: s.schedule(instance).makespan for s in resolved}
+        best = min(makespans.values())
+        ratios = {name: makespan_ratio(ms, best) for name, ms in makespans.items()}
+        entry = InstanceResult(
+            instance_name=instance.name or f"{dataset.name}[{i}]",
+            makespans=makespans,
+            ratios=ratios,
+        )
+        result.per_instance.append(entry)
+        if progress is not None:
+            progress(i, entry)
+    return result
+
+
+@dataclass
+class GridResult:
+    """The Fig. 2 grid: one :class:`BenchmarkResult` per dataset."""
+
+    schedulers: list[str]
+    datasets: list[str]
+    results: dict[str, BenchmarkResult] = field(default_factory=dict)
+
+    def cell(self, dataset: str, scheduler: str) -> RatioSummary:
+        return self.results[dataset].summary(scheduler)
+
+
+def benchmark_grid(
+    schedulers: list[str],
+    datasets: Iterable[Dataset],
+    progress: Callable[[str], None] | None = None,
+) -> GridResult:
+    """Benchmark a scheduler list over several datasets (Fig. 2)."""
+    ds_list = list(datasets)
+    grid = GridResult(schedulers=list(schedulers), datasets=[d.name for d in ds_list])
+    for dataset in ds_list:
+        grid.results[dataset.name] = benchmark_dataset(schedulers, dataset)
+        if progress is not None:
+            progress(dataset.name)
+    return grid

@@ -1,0 +1,95 @@
+"""Text heatmaps matching the paper's figure conventions.
+
+The paper's heatmaps clamp displayed values: anything above 5 renders as
+``> 5.0`` and the catastrophic cells as ``> 1000`` (Figs. 4, 10-19).  We
+reproduce the same clamping in aligned text tables, plus a compact
+"gradient" cell for the benchmarking rows of Figs. 2/10-19 (which show a
+distribution rather than a single number).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.benchmarking.metrics import RatioSummary
+
+__all__ = ["format_ratio", "format_gradient", "render_matrix", "render_benchmark_rows"]
+
+
+def format_ratio(value: float, clamp_5: float = 5.0, clamp_1000: float = 1000.0) -> str:
+    """The paper's cell format: plain to 2 decimals, '> 5.0', or '> 1000'."""
+    if value >= clamp_1000:
+        return "> 1000"
+    if value > clamp_5:
+        return "> 5.0"
+    return f"{value:.2f}"
+
+
+def format_gradient(summary: RatioSummary) -> str:
+    """A benchmark cell: median and max of the per-instance ratios.
+
+    The figures draw these as color gradients; ``median~max`` carries the
+    same information in text.
+    """
+    return f"{format_ratio(summary.median)}~{format_ratio(summary.maximum)}"
+
+
+def render_matrix(
+    values: Mapping[tuple[str, str], float],
+    row_labels: list[str],
+    col_labels: list[str],
+    title: str = "",
+    row_header: str = "",
+    missing: str = "-",
+) -> str:
+    """Render a (row, col) -> ratio mapping as an aligned text heatmap."""
+    cells = {
+        (r, c): format_ratio(values[(r, c)]) if (r, c) in values else missing
+        for r in row_labels
+        for c in col_labels
+    }
+    return _render(cells, row_labels, col_labels, title, row_header)
+
+
+def render_benchmark_rows(
+    summaries: Mapping[str, Mapping[str, RatioSummary]],
+    row_labels: list[str],
+    col_labels: list[str],
+    title: str = "",
+    row_header: str = "dataset",
+) -> str:
+    """Render Fig. 2-style rows: dataset x scheduler gradient cells."""
+    cells = {}
+    for r in row_labels:
+        for c in col_labels:
+            summary = summaries.get(r, {}).get(c)
+            cells[(r, c)] = format_gradient(summary) if summary is not None else "-"
+    return _render(cells, row_labels, col_labels, title, row_header)
+
+
+def _render(
+    cells: Mapping[tuple[str, str], str],
+    row_labels: list[str],
+    col_labels: list[str],
+    title: str,
+    row_header: str,
+) -> str:
+    label_width = max([len(row_header)] + [len(str(r)) for r in row_labels])
+    col_widths = {
+        c: max(len(str(c)), max((len(cells[(r, c)]) for r in row_labels), default=1))
+        for c in col_labels
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * label_width + " | " + "  ".join(
+        f"{str(c):>{col_widths[c]}}" for c in col_labels
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in row_labels:
+        row = f"{str(r):>{label_width}} | " + "  ".join(
+            f"{cells[(r, c)]:>{col_widths[c]}}" for c in col_labels
+        )
+        lines.append(row)
+    return "\n".join(lines)

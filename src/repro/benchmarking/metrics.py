@@ -1,0 +1,88 @@
+"""Makespan-ratio metrics (Section II) shared by benchmarking and PISA.
+
+The makespan ratio of algorithm A against baselines B1, B2, ... on an
+instance is ``m(S_A) / min_i m(S_Bi)``.  Ratios can be infinite when a
+scheduler routes positive data over a zero-strength link; PISA's annealer
+needs finite energies, so :func:`makespan_ratio` caps the value at
+:data:`RATIO_CAP` — far above the paper's ``> 1000`` reporting threshold,
+so capping never changes what any figure displays.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RATIO_CAP", "makespan_ratio", "RatioSummary", "summarize_ratios"]
+
+#: Cap applied to infinite/huge ratios; anything >= 1000 renders as "> 1000".
+RATIO_CAP = 1e6
+
+
+def makespan_ratio(target: float, baseline: float) -> float:
+    """``target / baseline`` with careful 0 and infinity semantics.
+
+    * both zero or both infinite -> 1.0 (the schedules are equally good/bad);
+    * finite / 0 and inf / finite -> :data:`RATIO_CAP` (arbitrarily bad);
+    * 0 / positive -> 0.0;
+    * otherwise the plain quotient, capped at :data:`RATIO_CAP`.
+    """
+    if target < 0 or baseline < 0:
+        raise ValueError("makespans must be non-negative")
+    t_inf, b_inf = math.isinf(target), math.isinf(baseline)
+    if t_inf and b_inf:
+        return 1.0
+    if t_inf:
+        return RATIO_CAP
+    if b_inf:
+        return 0.0
+    if baseline == 0.0:
+        return 1.0 if target == 0.0 else RATIO_CAP
+    return min(target / baseline, RATIO_CAP)
+
+
+@dataclass(frozen=True)
+class RatioSummary:
+    """Distribution summary of makespan ratios over a dataset.
+
+    Fig. 2's gradient cells show the spread of per-instance ratios; this
+    summary carries the quantiles those gradients are drawn from.
+    """
+
+    count: int
+    mean: float
+    minimum: float
+    q25: float
+    median: float
+    q75: float
+    maximum: float
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "q25": self.q25,
+            "median": self.median,
+            "q75": self.q75,
+            "max": self.maximum,
+        }
+
+
+def summarize_ratios(ratios: Iterable[float]) -> RatioSummary:
+    """Summary statistics of a ratio sample (empty input raises)."""
+    values = np.asarray(list(ratios), dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot summarize an empty ratio sample")
+    return RatioSummary(
+        count=int(values.size),
+        mean=float(values.mean()),
+        minimum=float(values.min()),
+        q25=float(np.quantile(values, 0.25)),
+        median=float(np.quantile(values, 0.5)),
+        q75=float(np.quantile(values, 0.75)),
+        maximum=float(values.max()),
+    )

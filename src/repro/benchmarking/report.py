@@ -1,0 +1,75 @@
+"""Small report/table formatting helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "to_csv", "boxplot_row"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Align ``rows`` under ``headers`` (everything str()-ified)."""
+    materialized = [[str(x) for x in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(f"{h:>{w}}" for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialized:
+        lines.append("  ".join(f"{c:>{w}}" for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """The same table as CSV text (for EXPERIMENTS.md appendices)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def boxplot_row(label: str, values: Sequence[float], width: int = 40) -> str:
+    """A one-line text boxplot (the makespan distributions of Figs. 7/8).
+
+    Renders min/q1/median/q3/max as ``|----[==|==]----|`` scaled to the
+    sample range across the row set is the caller's concern; this scales
+    to the row's own min..max.
+    """
+    import numpy as np
+
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return f"{label}: (no data)"
+    lo, q1, med, q3, hi = (
+        float(arr.min()),
+        float(np.quantile(arr, 0.25)),
+        float(np.quantile(arr, 0.5)),
+        float(np.quantile(arr, 0.75)),
+        float(arr.max()),
+    )
+    span = hi - lo if hi > lo else 1.0
+
+    def pos(x: float) -> int:
+        return min(int((x - lo) / span * (width - 1)), width - 1)
+
+    row = [" "] * width
+    for x in range(pos(lo), pos(hi) + 1):
+        row[x] = "-"
+    for x in range(pos(q1), pos(q3) + 1):
+        row[x] = "="
+    row[pos(lo)] = "|"
+    row[pos(hi)] = "|"
+    row[pos(med)] = "M"
+    stats = f"min={lo:.2f} med={med:.2f} max={hi:.2f}"
+    return f"{label:>12s} [{''.join(row)}] {stats}"

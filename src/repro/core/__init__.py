@@ -1,0 +1,57 @@
+"""Core model: task graphs, networks, instances, schedules, and semantics.
+
+This subpackage implements Section II of the paper — the problem
+definition — plus the scheduler interface every algorithm in Table I
+implements.
+"""
+
+from repro.core.exceptions import (
+    ReproError,
+    InvalidInstanceError,
+    InvalidScheduleError,
+    SchedulingError,
+    DatasetError,
+)
+from repro.core.task_graph import TaskGraph
+from repro.core.network import Network
+from repro.core.instance import ProblemInstance
+from repro.core.schedule import Schedule, ScheduledTask
+from repro.core.simulator import (
+    ScheduleBuilder,
+    exec_time,
+    comm_time,
+    mean_exec_time,
+    mean_comm_time,
+)
+from repro.core.scheduler import (
+    Scheduler,
+    SchedulerInfo,
+    register_scheduler,
+    get_scheduler,
+    list_schedulers,
+    scheduler_registry,
+)
+
+__all__ = [
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidScheduleError",
+    "SchedulingError",
+    "DatasetError",
+    "TaskGraph",
+    "Network",
+    "ProblemInstance",
+    "Schedule",
+    "ScheduledTask",
+    "ScheduleBuilder",
+    "exec_time",
+    "comm_time",
+    "mean_exec_time",
+    "mean_comm_time",
+    "Scheduler",
+    "SchedulerInfo",
+    "register_scheduler",
+    "get_scheduler",
+    "list_schedulers",
+    "scheduler_registry",
+]

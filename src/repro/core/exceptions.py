@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+Everything raised on purpose by this package derives from
+:class:`ReproError`, so callers can catch one type at the boundary.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidScheduleError",
+    "SchedulingError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class InvalidInstanceError(ReproError):
+    """A task graph or network violates the problem-definition invariants.
+
+    Examples: a cyclic task graph, a negative task cost, an incomplete
+    network (a node pair without a communication strength).
+    """
+
+
+class InvalidScheduleError(ReproError):
+    """A schedule violates one of the validity properties of Section II.
+
+    The offending property (exactly-once, node overlap, or precedence /
+    communication feasibility) is described in the message.
+    """
+
+
+class SchedulingError(ReproError):
+    """A scheduler could not produce a schedule for the given instance."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, saved, or loaded."""

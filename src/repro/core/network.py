@@ -1,0 +1,262 @@
+"""The compute-node network ``N = (V, E)`` of Section II.
+
+A network is a *complete* undirected graph.  Each node ``v`` has a compute
+speed ``s(v) > 0`` and each (unordered) pair of distinct nodes has a
+communication strength ``s(v, v')``; the strength of a node to itself is
+infinite (data already present needs no transfer).  Strengths may be zero —
+PISA's weight perturbations clip into ``[0, 1]`` and the paper's Fig. 6
+network contains a zero-strength link — in which case communication of any
+positive amount of data over that link takes infinite time.
+
+Under the *related machines* model, executing task ``t`` on node ``v`` takes
+``c(t) / s(v)`` and transferring the data of dependency ``(t, t')`` from
+``v`` to ``v'`` takes ``c(t, t') / s(v, v')``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Mapping
+
+import networkx as nx
+
+from repro.core.exceptions import InvalidInstanceError
+
+__all__ = ["Network"]
+
+Node = Hashable
+
+
+class Network:
+    """A complete undirected network of heterogeneous compute nodes.
+
+    Examples
+    --------
+    >>> net = Network.from_speeds({"v1": 1.0, "v2": 1.2}, default_strength=0.5)
+    >>> net.speed("v2")
+    1.2
+    >>> net.strength("v1", "v1")
+    inf
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, node: Node, speed: float) -> None:
+        """Add a compute node with speed ``s(v) = speed`` (must be > 0)."""
+        speed = float(speed)
+        if math.isnan(speed) or speed <= 0:
+            raise InvalidInstanceError(f"speed of node {node!r} must be positive, got {speed}")
+        self._graph.add_node(node, weight=speed)
+
+    def set_strength(self, u: Node, v: Node, strength: float) -> None:
+        """Set the communication strength of link ``{u, v}`` (>= 0, may be inf)."""
+        strength = float(strength)
+        if math.isnan(strength) or strength < 0:
+            raise InvalidInstanceError(
+                f"strength of link {u!r}-{v!r} must be non-negative, got {strength}"
+            )
+        if u not in self._graph or v not in self._graph:
+            raise InvalidInstanceError(f"both endpoints of link {u!r}-{v!r} must exist")
+        if u == v:
+            raise InvalidInstanceError("self-link strengths are fixed at infinity")
+        self._graph.add_edge(u, v, weight=strength)
+
+    @classmethod
+    def from_speeds(
+        cls,
+        speeds: Mapping[Node, float],
+        default_strength: float = float("inf"),
+        strengths: Mapping[tuple[Node, Node], float] | None = None,
+    ) -> "Network":
+        """Build a complete network from node speeds.
+
+        Every pair of distinct nodes gets ``default_strength`` unless
+        overridden in ``strengths`` (which accepts either orientation of the
+        unordered pair).
+        """
+        net = cls()
+        for node, speed in speeds.items():
+            net.add_node(node, speed)
+        nodes = list(speeds)
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1 :]:
+                net.set_strength(u, v, default_strength)
+        if strengths:
+            for (u, v), s in strengths.items():
+                net.set_strength(u, v, s)
+        return net
+
+    @classmethod
+    def homogeneous(
+        cls, num_nodes: int, speed: float = 1.0, strength: float = 1.0, prefix: str = "v"
+    ) -> "Network":
+        """A complete network with identical speeds and link strengths."""
+        if num_nodes < 1:
+            raise InvalidInstanceError("network needs at least one node")
+        return cls.from_speeds(
+            {f"{prefix}{i + 1}": speed for i in range(num_nodes)},
+            default_strength=strength,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> tuple[Node, ...]:
+        """All compute nodes, in insertion order."""
+        return tuple(self._graph.nodes)
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._graph
+
+    @property
+    def links(self) -> tuple[tuple[Node, Node], ...]:
+        """All (unordered) links between distinct nodes."""
+        return tuple(self._graph.edges)
+
+    def speed(self, node: Node) -> float:
+        """Compute speed ``s(v)``."""
+        try:
+            return float(self._graph.nodes[node]["weight"])
+        except KeyError:
+            raise InvalidInstanceError(f"unknown node {node!r}") from None
+
+    def strength(self, u: Node, v: Node) -> float:
+        """Communication strength ``s(u, v)``; infinite when ``u == v``."""
+        if u == v:
+            if u not in self._graph:
+                raise InvalidInstanceError(f"unknown node {u!r}")
+            return float("inf")
+        try:
+            return float(self._graph.edges[u, v]["weight"])
+        except KeyError:
+            raise InvalidInstanceError(f"unknown link {u!r}-{v!r}") from None
+
+    def set_speed(self, node: Node, speed: float) -> None:
+        speed = float(speed)
+        if math.isnan(speed) or speed <= 0:
+            raise InvalidInstanceError(f"speed of node {node!r} must be positive, got {speed}")
+        if node not in self._graph:
+            raise InvalidInstanceError(f"unknown node {node!r}")
+        self._graph.nodes[node]["weight"] = speed
+
+    @property
+    def fastest_node(self) -> Node:
+        """The node with maximum speed (first in insertion order on ties)."""
+        if len(self) == 0:
+            raise InvalidInstanceError("network has no nodes")
+        return max(self._graph.nodes, key=lambda n: (self.speed(n), ))
+
+    def nodes_by_speed(self) -> list[Node]:
+        """Nodes sorted fastest-first (stable on ties)."""
+        return sorted(self._graph.nodes, key=lambda n: -self.speed(n))
+
+    def mean_speed(self) -> float:
+        """Average node speed."""
+        if len(self) == 0:
+            return 0.0
+        return float(sum(self.speed(n) for n in self.nodes)) / len(self)
+
+    def mean_strength(self, include_infinite: bool = True) -> float:
+        """Average link strength over distinct pairs.
+
+        With ``include_infinite=True`` (default) a single infinite link makes
+        the mean infinite; pass ``False`` to average finite links only (used
+        when computing CCRs for shared-filesystem networks).
+        """
+        strengths = [self.strength(u, v) for u, v in self.links]
+        if not strengths:
+            return float("inf")
+        if not include_infinite:
+            strengths = [s for s in strengths if not math.isinf(s)] or [float("inf")]
+        return float(sum(strengths)) / len(strengths)
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "Network":
+        clone = Network()
+        clone._graph = self._graph.copy()
+        return clone
+
+    def to_networkx(self) -> nx.Graph:
+        """A *copy* of the underlying :class:`networkx.Graph`."""
+        return self._graph.copy()
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The live underlying graph (treat as read-only)."""
+        return self._graph
+
+    def validate(self) -> None:
+        """Check completeness and weight invariants; raise on violation."""
+        nodes = self.nodes
+        if not nodes:
+            raise InvalidInstanceError("network has no nodes")
+        for node in nodes:
+            data = self._graph.nodes[node]
+            if "weight" not in data:
+                raise InvalidInstanceError(f"node {node!r} has no speed")
+            if not (float(data["weight"]) > 0):
+                raise InvalidInstanceError(f"node {node!r} speed must be positive")
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1 :]:
+                if not self._graph.has_edge(u, v):
+                    raise InvalidInstanceError(
+                        f"network is not complete: missing link {u!r}-{v!r}"
+                    )
+                s = float(self._graph.edges[u, v]["weight"])
+                if math.isnan(s) or s < 0:
+                    raise InvalidInstanceError(
+                        f"strength of link {u!r}-{v!r} must be non-negative"
+                    )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (infinite strengths become "inf")."""
+
+        def enc(x: float):
+            return "inf" if math.isinf(x) else x
+
+        return {
+            "nodes": [{"name": n, "speed": self.speed(n)} for n in self.nodes],
+            "links": [
+                {"u": u, "v": v, "strength": enc(self.strength(u, v))}
+                for u, v in self.links
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Network":
+        net = cls()
+        for entry in payload["nodes"]:
+            net.add_node(entry["name"], entry["speed"])
+        for entry in payload["links"]:
+            s = entry["strength"]
+            net.set_strength(entry["u"], entry["v"], float("inf") if s == "inf" else s)
+        net.validate()
+        return net
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Network):
+            return NotImplemented
+        if set(self.nodes) != set(other.nodes):
+            return False
+        if any(not math.isclose(self.speed(n), other.speed(n)) for n in self.nodes):
+            return False
+        for u, v in self.links:
+            a, b = self.strength(u, v), other.strength(u, v)
+            if math.isinf(a) != math.isinf(b):
+                return False
+            if not math.isinf(a) and not math.isclose(a, b):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Network(nodes={len(self)})"

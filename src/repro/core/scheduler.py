@@ -1,0 +1,109 @@
+"""Scheduler interface and registry.
+
+Every algorithm in Table I of the paper implements :class:`Scheduler`.
+Subclasses declare a class-level ``name`` and metadata mirroring Table I
+(reference, scheduling complexity, machine model); the registry lets the
+benchmarking harness, PISA, and the experiment drivers look schedulers up
+by name.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+from repro.core.exceptions import SchedulingError
+from repro.core.instance import ProblemInstance
+from repro.core.schedule import Schedule
+
+__all__ = [
+    "Scheduler",
+    "SchedulerInfo",
+    "register_scheduler",
+    "get_scheduler",
+    "list_schedulers",
+    "scheduler_registry",
+]
+
+
+@dataclass(frozen=True)
+class SchedulerInfo:
+    """Table I metadata for one scheduler."""
+
+    name: str
+    full_name: str
+    reference: str
+    complexity: str
+    machine_model: str  # "related", "unrelated", "homogeneous-links", ...
+    exponential: bool = False  # BruteForce / SMT: excluded from experiments
+    notes: str = field(default="")
+
+
+class Scheduler(ABC):
+    """Base class for task-graph scheduling algorithms.
+
+    Subclasses implement :meth:`schedule`, mapping a
+    :class:`ProblemInstance` to a :class:`Schedule`.  A scheduler must be
+    deterministic given its constructor arguments (randomized schedulers
+    such as WBA take a seed).
+    """
+
+    #: Short name used in registries, figures, and tables (e.g. "HEFT").
+    name: ClassVar[str] = ""
+    #: Table I metadata; subclasses override.
+    info: ClassVar[SchedulerInfo | None] = None
+
+    @abstractmethod
+    def schedule(self, instance: ProblemInstance) -> Schedule:
+        """Produce a valid schedule for ``instance``."""
+
+    def makespan(self, instance: ProblemInstance) -> float:
+        """Convenience: schedule and return the makespan."""
+        return self.schedule(instance).makespan
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: dict[str, type[Scheduler]] = {}
+
+
+def register_scheduler(cls: type[Scheduler]) -> type[Scheduler]:
+    """Class decorator: add ``cls`` to the global scheduler registry."""
+    if not cls.name:
+        raise ValueError(f"scheduler class {cls.__name__} must set a non-empty name")
+    existing = _REGISTRY.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"scheduler name {cls.name!r} is already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a registered scheduler by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise SchedulingError(f"unknown scheduler {name!r}; known: {known}") from None
+    return cls(**kwargs)
+
+
+def list_schedulers(include_exponential: bool = True) -> list[str]:
+    """Sorted names of all registered schedulers.
+
+    With ``include_exponential=False``, BruteForce and SMT are omitted —
+    the subset the paper benchmarks (15 of the 17 implemented algorithms).
+    """
+    names = []
+    for name, cls in _REGISTRY.items():
+        if not include_exponential and cls.info is not None and cls.info.exponential:
+            continue
+        names.append(name)
+    return sorted(names)
+
+
+def scheduler_registry() -> dict[str, type[Scheduler]]:
+    """A copy of the registry mapping name -> class."""
+    return dict(_REGISTRY)

@@ -1,0 +1,299 @@
+"""Execution semantics shared by every scheduler and by PISA.
+
+This module is the *substrate simulator*: it encodes, in one place, how
+long tasks take, when data arrives, and when a task may start on a node
+given previously committed decisions.  Schedulers are thin policies on top
+of :class:`ScheduleBuilder`; because they all share these semantics, their
+makespans are directly comparable (the property the paper's makespan-ratio
+metric relies on).
+
+Conventions
+-----------
+* ``exec_time(t, v) = c(t) / s(v)`` (related machines, Section II).
+* ``comm_time`` over a link of strength 0 is infinite unless the data size
+  is 0; over an infinite-strength link (or node-to-itself) it is 0.
+* Start times may therefore be infinite.  An infinite makespan simply means
+  "this scheduler routed positive data over a dead link"; makespan ratios
+  treat it as an arbitrarily-bad outcome (the ``> 1000`` cells of Fig. 4).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Iterable
+
+from repro.core.exceptions import SchedulingError
+from repro.core.instance import ProblemInstance
+from repro.core.schedule import Schedule, ScheduledTask
+
+__all__ = [
+    "exec_time",
+    "comm_time",
+    "mean_exec_time",
+    "mean_comm_time",
+    "ScheduleBuilder",
+]
+
+Task = Hashable
+Node = Hashable
+
+
+def exec_time(instance: ProblemInstance, task: Task, node: Node) -> float:
+    """Execution time ``c(t) / s(v)`` of ``task`` on ``node``."""
+    return instance.task_graph.cost(task) / instance.network.speed(node)
+
+
+def comm_time(
+    instance: ProblemInstance, src_task: Task, dst_task: Task, src_node: Node, dst_node: Node
+) -> float:
+    """Communication time of dependency ``(src_task, dst_task)`` across a link.
+
+    Zero when both tasks run on the same node, when the data size is zero,
+    or when the link strength is infinite; infinite when positive data must
+    cross a zero-strength link.
+    """
+    if src_node == dst_node:
+        return 0.0
+    data = instance.task_graph.data_size(src_task, dst_task)
+    if data == 0.0:
+        return 0.0
+    strength = instance.network.strength(src_node, dst_node)
+    if strength == 0.0:
+        return math.inf
+    if math.isinf(strength):
+        return 0.0
+    return data / strength
+
+
+def mean_exec_time(instance: ProblemInstance, task: Task) -> float:
+    """Average execution time of ``task`` over all nodes (HEFT's ``w̄``)."""
+    nodes = instance.network.nodes
+    inv = sum(1.0 / instance.network.speed(v) for v in nodes) / len(nodes)
+    return instance.task_graph.cost(task) * inv
+
+
+def mean_comm_time(instance: ProblemInstance, src_task: Task, dst_task: Task) -> float:
+    """Average communication time of a dependency over distinct node pairs.
+
+    ``c(t,t') * avg_{u != v} 1/s(u,v)``; infinite-strength links contribute
+    zero inverse strength, so a shared-filesystem network yields 0.  A
+    single-node network also yields 0 (no transfer ever happens).
+    """
+    links = instance.network.links
+    if not links:
+        return 0.0
+    data = instance.task_graph.data_size(src_task, dst_task)
+    if data == 0.0:
+        return 0.0
+    inv = 0.0
+    for u, v in links:
+        s = instance.network.strength(u, v)
+        if s == 0.0:
+            return math.inf
+        if not math.isinf(s):
+            inv += 1.0 / s
+    return data * inv / len(links)
+
+
+class ScheduleBuilder:
+    """Incremental schedule construction with shared timing semantics.
+
+    A scheduler interacts with the builder in rounds: query earliest start /
+    finish times of candidate (task, node) placements, then ``commit`` one.
+    The builder enforces that a task is only committed after all of its
+    predecessors, tracks the ready set, and finally materializes a
+    :class:`~repro.core.schedule.Schedule`.
+
+    Parameters
+    ----------
+    instance:
+        The problem instance being scheduled.
+    insertion:
+        If True (default), ``est`` searches idle gaps between already
+        committed tasks on a node (HEFT's insertion-based policy); if
+        False, tasks are appended after the node's last committed task
+        (the non-insertion policy of MCT, ETF, FCP, ...).
+    """
+
+    def __init__(self, instance: ProblemInstance, insertion: bool = True) -> None:
+        instance.validate()
+        self.instance = instance
+        self.insertion = insertion
+        self._entries: dict[Node, list[ScheduledTask]] = {v: [] for v in instance.network.nodes}
+        self._placed: dict[Task, ScheduledTask] = {}
+        self._remaining_preds: dict[Task, int] = {
+            t: len(instance.task_graph.predecessors(t)) for t in instance.task_graph.tasks
+        }
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def scheduled_tasks(self) -> tuple[Task, ...]:
+        return tuple(self._placed)
+
+    @property
+    def unscheduled_tasks(self) -> tuple[Task, ...]:
+        return tuple(t for t in self.instance.task_graph.tasks if t not in self._placed)
+
+    def is_scheduled(self, task: Task) -> bool:
+        return task in self._placed
+
+    def ready_tasks(self) -> list[Task]:
+        """Unscheduled tasks whose predecessors are all scheduled.
+
+        Order matches task-graph insertion order, so iteration is
+        deterministic.
+        """
+        return [
+            t
+            for t in self.instance.task_graph.tasks
+            if t not in self._placed and self._remaining_preds[t] == 0
+        ]
+
+    def placement(self, task: Task) -> ScheduledTask:
+        """The committed entry for ``task`` (raises if not yet committed)."""
+        try:
+            return self._placed[task]
+        except KeyError:
+            raise SchedulingError(f"task {task!r} has not been scheduled yet") from None
+
+    def node_available(self, node: Node) -> float:
+        """Finish time of the last committed task on ``node`` (0.0 if idle)."""
+        entries = self._entries[node]
+        return entries[-1].end if entries else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Timing queries
+    # ------------------------------------------------------------------ #
+    def data_ready_time(self, task: Task, node: Node) -> float:
+        """Earliest time all inputs of ``task`` are available at ``node``.
+
+        Max over scheduled predecessors of (finish + communication); all
+        predecessors must already be committed.
+        """
+        ready = 0.0
+        for pred in self.instance.task_graph.predecessors(task):
+            entry = self._placed.get(pred)
+            if entry is None:
+                raise SchedulingError(
+                    f"cannot evaluate task {task!r}: predecessor {pred!r} unscheduled"
+                )
+            arrival = entry.end + comm_time(self.instance, pred, task, entry.node, node)
+            ready = max(ready, arrival)
+        return ready
+
+    def enabling_parent(self, task: Task, node: Node) -> Task | None:
+        """The predecessor whose message arrives last at ``node`` (FCP/FLB).
+
+        Returns None for source tasks.
+        """
+        best: tuple[float, Task] | None = None
+        for pred in self.instance.task_graph.predecessors(task):
+            entry = self._placed.get(pred)
+            if entry is None:
+                raise SchedulingError(
+                    f"cannot evaluate task {task!r}: predecessor {pred!r} unscheduled"
+                )
+            arrival = entry.end + comm_time(self.instance, pred, task, entry.node, node)
+            if best is None or arrival > best[0]:
+                best = (arrival, pred)
+        return best[1] if best else None
+
+    def est(self, task: Task, node: Node) -> float:
+        """Earliest start of ``task`` on ``node`` under the builder's policy."""
+        ready = self.data_ready_time(task, node)
+        duration = exec_time(self.instance, task, node)
+        return self._earliest_slot(node, ready, duration)
+
+    def eft(self, task: Task, node: Node) -> float:
+        """Earliest finish of ``task`` on ``node``."""
+        start = self.est(task, node)
+        if math.isinf(start):
+            return math.inf
+        return start + exec_time(self.instance, task, node)
+
+    def best_node_by_eft(self, task: Task, nodes: Iterable[Node] | None = None) -> Node:
+        """Node minimizing EFT for ``task`` (first wins on ties)."""
+        candidates = list(nodes) if nodes is not None else list(self.instance.network.nodes)
+        if not candidates:
+            raise SchedulingError("no candidate nodes")
+        return min(candidates, key=lambda v: (self.eft(task, v),))
+
+    def _earliest_slot(self, node: Node, ready: float, duration: float) -> float:
+        """Earliest feasible start on ``node`` at or after ``ready``."""
+        if math.isinf(ready):
+            return math.inf
+        entries = self._entries[node]
+        if not entries:
+            return ready
+        if not self.insertion:
+            return max(ready, entries[-1].end)
+        # Insertion policy: scan gaps (before first task, between tasks,
+        # after last task) for the first one that fits ``duration``.  The
+        # comparison is exact: an epsilon here would let tasks overlap by
+        # that epsilon, which the validator rightly rejects.
+        gap_start = 0.0
+        for entry in entries:
+            start = max(gap_start, ready)
+            if start + duration <= entry.start:
+                return start
+            gap_start = max(gap_start, entry.end)
+        return max(gap_start, ready)
+
+    # ------------------------------------------------------------------ #
+    # Committing
+    # ------------------------------------------------------------------ #
+    def commit(self, task: Task, node: Node, start: float | None = None) -> ScheduledTask:
+        """Schedule ``task`` on ``node``.
+
+        If ``start`` is None, the policy's earliest start is used.  An
+        explicit ``start`` must be feasible (>= data-ready time and not
+        overlapping committed tasks); this path is used by replay / test
+        code.
+        """
+        if task in self._placed:
+            raise SchedulingError(f"task {task!r} is already scheduled")
+        if self._remaining_preds[task] != 0:
+            raise SchedulingError(
+                f"task {task!r} committed before its predecessors were scheduled"
+            )
+        if node not in self._entries:
+            raise SchedulingError(f"unknown node {node!r}")
+        duration = exec_time(self.instance, task, node)
+        if start is None:
+            start = self.est(task, node)
+        else:
+            ready = self.data_ready_time(task, node)
+            if start < ready - 1e-9:
+                raise SchedulingError(
+                    f"explicit start {start} of {task!r} precedes data-ready time {ready}"
+                )
+            for entry in self._entries[node]:
+                if start < entry.end - 1e-12 and entry.start < start + duration - 1e-12:
+                    raise SchedulingError(
+                        f"explicit start {start} of {task!r} overlaps {entry.task!r}"
+                    )
+        end = start + duration if not math.isinf(start) else math.inf
+        entry = ScheduledTask(start=float(start), end=float(end), task=task, node=node)
+        self._entries[node].append(entry)
+        self._entries[node].sort()
+        self._placed[task] = entry
+        for succ in self.instance.task_graph.successors(task):
+            self._remaining_preds[succ] -= 1
+        return entry
+
+    def makespan(self) -> float:
+        """Makespan of the committed entries so far."""
+        ends = [e.end for e in self._placed.values()]
+        return max(ends) if ends else 0.0
+
+    def schedule(self) -> Schedule:
+        """Materialize the final :class:`Schedule`; all tasks must be committed."""
+        missing = self.unscheduled_tasks
+        if missing:
+            raise SchedulingError(f"tasks left unscheduled: {sorted(map(str, missing))}")
+        sched = Schedule()
+        for entry in self._placed.values():
+            sched.add(entry.task, entry.node, entry.start, entry.end)
+        return sched

@@ -1,0 +1,267 @@
+"""The task graph ``G = (T, D)`` of Section II.
+
+A task graph is a directed acyclic graph whose nodes are *tasks* with a
+compute cost ``c(t) > 0`` (we allow ``c(t) >= 0``; the paper's clipped
+Gaussians can produce exact zeros) and whose edges are *dependencies*
+``(t, t')`` carrying the size ``c(t, t')`` of the data exchanged between the
+two tasks.  An edge ``(t, t')`` means task ``t'`` cannot start before it has
+received the output of ``t``.
+
+Internally a :class:`networkx.DiGraph` holds the structure, with the cost /
+data size stored under the ``"weight"`` attribute, matching the convention
+used by the SAGA framework the paper describes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Iterable, Mapping
+
+import networkx as nx
+
+from repro.core.exceptions import InvalidInstanceError
+from repro.utils.topo import topological_order
+
+__all__ = ["TaskGraph"]
+
+Task = Hashable
+
+
+class TaskGraph:
+    """A weighted DAG of tasks and data dependencies.
+
+    Parameters
+    ----------
+    graph:
+        Optional pre-built :class:`networkx.DiGraph` with ``weight``
+        attributes on every node and edge.  The graph is copied.
+
+    Examples
+    --------
+    >>> tg = TaskGraph()
+    >>> tg.add_task("A", 1.7)
+    >>> tg.add_task("B", 1.2)
+    >>> tg.add_dependency("A", "B", 0.6)
+    >>> tg.cost("A"), tg.data_size("A", "B")
+    (1.7, 0.6)
+    """
+
+    def __init__(self, graph: nx.DiGraph | None = None) -> None:
+        self._graph = nx.DiGraph()
+        if graph is not None:
+            self._graph = graph.copy()
+            self.validate()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_task(self, task: Task, cost: float) -> None:
+        """Add a task with compute cost ``c(t) = cost`` (must be >= 0)."""
+        self._check_weight(cost, f"cost of task {task!r}")
+        self._graph.add_node(task, weight=float(cost))
+
+    def add_dependency(self, src: Task, dst: Task, data_size: float) -> None:
+        """Add dependency ``src -> dst`` with data size ``c(src, dst)``.
+
+        Both endpoints must already be tasks and the edge must not create a
+        cycle.
+        """
+        self._check_weight(data_size, f"data size of dependency {src!r}->{dst!r}")
+        if src not in self._graph or dst not in self._graph:
+            raise InvalidInstanceError(
+                f"both endpoints of dependency {src!r}->{dst!r} must be existing tasks"
+            )
+        if src == dst:
+            raise InvalidInstanceError(f"self-dependency {src!r}->{src!r} is not allowed")
+        self._graph.add_edge(src, dst, weight=float(data_size))
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(src, dst)
+            raise InvalidInstanceError(
+                f"dependency {src!r}->{dst!r} would create a cycle"
+            )
+
+    def remove_dependency(self, src: Task, dst: Task) -> None:
+        """Remove the dependency ``src -> dst`` (used by PISA's perturbations)."""
+        if not self._graph.has_edge(src, dst):
+            raise InvalidInstanceError(f"no dependency {src!r}->{dst!r} to remove")
+        self._graph.remove_edge(src, dst)
+
+    @classmethod
+    def from_dicts(
+        cls,
+        costs: Mapping[Task, float],
+        data_sizes: Mapping[tuple[Task, Task], float],
+    ) -> "TaskGraph":
+        """Build a task graph from ``{task: cost}`` and ``{(src, dst): size}``."""
+        tg = cls()
+        for task, cost in costs.items():
+            tg.add_task(task, cost)
+        for (src, dst), size in data_sizes.items():
+            tg.add_dependency(src, dst, size)
+        return tg
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def tasks(self) -> tuple[Task, ...]:
+        """All tasks, in insertion order."""
+        return tuple(self._graph.nodes)
+
+    @property
+    def dependencies(self) -> tuple[tuple[Task, Task], ...]:
+        """All dependency edges ``(src, dst)``, in insertion order."""
+        return tuple(self._graph.edges)
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __contains__(self, task: Task) -> bool:
+        return task in self._graph
+
+    @property
+    def num_dependencies(self) -> int:
+        return self._graph.number_of_edges()
+
+    def cost(self, task: Task) -> float:
+        """Compute cost ``c(t)`` of a task."""
+        try:
+            return float(self._graph.nodes[task]["weight"])
+        except KeyError:
+            raise InvalidInstanceError(f"unknown task {task!r}") from None
+
+    def data_size(self, src: Task, dst: Task) -> float:
+        """Data size ``c(t, t')`` of a dependency."""
+        try:
+            return float(self._graph.edges[src, dst]["weight"])
+        except KeyError:
+            raise InvalidInstanceError(f"unknown dependency {src!r}->{dst!r}") from None
+
+    def set_cost(self, task: Task, cost: float) -> None:
+        self._check_weight(cost, f"cost of task {task!r}")
+        if task not in self._graph:
+            raise InvalidInstanceError(f"unknown task {task!r}")
+        self._graph.nodes[task]["weight"] = float(cost)
+
+    def set_data_size(self, src: Task, dst: Task, data_size: float) -> None:
+        self._check_weight(data_size, f"data size of dependency {src!r}->{dst!r}")
+        if not self._graph.has_edge(src, dst):
+            raise InvalidInstanceError(f"unknown dependency {src!r}->{dst!r}")
+        self._graph.edges[src, dst]["weight"] = float(data_size)
+
+    def predecessors(self, task: Task) -> tuple[Task, ...]:
+        """Tasks whose output ``task`` requires."""
+        return tuple(self._graph.predecessors(task))
+
+    def successors(self, task: Task) -> tuple[Task, ...]:
+        """Tasks that require the output of ``task``."""
+        return tuple(self._graph.successors(task))
+
+    @property
+    def source_tasks(self) -> tuple[Task, ...]:
+        """Tasks with no dependencies (entry tasks)."""
+        return tuple(t for t in self._graph.nodes if self._graph.in_degree(t) == 0)
+
+    @property
+    def sink_tasks(self) -> tuple[Task, ...]:
+        """Tasks no other task depends on (exit tasks)."""
+        return tuple(t for t in self._graph.nodes if self._graph.out_degree(t) == 0)
+
+    def topological_order(self) -> list[Task]:
+        """Deterministic (lexicographic) topological order of the tasks."""
+        return topological_order(self._graph)
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    def total_cost(self) -> float:
+        """Sum of all task compute costs (FastestNode's serial workload)."""
+        return float(sum(self._graph.nodes[t]["weight"] for t in self._graph.nodes))
+
+    def mean_cost(self) -> float:
+        """Average task compute cost; 0.0 for an empty graph."""
+        n = len(self)
+        return self.total_cost() / n if n else 0.0
+
+    def mean_data_size(self) -> float:
+        """Average dependency data size; 0.0 if there are no dependencies."""
+        m = self.num_dependencies
+        if m == 0:
+            return 0.0
+        return float(sum(d["weight"] for *_, d in self._graph.edges(data=True))) / m
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "TaskGraph":
+        clone = TaskGraph()
+        clone._graph = self._graph.copy()
+        return clone
+
+    def to_networkx(self) -> nx.DiGraph:
+        """A *copy* of the underlying :class:`networkx.DiGraph`."""
+        return self._graph.copy()
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The live underlying graph (treat as read-only)."""
+        return self._graph
+
+    def validate(self) -> None:
+        """Check acyclicity and weight invariants; raise on violation."""
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise InvalidInstanceError("task graph contains a cycle")
+        for task, data in self._graph.nodes(data=True):
+            if "weight" not in data:
+                raise InvalidInstanceError(f"task {task!r} has no cost")
+            self._check_weight(data["weight"], f"cost of task {task!r}")
+        for src, dst, data in self._graph.edges(data=True):
+            if "weight" not in data:
+                raise InvalidInstanceError(f"dependency {src!r}->{dst!r} has no data size")
+            self._check_weight(data["weight"], f"data size of dependency {src!r}->{dst!r}")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (tasks, costs, dependencies)."""
+        return {
+            "tasks": [{"name": t, "cost": self.cost(t)} for t in self.tasks],
+            "dependencies": [
+                {"src": u, "dst": v, "data_size": self.data_size(u, v)}
+                for u, v in self.dependencies
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "TaskGraph":
+        tg = cls()
+        for entry in payload["tasks"]:
+            tg.add_task(entry["name"], entry["cost"])
+        for entry in payload["dependencies"]:
+            tg.add_dependency(entry["src"], entry["dst"], entry["data_size"])
+        return tg
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaskGraph):
+            return NotImplemented
+        return (
+            set(self.tasks) == set(other.tasks)
+            and set(self.dependencies) == set(other.dependencies)
+            and all(math.isclose(self.cost(t), other.cost(t)) for t in self.tasks)
+            and all(
+                math.isclose(self.data_size(u, v), other.data_size(u, v))
+                for u, v in self.dependencies
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskGraph(tasks={len(self)}, dependencies={self.num_dependencies})"
+
+    @staticmethod
+    def _check_weight(value: float, what: str) -> None:
+        value = float(value)
+        if math.isnan(value) or value < 0:
+            raise InvalidInstanceError(f"{what} must be a non-negative number, got {value}")
+
+    # Convenience iterator over (src, dst, data_size)
+    def iter_dependencies(self) -> Iterable[tuple[Task, Task, float]]:
+        for u, v, d in self._graph.edges(data=True):
+            yield u, v, float(d["weight"])

@@ -1,0 +1,103 @@
+"""The 16 dataset generators of Table II.
+
+Importing this package registers every generator; use
+:func:`generate_dataset` (or the per-dataset functions) to build them:
+
+>>> from repro.datasets import generate_dataset
+>>> ds = generate_dataset("chains", num_instances=10, rng=0)
+>>> len(ds)
+10
+
+Paper-scale defaults: 1000 instances for the random (in_trees, out_trees,
+chains) and IoT (etl, predict, stats, train) datasets, 100 for the nine
+scientific workflows.
+"""
+
+from repro.datasets.base import (
+    Dataset,
+    generate_dataset,
+    get_dataset_generator,
+    list_datasets,
+    register_dataset,
+)
+from repro.datasets.random_graphs import (
+    chains_dataset,
+    in_tree_task_graph,
+    in_trees_dataset,
+    out_tree_task_graph,
+    out_trees_dataset,
+    parallel_chains_task_graph,
+    random_network,
+    random_weight,
+)
+from repro.datasets.iot import (
+    IOT_APPLICATIONS,
+    edge_fog_cloud_network,
+    etl_dataset,
+    iot_task_graph,
+    predict_dataset,
+    stats_dataset,
+    train_dataset,
+)
+from repro.datasets.traces import (
+    ExecutionTrace,
+    TaskTypeProfile,
+    TraceRecord,
+    chameleon_network,
+    synthetic_trace,
+)
+from repro.datasets import workflows
+from repro.datasets.workflows import get_recipe, list_recipes, workflow_dataset
+
+#: Table II's 16 dataset names, in the row order of Fig. 2 (alphabetical).
+PAPER_DATASETS = [
+    "blast",
+    "bwa",
+    "chains",
+    "cycles",
+    "epigenomics",
+    "etl",
+    "genome",
+    "in_trees",
+    "montage",
+    "out_trees",
+    "predict",
+    "seismology",
+    "soykb",
+    "srasearch",
+    "stats",
+    "train",
+]
+
+__all__ = [
+    "Dataset",
+    "generate_dataset",
+    "get_dataset_generator",
+    "list_datasets",
+    "register_dataset",
+    "random_weight",
+    "random_network",
+    "in_tree_task_graph",
+    "out_tree_task_graph",
+    "parallel_chains_task_graph",
+    "in_trees_dataset",
+    "out_trees_dataset",
+    "chains_dataset",
+    "IOT_APPLICATIONS",
+    "iot_task_graph",
+    "edge_fog_cloud_network",
+    "etl_dataset",
+    "predict_dataset",
+    "stats_dataset",
+    "train_dataset",
+    "ExecutionTrace",
+    "TaskTypeProfile",
+    "TraceRecord",
+    "chameleon_network",
+    "synthetic_trace",
+    "workflows",
+    "get_recipe",
+    "list_recipes",
+    "workflow_dataset",
+    "PAPER_DATASETS",
+]

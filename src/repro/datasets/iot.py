@@ -1,0 +1,212 @@
+"""IoT/edge datasets of Table II: etl, predict, stats, train.
+
+Section IV-B: "The task graphs and networks are generated using the
+approach described in [35].  The task graph structure is based on
+real-world IoT data streaming applications [RIoTBench, 34] and the node
+weights are generated using a clipped gaussian distribution (mean: 35,
+standard deviation: 25/3, min: 10, max: 60).  The input size of the
+application is generated using a clipped gaussian distribution (mean:
+1000, standard deviation: 500/3, min: 500, max: 1500) and the edge
+weights are determined by the known input/output ratios of the tasks."
+
+Each application has a fixed DAG of named operator tasks (the RIoTBench
+dataflows), encoded below as ``(task, io_ratio, parents)`` rows.  A task's
+input size is the sum of its incoming edge weights (the sampled
+application input for sources); its output is ``io_ratio * input``; every
+outgoing edge carries the full output.
+
+Networks are Edge/Fog/Cloud (Varshney et al. [35]): edge nodes with CPU
+speed 1 (75-125 of them), fog nodes with speed 6 (3-7), cloud nodes with
+speed 50 (1-10).  Strengths: edge-fog 60, fog-cloud and fog-fog 100,
+edge-cloud 60, cloud-cloud infinite; edge-edge is not specified by the
+paper and we use 60 (the edge-tier uplink rate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instance import ProblemInstance
+from repro.core.network import Network
+from repro.core.task_graph import TaskGraph
+from repro.datasets.base import Dataset, register_dataset
+from repro.utils.distributions import clipped_gaussian
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "IOT_APPLICATIONS",
+    "iot_task_graph",
+    "edge_fog_cloud_network",
+    "etl_dataset",
+    "predict_dataset",
+    "stats_dataset",
+    "train_dataset",
+]
+
+#: RIoTBench-inspired application dataflows: name -> ordered rows of
+#: (task, io_ratio, parents).  io_ratio is output bytes per input byte.
+IOT_APPLICATIONS: dict[str, list[tuple[str, float, list[str]]]] = {
+    # Extract-Transform-Load: a mostly linear cleaning pipeline that fans
+    # out to two publishing sinks.
+    "etl": [
+        ("source", 1.00, []),
+        ("senml_parse", 0.90, ["source"]),
+        ("range_filter", 0.95, ["senml_parse"]),
+        ("bloom_filter", 0.95, ["range_filter"]),
+        ("interpolate", 1.00, ["bloom_filter"]),
+        ("join", 1.00, ["interpolate"]),
+        ("annotate", 1.05, ["join"]),
+        ("csv_to_senml", 1.00, ["annotate"]),
+        ("azure_insert", 0.10, ["csv_to_senml"]),
+        ("mqtt_publish", 0.10, ["csv_to_senml"]),
+    ],
+    # Model-serving: parse, score with two models in parallel, average,
+    # estimate error, publish.
+    "predict": [
+        ("mqtt_source", 1.00, []),
+        ("senml_parse", 0.90, ["mqtt_source"]),
+        ("decision_tree_predict", 0.30, ["senml_parse"]),
+        ("linear_reg_predict", 0.30, ["senml_parse"]),
+        ("average", 0.50, ["decision_tree_predict", "linear_reg_predict"]),
+        ("error_estimate", 0.40, ["average", "senml_parse"]),
+        ("mqtt_publish", 0.10, ["error_estimate"]),
+    ],
+    # Streaming statistics: three parallel statistic branches joined by a
+    # plotting/grouping sink.
+    "stats": [
+        ("source", 1.00, []),
+        ("senml_parse", 0.90, ["source"]),
+        ("average", 0.30, ["senml_parse"]),
+        ("kalman_filter", 0.90, ["senml_parse"]),
+        ("sliding_linear_reg", 0.40, ["kalman_filter"]),
+        ("distinct_count", 0.20, ["senml_parse"]),
+        ("group_viz", 0.30, ["average", "sliding_linear_reg", "distinct_count"]),
+        ("sink", 0.05, ["group_viz"]),
+    ],
+    # Model-training: fetch a table, train two models in parallel, write
+    # each to blob storage, announce over MQTT.
+    "train": [
+        ("timer_source", 1.00, []),
+        ("table_read", 1.20, ["timer_source"]),
+        ("decision_tree_train", 0.25, ["table_read"]),
+        ("linear_reg_train", 0.25, ["table_read"]),
+        ("blob_write_dt", 0.05, ["decision_tree_train"]),
+        ("blob_write_lr", 0.05, ["linear_reg_train"]),
+        ("mqtt_publish", 0.02, ["blob_write_dt", "blob_write_lr"]),
+    ],
+}
+
+
+def iot_task_graph(app: str, rng: int | np.random.Generator | None = None) -> TaskGraph:
+    """One task graph for a RIoTBench-style application.
+
+    Node weights ~ clipped N(35, 25/3) in [10, 60]; the application input
+    size ~ clipped N(1000, 500/3) in [500, 1500]; edge weights follow the
+    per-task input/output ratios.
+    """
+    if app not in IOT_APPLICATIONS:
+        raise KeyError(f"unknown IoT application {app!r}; known: {sorted(IOT_APPLICATIONS)}")
+    gen = as_generator(rng)
+    rows = IOT_APPLICATIONS[app]
+    input_size = clipped_gaussian(gen, 1000.0, 500.0 / 3.0, low=500.0, high=1500.0)
+    tg = TaskGraph()
+    outputs: dict[str, float] = {}
+    for task, ratio, parents in rows:
+        cost = clipped_gaussian(gen, 35.0, 25.0 / 3.0, low=10.0, high=60.0)
+        tg.add_task(task, cost)
+        if parents:
+            task_input = 0.0
+            for parent in parents:
+                tg.add_dependency(parent, task, outputs[parent])
+                task_input += outputs[parent]
+        else:
+            task_input = input_size
+        outputs[task] = ratio * task_input
+    return tg
+
+
+def edge_fog_cloud_network(
+    rng: int | np.random.Generator | None = None,
+    edge_range: tuple[int, int] = (75, 125),
+    fog_range: tuple[int, int] = (3, 7),
+    cloud_range: tuple[int, int] = (1, 10),
+) -> Network:
+    """An Edge/Fog/Cloud network with the paper's exact tier parameters."""
+    gen = as_generator(rng)
+    num_edge = int(gen.integers(edge_range[0], edge_range[1] + 1))
+    num_fog = int(gen.integers(fog_range[0], fog_range[1] + 1))
+    num_cloud = int(gen.integers(cloud_range[0], cloud_range[1] + 1))
+
+    net = Network()
+    tiers: dict[str, list[str]] = {"edge": [], "fog": [], "cloud": []}
+    for i in range(num_edge):
+        name = f"edge{i}"
+        net.add_node(name, 1.0)
+        tiers["edge"].append(name)
+    for i in range(num_fog):
+        name = f"fog{i}"
+        net.add_node(name, 6.0)
+        tiers["fog"].append(name)
+    for i in range(num_cloud):
+        name = f"cloud{i}"
+        net.add_node(name, 50.0)
+        tiers["cloud"].append(name)
+
+    def tier(node: str) -> str:
+        return "edge" if node.startswith("edge") else ("fog" if node.startswith("fog") else "cloud")
+
+    # Keys are sorted tier pairs (the lookup below sorts alphabetically).
+    strength = {
+        ("edge", "edge"): 60.0,
+        ("edge", "fog"): 60.0,
+        ("cloud", "edge"): 60.0,
+        ("fog", "fog"): 100.0,
+        ("cloud", "fog"): 100.0,
+        ("cloud", "cloud"): float("inf"),
+    }
+    nodes = net.nodes
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1 :]:
+            key = tuple(sorted((tier(u), tier(v))))
+            net.set_strength(u, v, strength[key])  # type: ignore[index]
+    return net
+
+
+def _iot_dataset(app: str, num_instances: int, rng, network_kwargs: dict | None = None) -> Dataset:
+    gen = as_generator(rng)
+    dataset = Dataset(name=app)
+    for i in range(num_instances):
+        tg = iot_task_graph(app, gen)
+        net = edge_fog_cloud_network(gen, **(network_kwargs or {}))
+        dataset.add(ProblemInstance(net, tg, name=f"{app}[{i}]"))
+    return dataset
+
+
+@register_dataset("etl")
+def etl_dataset(num_instances: int = 1000, rng=None, network_kwargs: dict | None = None) -> Dataset:
+    """1000 ETL instances on Edge/Fog/Cloud networks (Table II)."""
+    return _iot_dataset("etl", num_instances, rng, network_kwargs)
+
+
+@register_dataset("predict")
+def predict_dataset(
+    num_instances: int = 1000, rng=None, network_kwargs: dict | None = None
+) -> Dataset:
+    """1000 PREDICT instances on Edge/Fog/Cloud networks (Table II)."""
+    return _iot_dataset("predict", num_instances, rng, network_kwargs)
+
+
+@register_dataset("stats")
+def stats_dataset(
+    num_instances: int = 1000, rng=None, network_kwargs: dict | None = None
+) -> Dataset:
+    """1000 STATS instances on Edge/Fog/Cloud networks (Table II)."""
+    return _iot_dataset("stats", num_instances, rng, network_kwargs)
+
+
+@register_dataset("train")
+def train_dataset(
+    num_instances: int = 1000, rng=None, network_kwargs: dict | None = None
+) -> Dataset:
+    """1000 TRAIN instances on Edge/Fog/Cloud networks (Table II)."""
+    return _iot_dataset("train", num_instances, rng, network_kwargs)

@@ -1,0 +1,41 @@
+"""Scientific-workflow recipes (Table II rows 4-12).
+
+Importing this package registers the nine application recipes and their
+dataset generators.
+"""
+
+from repro.datasets.workflows.base import (
+    StructureSpec,
+    WorkflowRecipe,
+    get_recipe,
+    list_recipes,
+    register_recipe,
+    workflow_dataset,
+)
+from repro.datasets.workflows.blast import BlastRecipe
+from repro.datasets.workflows.bwa import BwaRecipe
+from repro.datasets.workflows.cycles import CyclesRecipe
+from repro.datasets.workflows.epigenomics import EpigenomicsRecipe
+from repro.datasets.workflows.genome import GenomeRecipe
+from repro.datasets.workflows.montage import MontageRecipe
+from repro.datasets.workflows.seismology import SeismologyRecipe
+from repro.datasets.workflows.soykb import SoykbRecipe
+from repro.datasets.workflows.srasearch import SrasearchRecipe
+
+__all__ = [
+    "StructureSpec",
+    "WorkflowRecipe",
+    "get_recipe",
+    "list_recipes",
+    "register_recipe",
+    "workflow_dataset",
+    "BlastRecipe",
+    "BwaRecipe",
+    "CyclesRecipe",
+    "EpigenomicsRecipe",
+    "GenomeRecipe",
+    "MontageRecipe",
+    "SeismologyRecipe",
+    "SoykbRecipe",
+    "SrasearchRecipe",
+]

@@ -1,0 +1,183 @@
+"""WfCommons-style synthetic workflow recipes (Table II rows 4-12).
+
+The paper generates its scientific-workflow task graphs with the
+WfCommons Synthetic Workflow Generator [37], which produces graphs that
+are *in-family* for a real application: the task-type structure is rigid
+(Fig. 9) while per-instance task counts, runtimes, and I/O sizes vary
+according to distributions fitted to real execution traces.
+
+Offline we cannot use WfCommons, so each application gets a
+:class:`WorkflowRecipe` (DESIGN.md substitution #1) that
+
+* declares its task types and their :class:`TaskTypeProfile`,
+* builds the application's rigid structure with randomized width
+  parameters (``structure``), and
+* samples task costs / dependency data sizes from the distributions
+  fitted to a synthetic :class:`ExecutionTrace` — the same two-step flow
+  (trace -> fit -> sample) the paper describes.
+
+The data size of a dependency ``(t, t')`` is the output size sampled for
+the producing task ``t`` (the producer writes one output which each
+consumer must fetch, the convention the Pegasus traces use).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import DatasetError
+from repro.core.instance import ProblemInstance
+from repro.core.task_graph import TaskGraph
+from repro.datasets.base import Dataset, register_dataset
+from repro.datasets.traces import (
+    ExecutionTrace,
+    TaskTypeProfile,
+    chameleon_network,
+    synthetic_trace,
+)
+from repro.utils.rng import as_generator, derive_seed
+
+__all__ = [
+    "StructureSpec",
+    "WorkflowRecipe",
+    "register_recipe",
+    "get_recipe",
+    "list_recipes",
+    "workflow_dataset",
+]
+
+#: A workflow structure: ordered (task_name, task_type, parent_names) rows.
+StructureSpec = Sequence[tuple[str, str, Sequence[str]]]
+
+
+class WorkflowRecipe(ABC):
+    """One scientific application's structural recipe."""
+
+    #: Dataset name as used in Table II (e.g. "blast").
+    name: str = ""
+
+    @property
+    @abstractmethod
+    def task_types(self) -> Mapping[str, TaskTypeProfile]:
+        """Profiles for every task type the structure may emit."""
+
+    @abstractmethod
+    def structure(self, rng: np.random.Generator) -> StructureSpec:
+        """The application's rigid task-type structure with random widths.
+
+        Every parent must appear before its children (the rows are in
+        topological order); every ``task_type`` must be in
+        :attr:`task_types`.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Shared machinery
+    # ------------------------------------------------------------------ #
+    def trace(self, rng: int | np.random.Generator | None = None) -> ExecutionTrace:
+        """A synthetic execution trace for this application.
+
+        Deterministic per seed; the trace plays the role of the public
+        WfCommons pegasus/makeflow instances (Section VII, footnote 4).
+        """
+        return synthetic_trace(self.name, self.task_types, rng=rng)
+
+    def build_task_graph(
+        self, rng: int | np.random.Generator | None, trace: ExecutionTrace
+    ) -> TaskGraph:
+        """Sample one in-family task graph.
+
+        Structure comes from :meth:`structure`; weights are drawn from the
+        per-task-type distributions fitted to ``trace``.
+        """
+        gen = as_generator(rng)
+        spec = self.structure(gen)
+        tg = TaskGraph()
+        outputs: dict[str, float] = {}
+        runtime_models = {t: trace.runtime_model(t) for t in trace.task_types}
+        output_models = {t: trace.output_model(t) for t in trace.task_types}
+        for task_name, task_type, parents in spec:
+            if task_type not in runtime_models:
+                raise DatasetError(
+                    f"recipe {self.name!r} emitted unknown task type {task_type!r}"
+                )
+            cost = float(runtime_models[task_type].sample(gen))
+            tg.add_task(task_name, cost)
+            outputs[task_name] = float(output_models[task_type].sample(gen))
+            for parent in parents:
+                tg.add_dependency(parent, task_name, outputs[parent])
+        return tg
+
+    def instance(
+        self,
+        rng: int | np.random.Generator | None = None,
+        trace: ExecutionTrace | None = None,
+    ) -> ProblemInstance:
+        """One problem instance: in-family graph + Chameleon-style network."""
+        gen = as_generator(rng)
+        trace = trace if trace is not None else self.trace(gen)
+        tg = self.build_task_graph(gen, trace)
+        net = chameleon_network(trace, gen)
+        return ProblemInstance(net, tg, name=self.name)
+
+
+# ---------------------------------------------------------------------- #
+# Registry
+# ---------------------------------------------------------------------- #
+_RECIPES: dict[str, WorkflowRecipe] = {}
+
+
+def register_recipe(recipe_cls: type[WorkflowRecipe]) -> type[WorkflowRecipe]:
+    """Class decorator: instantiate and register a recipe, and register the
+    corresponding Table II dataset generator under the same name."""
+    recipe = recipe_cls()
+    if not recipe.name:
+        raise ValueError(f"recipe {recipe_cls.__name__} must set a name")
+    if recipe.name in _RECIPES:
+        raise ValueError(f"recipe {recipe.name!r} already registered")
+    _RECIPES[recipe.name] = recipe
+
+    @register_dataset(recipe.name)
+    def _generator(num_instances: int = 100, rng=None, recipe=recipe) -> Dataset:
+        return workflow_dataset(recipe.name, num_instances=num_instances, rng=rng)
+
+    _generator.__name__ = f"{recipe.name}_dataset"
+    _generator.__doc__ = f"100 WfCommons-style {recipe.name} instances (Table II)."
+    return recipe_cls
+
+
+def get_recipe(name: str) -> WorkflowRecipe:
+    try:
+        return _RECIPES[name]
+    except KeyError:
+        known = ", ".join(sorted(_RECIPES))
+        raise DatasetError(f"unknown workflow recipe {name!r}; known: {known}") from None
+
+
+def list_recipes() -> list[str]:
+    return sorted(_RECIPES)
+
+
+def workflow_dataset(
+    name: str,
+    num_instances: int = 100,
+    rng: int | np.random.Generator | None = None,
+) -> Dataset:
+    """Generate a scientific-workflow dataset (Table II rows 4-12).
+
+    Each instance pairs an in-family task graph with a Chameleon-inspired
+    network (infinite link strengths — shared filesystem).  One synthetic
+    trace per dataset seed underlies all instances, mirroring how the
+    paper fits distributions once per application.
+    """
+    recipe = get_recipe(name)
+    gen = as_generator(rng)
+    trace = recipe.trace(np.random.default_rng(derive_seed(int(gen.integers(2**62)), "trace")))
+    dataset = Dataset(name=name)
+    for i in range(num_instances):
+        inst = recipe.instance(gen, trace=trace).with_name(f"{name}[{i}]")
+        dataset.add(inst)
+    return dataset

@@ -1,0 +1,52 @@
+"""Blast workflow recipe (Fig. 9b of the paper).
+
+BLAST finds regions of similarity between biological sequences.  The
+workflow structure is a flat fork-join: a ``split_fasta`` task fans the
+query set out to ``n`` parallel ``blastall`` tasks whose outputs are
+gathered by two merge tasks (``cat_blast`` for the match records and
+``cat`` for the logs):
+
+    t0 -> t1..tn ;  t1..tn -> tn+1 ;  t1..tn -> tn+2
+
+exactly the shape drawn in Fig. 9b.  The ``blastall`` tasks dominate the
+runtime (hundreds of seconds vs. seconds for the split/merge), which is
+why CPoP's pin-the-critical-path-to-one-node strategy performs poorly on
+blast (Section VII-B): the critical path is a tiny fraction of the work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.traces import TaskTypeProfile
+from repro.datasets.workflows.base import StructureSpec, WorkflowRecipe, register_recipe
+
+__all__ = ["BlastRecipe"]
+
+
+@register_recipe
+class BlastRecipe(WorkflowRecipe):
+    """Fork-join BLAST: split -> n x blastall -> {cat_blast, cat}."""
+
+    name = "blast"
+
+    #: Width range for the parallel blastall stage.
+    min_width, max_width = 4, 12
+
+    @property
+    def task_types(self) -> dict[str, TaskTypeProfile]:
+        return {
+            "split_fasta": TaskTypeProfile(mean_runtime=6.0, mean_output=12.0),
+            "blastall": TaskTypeProfile(mean_runtime=320.0, mean_output=3.0),
+            "cat_blast": TaskTypeProfile(mean_runtime=12.0, mean_output=6.0),
+            "cat": TaskTypeProfile(mean_runtime=5.0, mean_output=2.0),
+        }
+
+    def structure(self, rng: np.random.Generator) -> StructureSpec:
+        n = int(rng.integers(self.min_width, self.max_width + 1))
+        rows: list[tuple[str, str, list[str]]] = [("t0", "split_fasta", [])]
+        workers = [f"t{i}" for i in range(1, n + 1)]
+        rows += [(w, "blastall", ["t0"]) for w in workers]
+        rows.append((f"t{n + 1}", "cat_blast", list(workers)))
+        rows.append((f"t{n + 2}", "cat", list(workers)))
+        return rows

@@ -1,0 +1,47 @@
+"""BWA workflow recipe (Burrows-Wheeler Aligner, makeflow-examples [25]).
+
+BWA aligns DNA reads against a reference genome.  The makeflow BWA
+workflow splits the input FASTQ into ``n`` shards, aligns each shard in
+parallel, then concatenates the per-shard SAM files through a short merge
+tail:
+
+    fastq_reduce -> n x bwa_align -> cat_sam -> sort_sam
+
+(fork, wide parallel stage, then a 2-task serial tail).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.traces import TaskTypeProfile
+from repro.datasets.workflows.base import StructureSpec, WorkflowRecipe, register_recipe
+
+__all__ = ["BwaRecipe"]
+
+
+@register_recipe
+class BwaRecipe(WorkflowRecipe):
+    """Fork-join with a serial merge tail."""
+
+    name = "bwa"
+
+    min_width, max_width = 4, 14
+
+    @property
+    def task_types(self) -> dict[str, TaskTypeProfile]:
+        return {
+            "fastq_reduce": TaskTypeProfile(mean_runtime=10.0, mean_output=25.0),
+            "bwa_align": TaskTypeProfile(mean_runtime=180.0, mean_output=8.0),
+            "cat_sam": TaskTypeProfile(mean_runtime=15.0, mean_output=40.0),
+            "sort_sam": TaskTypeProfile(mean_runtime=30.0, mean_output=35.0),
+        }
+
+    def structure(self, rng: np.random.Generator) -> StructureSpec:
+        n = int(rng.integers(self.min_width, self.max_width + 1))
+        rows: list[tuple[str, str, list[str]]] = [("t0", "fastq_reduce", [])]
+        workers = [f"t{i}" for i in range(1, n + 1)]
+        rows += [(w, "bwa_align", ["t0"]) for w in workers]
+        rows.append((f"t{n + 1}", "cat_sam", list(workers)))
+        rows.append((f"t{n + 2}", "sort_sam", [f"t{n + 1}"]))
+        return rows

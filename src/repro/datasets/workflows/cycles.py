@@ -1,0 +1,66 @@
+"""Cycles workflow recipe (agroecosystem model, da Silva et al. [27]).
+
+Cycles simulates crop growth for (crop, soil, fertilization) parameter
+combinations.  Each combination runs a small pipeline — a baseline
+simulation, the actual simulation, a fertilization-increase variant, and
+output parsers — and a final summary/plotting task gathers every parser's
+output:
+
+    per combination i:
+        baseline_i -> cycles_i -> output_parser_i
+        baseline_i -> fert_increase_i -> fi_output_parser_i
+    all parsers -> summary
+
+so the graph is a bundle of parallel 3-task chains with a single join.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.traces import TaskTypeProfile
+from repro.datasets.workflows.base import StructureSpec, WorkflowRecipe, register_recipe
+
+__all__ = ["CyclesRecipe"]
+
+
+@register_recipe
+class CyclesRecipe(WorkflowRecipe):
+    """Parallel per-parameter pipelines joined by a summary task."""
+
+    name = "cycles"
+
+    min_combos, max_combos = 3, 8
+
+    @property
+    def task_types(self) -> dict[str, TaskTypeProfile]:
+        return {
+            "baseline_cycles": TaskTypeProfile(mean_runtime=40.0, mean_output=5.0),
+            "cycles": TaskTypeProfile(mean_runtime=60.0, mean_output=6.0),
+            "fertilizer_increase_cycles": TaskTypeProfile(mean_runtime=55.0, mean_output=6.0),
+            "cycles_output_parser": TaskTypeProfile(mean_runtime=8.0, mean_output=1.5),
+            "cycles_fi_output_parser": TaskTypeProfile(mean_runtime=8.0, mean_output=1.5),
+            "cycles_plots": TaskTypeProfile(mean_runtime=25.0, mean_output=3.0),
+        }
+
+    def structure(self, rng: np.random.Generator) -> StructureSpec:
+        k = int(rng.integers(self.min_combos, self.max_combos + 1))
+        rows: list[tuple[str, str, list[str]]] = []
+        parsers: list[str] = []
+        idx = 0
+
+        def new(task_type: str, parents: list[str]) -> str:
+            nonlocal idx
+            name = f"t{idx}"
+            idx += 1
+            rows.append((name, task_type, parents))
+            return name
+
+        for _ in range(k):
+            baseline = new("baseline_cycles", [])
+            sim = new("cycles", [baseline])
+            fert = new("fertilizer_increase_cycles", [baseline])
+            parsers.append(new("cycles_output_parser", [sim]))
+            parsers.append(new("cycles_fi_output_parser", [fert]))
+        new("cycles_plots", parsers)
+        return rows

@@ -1,0 +1,71 @@
+"""Epigenomics workflow recipe (Juve et al. [28]).
+
+The USC Epigenome Center's methylation pipeline is the canonical
+"multiple parallel pipelines" workflow: the input is split into lanes,
+each lane's reads flow through a fixed 4-stage chain (filter -> convert ->
+transform -> map), per-lane results are merged, and a global 2-task tail
+(index, pileup) finishes the job:
+
+    per lane l:  fastq_split_l -> m x (filter -> sol2sanger -> fast2bfq -> map) -> map_merge_l
+    all map_merge -> maq_index -> pileup
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.traces import TaskTypeProfile
+from repro.datasets.workflows.base import StructureSpec, WorkflowRecipe, register_recipe
+
+__all__ = ["EpigenomicsRecipe"]
+
+
+@register_recipe
+class EpigenomicsRecipe(WorkflowRecipe):
+    """Lanes of parallel 4-stage pipelines with per-lane and global merges."""
+
+    name = "epigenomics"
+
+    min_lanes, max_lanes = 2, 4
+    min_pipes, max_pipes = 2, 5
+
+    @property
+    def task_types(self) -> dict[str, TaskTypeProfile]:
+        return {
+            "fastq_split": TaskTypeProfile(mean_runtime=8.0, mean_output=15.0),
+            "filter_contams": TaskTypeProfile(mean_runtime=25.0, mean_output=12.0),
+            "sol2sanger": TaskTypeProfile(mean_runtime=12.0, mean_output=12.0),
+            "fast2bfq": TaskTypeProfile(mean_runtime=15.0, mean_output=10.0),
+            "map": TaskTypeProfile(mean_runtime=120.0, mean_output=6.0),
+            "map_merge": TaskTypeProfile(mean_runtime=20.0, mean_output=18.0),
+            "maq_index": TaskTypeProfile(mean_runtime=30.0, mean_output=18.0),
+            "pileup": TaskTypeProfile(mean_runtime=50.0, mean_output=10.0),
+        }
+
+    def structure(self, rng: np.random.Generator) -> StructureSpec:
+        lanes = int(rng.integers(self.min_lanes, self.max_lanes + 1))
+        rows: list[tuple[str, str, list[str]]] = []
+        idx = 0
+
+        def new(task_type: str, parents: list[str]) -> str:
+            nonlocal idx
+            name = f"t{idx}"
+            idx += 1
+            rows.append((name, task_type, parents))
+            return name
+
+        merges: list[str] = []
+        for _ in range(lanes):
+            split = new("fastq_split", [])
+            pipes = int(rng.integers(self.min_pipes, self.max_pipes + 1))
+            tails: list[str] = []
+            for _ in range(pipes):
+                a = new("filter_contams", [split])
+                b = new("sol2sanger", [a])
+                c = new("fast2bfq", [b])
+                d = new("map", [c])
+                tails.append(d)
+            merges.append(new("map_merge", tails))
+        index = new("maq_index", merges)
+        new("pileup", [index])
+        return rows

@@ -1,0 +1,65 @@
+"""1000genome workflow recipe (da Silva et al. [29]).
+
+The 1000-genomes reconstruction workflow processes chromosomes
+independently.  For each chromosome, ``k`` parallel ``individuals`` tasks
+parse slices of the VCF, an ``individuals_merge`` gathers them, a
+``sifting`` task (independent of the individuals) extracts SIFT scores,
+and two analysis tasks — ``mutation_overlap`` and ``frequency`` — consume
+both the merge and the sifting output:
+
+    per chromosome c:
+        k x individuals_c -> individuals_merge_c
+        sifting_c
+        {individuals_merge_c, sifting_c} -> mutation_overlap_c
+        {individuals_merge_c, sifting_c} -> frequency_c
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.traces import TaskTypeProfile
+from repro.datasets.workflows.base import StructureSpec, WorkflowRecipe, register_recipe
+
+__all__ = ["GenomeRecipe"]
+
+
+@register_recipe
+class GenomeRecipe(WorkflowRecipe):
+    """Per-chromosome diamond: parallel parse, merge + sift, two analyses."""
+
+    name = "genome"
+
+    min_chroms, max_chroms = 1, 3
+    min_individuals, max_individuals = 3, 8
+
+    @property
+    def task_types(self) -> dict[str, TaskTypeProfile]:
+        return {
+            "individuals": TaskTypeProfile(mean_runtime=90.0, mean_output=8.0),
+            "individuals_merge": TaskTypeProfile(mean_runtime=25.0, mean_output=30.0),
+            "sifting": TaskTypeProfile(mean_runtime=15.0, mean_output=2.0),
+            "mutation_overlap": TaskTypeProfile(mean_runtime=40.0, mean_output=1.5),
+            "frequency": TaskTypeProfile(mean_runtime=60.0, mean_output=1.5),
+        }
+
+    def structure(self, rng: np.random.Generator) -> StructureSpec:
+        chroms = int(rng.integers(self.min_chroms, self.max_chroms + 1))
+        rows: list[tuple[str, str, list[str]]] = []
+        idx = 0
+
+        def new(task_type: str, parents: list[str]) -> str:
+            nonlocal idx
+            name = f"t{idx}"
+            idx += 1
+            rows.append((name, task_type, parents))
+            return name
+
+        for _ in range(chroms):
+            k = int(rng.integers(self.min_individuals, self.max_individuals + 1))
+            parts = [new("individuals", []) for _ in range(k)]
+            merge = new("individuals_merge", parts)
+            sift = new("sifting", [])
+            new("mutation_overlap", [merge, sift])
+            new("frequency", [merge, sift])
+        return rows

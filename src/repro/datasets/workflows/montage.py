@@ -1,0 +1,72 @@
+"""Montage workflow recipe (astronomical image mosaics, Rynge et al. [30]).
+
+Montage is the classic layered workflow.  ``n`` ``mProject`` tasks
+reproject the input images; ``mDiffFit`` tasks fit the differences of
+overlapping projection pairs; a single ``mConcatFit``/``mBgModel`` chain
+computes background corrections, which ``n`` ``mBackground`` tasks apply
+(each also re-reads its projection); a gather chain
+``mImgtbl -> mAdd -> mShrink -> mJPEG`` assembles the mosaic:
+
+    mProject_i                                (i = 1..n)
+    mDiffFit_j   <- {mProject_j, mProject_j+1}  (j = 1..n-1, overlap pairs)
+    mConcatFit   <- all mDiffFit
+    mBgModel     <- mConcatFit
+    mBackground_i <- {mBgModel, mProject_i}
+    mImgtbl      <- all mBackground
+    mAdd -> mShrink -> mJPEG
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.traces import TaskTypeProfile
+from repro.datasets.workflows.base import StructureSpec, WorkflowRecipe, register_recipe
+
+__all__ = ["MontageRecipe"]
+
+
+@register_recipe
+class MontageRecipe(WorkflowRecipe):
+    """Layered reproject / diff-fit / background / gather structure."""
+
+    name = "montage"
+
+    min_width, max_width = 4, 10
+
+    @property
+    def task_types(self) -> dict[str, TaskTypeProfile]:
+        return {
+            "mProject": TaskTypeProfile(mean_runtime=100.0, mean_output=18.0),
+            "mDiffFit": TaskTypeProfile(mean_runtime=15.0, mean_output=1.0),
+            "mConcatFit": TaskTypeProfile(mean_runtime=10.0, mean_output=1.0),
+            "mBgModel": TaskTypeProfile(mean_runtime=20.0, mean_output=0.5),
+            "mBackground": TaskTypeProfile(mean_runtime=12.0, mean_output=18.0),
+            "mImgtbl": TaskTypeProfile(mean_runtime=8.0, mean_output=1.0),
+            "mAdd": TaskTypeProfile(mean_runtime=60.0, mean_output=50.0),
+            "mShrink": TaskTypeProfile(mean_runtime=15.0, mean_output=12.0),
+            "mJPEG": TaskTypeProfile(mean_runtime=5.0, mean_output=4.0),
+        }
+
+    def structure(self, rng: np.random.Generator) -> StructureSpec:
+        n = int(rng.integers(self.min_width, self.max_width + 1))
+        rows: list[tuple[str, str, list[str]]] = []
+        projects = [f"p{i}" for i in range(n)]
+        rows += [(p, "mProject", []) for p in projects]
+        diffs = []
+        for j in range(n - 1):
+            name = f"d{j}"
+            diffs.append(name)
+            rows.append((name, "mDiffFit", [projects[j], projects[j + 1]]))
+        rows.append(("concat", "mConcatFit", diffs))
+        rows.append(("bgmodel", "mBgModel", ["concat"]))
+        backgrounds = []
+        for i, p in enumerate(projects):
+            name = f"b{i}"
+            backgrounds.append(name)
+            rows.append((name, "mBackground", ["bgmodel", p]))
+        rows.append(("imgtbl", "mImgtbl", backgrounds))
+        rows.append(("add", "mAdd", ["imgtbl"]))
+        rows.append(("shrink", "mShrink", ["add"]))
+        rows.append(("jpeg", "mJPEG", ["shrink"]))
+        return rows

@@ -1,0 +1,44 @@
+"""Seismology workflow recipe (Filgueira et al. [31]).
+
+The Asterism/dispel4py seismology workflow deconvolves seismic signals:
+``n`` independent ``sG1IterDecon`` tasks (one per station pair) feed a
+single ``wrapper_siftSTFByMisfit`` gather task — the simplest structure
+in the suite, a pure n-to-1 star:
+
+    sG1IterDecon_1..n -> wrapper_siftSTFByMisfit
+
+Stars are maximally parallel, so this dataset stresses exactly the
+over-parallelization weakness PISA exposes in many schedulers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.traces import TaskTypeProfile
+from repro.datasets.workflows.base import StructureSpec, WorkflowRecipe, register_recipe
+
+__all__ = ["SeismologyRecipe"]
+
+
+@register_recipe
+class SeismologyRecipe(WorkflowRecipe):
+    """n-to-1 star."""
+
+    name = "seismology"
+
+    min_width, max_width = 6, 24
+
+    @property
+    def task_types(self) -> dict[str, TaskTypeProfile]:
+        return {
+            "sG1IterDecon": TaskTypeProfile(mean_runtime=45.0, mean_output=1.0),
+            "wrapper_siftSTFByMisfit": TaskTypeProfile(mean_runtime=20.0, mean_output=2.0),
+        }
+
+    def structure(self, rng: np.random.Generator) -> StructureSpec:
+        n = int(rng.integers(self.min_width, self.max_width + 1))
+        decons = [f"t{i}" for i in range(n)]
+        rows: list[tuple[str, str, list[str]]] = [(d, "sG1IterDecon", []) for d in decons]
+        rows.append((f"t{n}", "wrapper_siftSTFByMisfit", decons))
+        return rows

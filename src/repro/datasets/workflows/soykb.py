@@ -1,0 +1,74 @@
+"""SoyKB workflow recipe (soybean genomics, Liu et al. [32]).
+
+SoyKB's resequencing pipeline runs a fixed 5-stage chain per sample
+(align -> sort -> dedup -> add-replace -> haplotype-calling) and then a
+global 4-stage tail combines and filters the per-sample variants:
+
+    per sample s:
+        align_s -> sort_s -> dedup_s -> add_replace_s -> haplotype_caller_s
+    all haplotype_caller -> combine_variants -> genotype_gvcfs
+        -> select_variants -> filtering
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.traces import TaskTypeProfile
+from repro.datasets.workflows.base import StructureSpec, WorkflowRecipe, register_recipe
+
+__all__ = ["SoykbRecipe"]
+
+
+@register_recipe
+class SoykbRecipe(WorkflowRecipe):
+    """Parallel per-sample chains with a serial combine tail."""
+
+    name = "soykb"
+
+    min_samples, max_samples = 2, 6
+
+    @property
+    def task_types(self) -> dict[str, TaskTypeProfile]:
+        return {
+            "alignment_to_reference": TaskTypeProfile(mean_runtime=150.0, mean_output=20.0),
+            "sort_sam": TaskTypeProfile(mean_runtime=25.0, mean_output=20.0),
+            "dedup": TaskTypeProfile(mean_runtime=30.0, mean_output=18.0),
+            "add_replace": TaskTypeProfile(mean_runtime=20.0, mean_output=18.0),
+            "haplotype_caller": TaskTypeProfile(mean_runtime=200.0, mean_output=5.0),
+            "combine_variants": TaskTypeProfile(mean_runtime=35.0, mean_output=12.0),
+            "genotype_gvcfs": TaskTypeProfile(mean_runtime=80.0, mean_output=10.0),
+            "select_variants": TaskTypeProfile(mean_runtime=15.0, mean_output=8.0),
+            "filtering": TaskTypeProfile(mean_runtime=15.0, mean_output=6.0),
+        }
+
+    def structure(self, rng: np.random.Generator) -> StructureSpec:
+        samples = int(rng.integers(self.min_samples, self.max_samples + 1))
+        rows: list[tuple[str, str, list[str]]] = []
+        idx = 0
+
+        def new(task_type: str, parents: list[str]) -> str:
+            nonlocal idx
+            name = f"t{idx}"
+            idx += 1
+            rows.append((name, task_type, parents))
+            return name
+
+        callers: list[str] = []
+        chain = [
+            "alignment_to_reference",
+            "sort_sam",
+            "dedup",
+            "add_replace",
+            "haplotype_caller",
+        ]
+        for _ in range(samples):
+            prev: list[str] = []
+            for stage in chain:
+                prev = [new(stage, prev)]
+            callers.extend(prev)
+        combine = new("combine_variants", callers)
+        genotype = new("genotype_gvcfs", [combine])
+        select = new("select_variants", [genotype])
+        new("filtering", [select])
+        return rows

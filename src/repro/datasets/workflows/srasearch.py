@@ -1,0 +1,69 @@
+"""SRASearch workflow recipe (Fig. 9a of the paper, Rynge [33]).
+
+SRASearch queries the INSDC Sequence Read Archives.  Fig. 9a shows ``n``
+parallel 2x2 blocks — a ``prefetch`` (t_i) and a ``fasterq_dump``
+(t_{n+i}) both feeding a ``search`` (t_{2n+i}) and a ``report``
+(t_{3n+i}) — followed by a small aggregation tail (t0 gathers the block
+outputs, t_{4n+1}/t_{4n+2} post-process, t_{4n+3} finishes):
+
+    per block i:
+        {t_i, t_{n+i}} -> t_{2n+i}
+        {t_i, t_{n+i}} -> t_{3n+i}
+    all {t_{2n+i}, t_{3n+i}} -> t0
+    t0 -> {t_{4n+1}, t_{4n+2}} -> t_{4n+3}
+
+The exact wiring of the tail is not fully determined by Fig. 9a; this is
+our documented reading (DESIGN.md substitution #1).  What the paper's
+experiments rely on — rigid, repeated per-accession blocks with a tiny
+serial tail — is preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.traces import TaskTypeProfile
+from repro.datasets.workflows.base import StructureSpec, WorkflowRecipe, register_recipe
+
+__all__ = ["SrasearchRecipe"]
+
+
+@register_recipe
+class SrasearchRecipe(WorkflowRecipe):
+    """Parallel 2x2 accession blocks with an aggregation tail."""
+
+    name = "srasearch"
+
+    min_blocks, max_blocks = 3, 10
+
+    @property
+    def task_types(self) -> dict[str, TaskTypeProfile]:
+        return {
+            "prefetch": TaskTypeProfile(mean_runtime=30.0, mean_output=25.0),
+            "fasterq_dump": TaskTypeProfile(mean_runtime=60.0, mean_output=35.0),
+            "search": TaskTypeProfile(mean_runtime=150.0, mean_output=4.0),
+            "report": TaskTypeProfile(mean_runtime=20.0, mean_output=2.0),
+            "aggregate": TaskTypeProfile(mean_runtime=15.0, mean_output=5.0),
+            "postprocess": TaskTypeProfile(mean_runtime=10.0, mean_output=3.0),
+            "finalize": TaskTypeProfile(mean_runtime=5.0, mean_output=1.0),
+        }
+
+    def structure(self, rng: np.random.Generator) -> StructureSpec:
+        n = int(rng.integers(self.min_blocks, self.max_blocks + 1))
+        rows: list[tuple[str, str, list[str]]] = []
+        block_outputs: list[str] = []
+        for i in range(1, n + 1):
+            pre, dump = f"t{i}", f"t{n + i}"
+            search, report = f"t{2 * n + i}", f"t{3 * n + i}"
+            rows.append((pre, "prefetch", []))
+            rows.append((dump, "fasterq_dump", []))
+            rows.append((search, "search", [pre, dump]))
+            rows.append((report, "report", [pre, dump]))
+            block_outputs += [search, report]
+        rows.append(("t0", "aggregate", block_outputs))
+        rows.append((f"t{4 * n + 1}", "postprocess", ["t0"]))
+        rows.append((f"t{4 * n + 2}", "postprocess", ["t0"]))
+        rows.append(
+            (f"t{4 * n + 3}", "finalize", [f"t{4 * n + 1}", f"t{4 * n + 2}"])
+        )
+        return rows

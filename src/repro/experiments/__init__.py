@@ -1,0 +1,46 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every driver exposes ``run(...)`` returning a result object with a
+``report`` string, runs at a reduced scale by default, and switches to
+the paper's exact protocol with ``REPRO_FULL=1`` (see
+:mod:`repro.experiments.config`).  The pytest-benchmark harness in
+``benchmarks/`` calls these same drivers.
+
+| Paper artifact | Module |
+|----------------|--------|
+| Table I / II   | :mod:`repro.experiments.tables` |
+| Fig. 1         | :mod:`repro.experiments.fig1_example` |
+| Fig. 2         | :mod:`repro.experiments.fig2_benchmarking` |
+| Fig. 3         | :mod:`repro.experiments.fig3_motivating` |
+| Fig. 4         | :mod:`repro.experiments.fig4_pisa_heatmap` |
+| Figs. 5/6      | :mod:`repro.experiments.fig5_fig6_case_study` |
+| Figs. 7/8      | :mod:`repro.experiments.fig7_fig8_families` |
+| Fig. 9         | :mod:`repro.experiments.fig9_structures` |
+| Figs. 10-19    | :mod:`repro.experiments.fig10_19_app_specific` |
+"""
+
+from repro.experiments import (
+    config,
+    fig1_example,
+    fig2_benchmarking,
+    fig3_motivating,
+    fig4_pisa_heatmap,
+    fig5_fig6_case_study,
+    fig7_fig8_families,
+    fig9_structures,
+    fig10_19_app_specific,
+    tables,
+)
+
+__all__ = [
+    "config",
+    "fig1_example",
+    "fig2_benchmarking",
+    "fig3_motivating",
+    "fig4_pisa_heatmap",
+    "fig5_fig6_case_study",
+    "fig7_fig8_families",
+    "fig9_structures",
+    "fig10_19_app_specific",
+    "tables",
+]

@@ -1,0 +1,144 @@
+"""Figs. 10-19: application-specific benchmarking + PISA panels.
+
+For each scientific workflow and each CCR in {0.2, 0.5, 1, 2, 5}
+(Section VII), the paper shows a panel whose top row is traditional
+benchmarking (makespan-ratio gradients over an in-family dataset) and
+whose remaining rows are the pairwise PISA matrix restricted to the
+application's search space — schedulers {CPoP, FastestNode, HEFT, MaxMin,
+MinMin, WBA}.
+
+Figs. 10/11 are srasearch and blast; Figs. 12-19 (appendix) cover the
+remaining workflows.  The driver regenerates any subset; the default
+scale runs two workflows x two CCRs with a shortened annealing schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.benchmarking.harness import BenchmarkResult, benchmark_dataset
+from repro.benchmarking.heatmap import format_gradient, render_matrix
+from repro.experiments.config import pick, pisa_config
+from repro.pisa.app_specific import PAPER_CCRS, AppSpecificSpace, app_specific_pairwise
+from repro.pisa.pisa import PISAConfig, PairwiseResult
+from repro.schedulers import APP_SPECIFIC_SCHEDULERS
+from repro.utils.rng import as_generator, derive_seed
+
+__all__ = ["Panel", "run_panel", "Fig1019Result", "run"]
+
+
+@dataclass
+class Panel:
+    """One (workflow, CCR) panel: benchmark row + PISA matrix."""
+
+    workflow: str
+    ccr: float
+    benchmark: BenchmarkResult
+    pisa: PairwiseResult
+
+    def render(self) -> str:
+        schedulers = self.pisa.schedulers
+        values = {
+            (baseline, target): result.best_ratio
+            for (target, baseline), result in self.pisa.results.items()
+        }
+        matrix = render_matrix(
+            values,
+            row_labels=schedulers,
+            col_labels=schedulers,
+            title=f"{self.workflow} (CCR = {self.ccr}) — PISA (row = base, col = target)",
+            row_header="base",
+        )
+        bench_cells = "  ".join(
+            f"{s}={format_gradient(self.benchmark.summary(s))}" for s in schedulers
+        )
+        return matrix + "\nBenchmarking: " + bench_cells
+
+
+def run_panel(
+    workflow: str,
+    ccr: float,
+    schedulers: list[str] | None = None,
+    bench_instances: int = 10,
+    config: PISAConfig | None = None,
+    rng: int = 0,
+    full: bool | None = None,
+    progress=None,
+) -> Panel:
+    """One Figs. 10-19 panel."""
+    schedulers = list(schedulers) if schedulers is not None else list(APP_SPECIFIC_SCHEDULERS)
+    config = config or pisa_config(full)
+    space = AppSpecificSpace(workflow, ccr=ccr, trace_seed=derive_seed(rng, workflow, "trace"))
+    dataset = space.dataset(bench_instances, rng=as_generator(derive_seed(rng, workflow, ccr, "bench")))
+    benchmark = benchmark_dataset(schedulers, dataset)
+    pisa = app_specific_pairwise(
+        space,
+        schedulers,
+        config=config,
+        rng=as_generator(derive_seed(rng, workflow, ccr, "pisa")),
+        progress=progress,
+    )
+    return Panel(workflow=workflow, ccr=ccr, benchmark=benchmark, pisa=pisa)
+
+
+@dataclass
+class Fig1019Result:
+    panels: list[Panel] = field(default_factory=list)
+
+    @property
+    def report(self) -> str:
+        return "\n\n".join(p.render() for p in self.panels)
+
+
+def run(
+    workflows: tuple[str, ...] | None = None,
+    ccrs: tuple[float, ...] | None = None,
+    schedulers: list[str] | None = None,
+    config: PISAConfig | None = None,
+    rng: int = 0,
+    full: bool | None = None,
+    progress=None,
+) -> Fig1019Result:
+    """Regenerate Figs. 10-19 panels.
+
+    Defaults: srasearch + blast (the two panels in the paper body) at
+    CCRs {0.2, 1.0}; full scale runs all nine workflows at all five CCRs
+    (the appendix).
+    """
+    if workflows is None:
+        workflows = pick(
+            ("srasearch", "blast"),
+            (
+                "srasearch",
+                "blast",
+                "bwa",
+                "epigenomics",
+                "genome",
+                "montage",
+                "seismology",
+                "soykb",
+                "cycles",
+            ),
+            full,
+        )
+    if ccrs is None:
+        ccrs = pick((0.2, 1.0), PAPER_CCRS, full)
+    result = Fig1019Result()
+    for workflow in workflows:
+        for ccr in ccrs:
+            result.panels.append(
+                run_panel(
+                    workflow,
+                    ccr,
+                    schedulers=schedulers,
+                    config=config,
+                    rng=rng,
+                    full=full,
+                    progress=progress,
+                )
+            )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().report)

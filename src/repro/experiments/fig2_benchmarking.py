@@ -1,0 +1,84 @@
+"""Fig. 2: benchmarking 15 algorithms on 16 datasets.
+
+For every dataset of Table II and every (non-exponential) scheduler of
+Table I, the figure shows the distribution of makespan ratios against the
+best-of-all baseline.  We regenerate the same grid; cells render as
+``median~max`` gradients (see :mod:`repro.benchmarking.heatmap`).
+
+Default scale uses 10 instances per dataset and shrinks the huge IoT
+Edge/Fog/Cloud networks; ``REPRO_FULL=1`` restores Table II's 1000/100
+instance counts and the 75-125-edge-node networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchmarking.harness import GridResult, benchmark_grid
+from repro.benchmarking.heatmap import render_benchmark_rows
+from repro.datasets import PAPER_DATASETS, generate_dataset
+from repro.experiments.config import instances_per_dataset, is_full_scale
+from repro.schedulers import PAPER_SCHEDULERS
+from repro.utils.rng import as_generator, derive_seed
+
+__all__ = ["Fig2Result", "build_datasets", "run"]
+
+#: Reduced Edge/Fog/Cloud tier sizes for the default scale (the scheduling
+#: algorithms are O(|T| |V|)-ish per decision; 125-node networks belong to
+#: the full-scale run).
+SMALL_IOT_NETWORK = {"edge_range": (5, 10), "fog_range": (2, 3), "cloud_range": (1, 2)}
+
+
+@dataclass
+class Fig2Result:
+    grid: GridResult
+    report: str
+
+
+def build_datasets(
+    names: list[str] | None = None,
+    num_instances: int | None = None,
+    rng: int = 0,
+    full: bool | None = None,
+) -> list:
+    """Generate the Fig. 2 datasets at the requested scale.
+
+    Each dataset gets its own seed derived from ``rng`` so adding or
+    reordering datasets does not perturb the others.
+    """
+    names = list(names) if names is not None else list(PAPER_DATASETS)
+    datasets = []
+    for name in names:
+        n = num_instances if num_instances is not None else instances_per_dataset(name, full)
+        kwargs = {}
+        if name in ("etl", "predict", "stats", "train") and not is_full_scale(full):
+            kwargs["network_kwargs"] = dict(SMALL_IOT_NETWORK)
+        seed = derive_seed(rng, "fig2", name)
+        datasets.append(generate_dataset(name, num_instances=n, rng=as_generator(seed), **kwargs))
+    return datasets
+
+
+def run(
+    schedulers: list[str] | None = None,
+    datasets: list[str] | None = None,
+    num_instances: int | None = None,
+    rng: int = 0,
+    full: bool | None = None,
+) -> Fig2Result:
+    """Regenerate the Fig. 2 grid."""
+    schedulers = list(schedulers) if schedulers is not None else list(PAPER_SCHEDULERS)
+    built = build_datasets(datasets, num_instances=num_instances, rng=rng, full=full)
+    grid = benchmark_grid(schedulers, built)
+    summaries = {name: grid.results[name].summaries() for name in grid.datasets}
+    report = render_benchmark_rows(
+        summaries,
+        row_labels=grid.datasets,
+        col_labels=schedulers,
+        title="Fig. 2 — makespan ratios (median~max per cell; 1.00 = best)",
+        row_header="dataset",
+    )
+    return Fig2Result(grid=grid, report=report)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().report)

@@ -1,0 +1,136 @@
+"""Fig. 3: the motivating example — a small network change flips HEFT vs CPoP.
+
+The paper's illustration: a fork-join task graph (Fig. 3a) scheduled on a
+homogeneous 3-node network (3b) and on the same network with node 3's
+links weakened to 0.5 (3c).  The published Gantt charts show HEFT doing
+worse than CPoP after the change.
+
+Exact Gantt charts depend on tie-breaking conventions the paper does not
+specify (the instance is highly symmetric, so EFT ties abound); our
+faithful implementations produce equal makespans on this exact instance.
+The *claim* the figure illustrates — parallel-chains instances exist where
+CPoP beats HEFT, despite HEFT looking better on the chains dataset — is
+checked directly: we scan randomly generated chains instances (the same
+generator as Table II) and report the worst HEFT/CPoP ratio found, which
+exceeds 1 with a handful of samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.benchmarking.gantt import render_gantt
+from repro.benchmarking.metrics import makespan_ratio
+from repro.benchmarking.report import format_table
+from repro.core.instance import ProblemInstance
+from repro.core.network import Network
+from repro.core.scheduler import get_scheduler
+from repro.core.task_graph import TaskGraph
+from repro.datasets.random_graphs import parallel_chains_task_graph, random_network
+from repro.experiments.config import pick
+from repro.utils.rng import as_generator
+
+__all__ = ["fig3_task_graph", "fig3_networks", "Fig3Result", "run"]
+
+
+def fig3_task_graph() -> TaskGraph:
+    """The exact Fig. 3a fork-join: 1 -> {2,3,4} -> 5, all costs 3."""
+    return TaskGraph.from_dicts(
+        {"1": 3.0, "2": 3.0, "3": 3.0, "4": 3.0, "5": 3.0},
+        {
+            ("1", "2"): 2.0,
+            ("1", "3"): 2.0,
+            ("1", "4"): 2.0,
+            ("2", "5"): 3.0,
+            ("3", "5"): 3.0,
+            ("4", "5"): 3.0,
+        },
+    )
+
+
+def fig3_networks() -> tuple[Network, Network]:
+    """(original, modified): node 3's links weakened from 1 to 0.5."""
+    original = Network.from_speeds(
+        {"1": 1.0, "2": 1.0, "3": 1.0},
+        strengths={("1", "2"): 1.0, ("1", "3"): 1.0, ("2", "3"): 1.0},
+    )
+    modified = Network.from_speeds(
+        {"1": 1.0, "2": 1.0, "3": 1.0},
+        strengths={("1", "2"): 1.0, ("1", "3"): 0.5, ("2", "3"): 0.5},
+    )
+    return original, modified
+
+
+@dataclass
+class Fig3Result:
+    makespans: dict[str, dict[str, float]]  # network label -> scheduler -> makespan
+    flip_ratio: float  # worst HEFT/CPoP ratio over sampled chains instances
+    flip_instance: ProblemInstance | None
+    report: str = field(default="")
+
+
+def run(num_samples: int | None = None, rng: int = 0, full: bool | None = None) -> Fig3Result:
+    """Replay the exact Fig. 3 instance and find a chains-family flip."""
+    heft, cpop = get_scheduler("HEFT"), get_scheduler("CPoP")
+    tg = fig3_task_graph()
+    original, modified = fig3_networks()
+
+    makespans: dict[str, dict[str, float]] = {}
+    lines = ["Fig. 3 — HEFT vs CPoP under a small network modification", ""]
+    for label, net in (("original", original), ("modified", modified)):
+        inst = ProblemInstance(net, tg, name=f"fig3-{label}")
+        makespans[label] = {
+            "HEFT": heft.schedule(inst).makespan,
+            "CPoP": cpop.schedule(inst).makespan,
+        }
+    lines.append(
+        format_table(
+            ["network", "HEFT", "CPoP"],
+            [
+                (label, f"{ms['HEFT']:.3f}", f"{ms['CPoP']:.3f}")
+                for label, ms in makespans.items()
+            ],
+        )
+    )
+    lines += [
+        "",
+        "(Exact Gantt layouts are tie-break dependent; the substantive claim",
+        " is checked below on the chains dataset family.)",
+        "",
+    ]
+
+    # Scan chains-family instances for ones where HEFT loses to CPoP.
+    n = num_samples if num_samples is not None else pick(60, 1000, full)
+    gen = as_generator(rng)
+    worst_ratio, worst_instance = 0.0, None
+    for i in range(n):
+        inst = ProblemInstance(
+            random_network(gen), parallel_chains_task_graph(gen), name=f"chains[{i}]"
+        )
+        ratio = makespan_ratio(heft.schedule(inst).makespan, cpop.schedule(inst).makespan)
+        if ratio > worst_ratio:
+            worst_ratio, worst_instance = ratio, inst
+    lines.append(
+        f"worst HEFT/CPoP makespan ratio over {n} chains instances: {worst_ratio:.3f}"
+    )
+    if worst_instance is not None:
+        h = heft.schedule(worst_instance)
+        c = cpop.schedule(worst_instance)
+        lines += [
+            "",
+            f"HEFT on the flip instance (makespan {h.makespan:.3f}):",
+            render_gantt(h),
+            "",
+            f"CPoP on the flip instance (makespan {c.makespan:.3f}):",
+            render_gantt(c),
+        ]
+    return Fig3Result(
+        makespans=makespans,
+        flip_ratio=worst_ratio,
+        flip_instance=worst_instance,
+        report="\n".join(lines),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().report)

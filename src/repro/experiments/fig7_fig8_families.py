@@ -1,0 +1,162 @@
+"""Figs. 7 & 8: hand-crafted instance families generalizing the case study.
+
+Section VI-B distills the PISA findings into two parametric families:
+
+* **Fig. 7** (HEFT loses): a 4-task fork-join A -> {B, C} -> D where one
+  branch has a very expensive *initial* communication.  Tasks A, D cost 1;
+  B, C ~ clipped N(10, 10/3, min 0); dependencies A->B, B->D, C->D cost 1
+  and A->C ~ clipped N(100, 100/3, min 0), on a homogeneous network.
+  (The figure labels A->C as the expensive edge; the body text says C->D —
+  we follow the figure, which matches the stated intuition of a high
+  *initial* communication cost.  EXPERIMENTS.md records the discrepancy.)
+* **Fig. 8** (CPoP loses): a wide fork-join A -> B..J -> K (9 inner tasks)
+  with cheap fork edges ~N(1, 1/3) and expensive join edges ~N(10, 10/3),
+  on a 4-node network whose fastest node (speed 3, others ~N(1, 1/3)) has
+  a *weak* link ~N(1, 1/3) to the second-fastest node while all other
+  links are strong ~N(10, 5/3).
+
+Each family is sampled 1000 times (paper scale) and the HEFT/CPoP
+makespan distributions are compared — Fig. 7 should show HEFT markedly
+worse, Fig. 8 CPoP markedly worse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.benchmarking.report import boxplot_row, format_table
+from repro.core.instance import ProblemInstance
+from repro.core.network import Network
+from repro.core.scheduler import get_scheduler
+from repro.core.task_graph import TaskGraph
+from repro.experiments.config import pick
+from repro.utils.distributions import clipped_gaussian
+from repro.utils.rng import as_generator
+
+__all__ = ["fig7_instance", "fig8_instance", "FamilyResult", "run_family", "run"]
+
+#: Tiny positive floor for sampled node speeds (clip floor is nominally 0).
+_MIN_SPEED = 1e-6
+
+
+def fig7_instance(rng=None) -> ProblemInstance:
+    """One sample of the Fig. 7 family (HEFT-adversarial fork-join)."""
+    gen = as_generator(rng)
+    b = clipped_gaussian(gen, 10.0, 10.0 / 3.0, low=0.0)
+    c = clipped_gaussian(gen, 10.0, 10.0 / 3.0, low=0.0)
+    ac = clipped_gaussian(gen, 100.0, 100.0 / 3.0, low=0.0)
+    tg = TaskGraph.from_dicts(
+        {"A": 1.0, "B": b, "C": c, "D": 1.0},
+        {("A", "B"): 1.0, ("A", "C"): ac, ("B", "D"): 1.0, ("C", "D"): 1.0},
+    )
+    net = Network.homogeneous(3, speed=1.0, strength=1.0)
+    return ProblemInstance(net, tg, name="fig7")
+
+
+def fig8_instance(rng=None, num_inner: int = 9) -> ProblemInstance:
+    """One sample of the Fig. 8 family (CPoP-adversarial wide fork-join)."""
+    gen = as_generator(rng)
+    tg = TaskGraph()
+    tg.add_task("A", clipped_gaussian(gen, 1.0, 1.0 / 3.0, low=0.0))
+    inner = [chr(ord("B") + i) for i in range(num_inner)]  # B..J for 9
+    for name in inner:
+        tg.add_task(name, clipped_gaussian(gen, 1.0, 1.0 / 3.0, low=0.0))
+    tg.add_task("K", clipped_gaussian(gen, 1.0, 1.0 / 3.0, low=0.0))
+    for name in inner:
+        tg.add_dependency("A", name, clipped_gaussian(gen, 1.0, 1.0 / 3.0, low=0.0))
+        tg.add_dependency(name, "K", clipped_gaussian(gen, 10.0, 10.0 / 3.0, low=0.0))
+
+    # 4 nodes: v1 fastest (speed 3); weak v1-v2 link; all other links strong.
+    speeds = {"v1": 3.0}
+    for i in (2, 3, 4):
+        speeds[f"v{i}"] = max(clipped_gaussian(gen, 1.0, 1.0 / 3.0, low=0.0), _MIN_SPEED)
+    net = Network()
+    for name, speed in speeds.items():
+        net.add_node(name, speed)
+    ordered = sorted(speeds, key=lambda v: -speeds[v])
+    fast_pair = {ordered[0], ordered[1]}
+    names = list(speeds)
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            if {u, v} == fast_pair:
+                strength = clipped_gaussian(gen, 1.0, 1.0 / 3.0, low=0.0)
+            else:
+                strength = clipped_gaussian(gen, 10.0, 5.0 / 3.0, low=0.0)
+            net.set_strength(u, v, strength)
+    return ProblemInstance(net, tg, name="fig8")
+
+
+@dataclass
+class FamilyResult:
+    name: str
+    makespans: dict[str, np.ndarray]  # scheduler -> per-instance makespans
+
+    def mean(self, scheduler: str) -> float:
+        return float(self.makespans[scheduler].mean())
+
+    def median(self, scheduler: str) -> float:
+        return float(np.median(self.makespans[scheduler]))
+
+
+def run_family(
+    name: str,
+    instance_factory,
+    num_instances: int,
+    rng,
+    schedulers: tuple[str, ...] = ("CPoP", "HEFT"),
+) -> FamilyResult:
+    """Sample a family and collect per-scheduler makespans."""
+    gen = as_generator(rng)
+    resolved = {s: get_scheduler(s) for s in schedulers}
+    makespans: dict[str, list[float]] = {s: [] for s in schedulers}
+    for _ in range(num_instances):
+        instance = instance_factory(gen)
+        for s, scheduler in resolved.items():
+            makespans[s].append(scheduler.schedule(instance).makespan)
+    return FamilyResult(
+        name=name, makespans={s: np.asarray(v) for s, v in makespans.items()}
+    )
+
+
+@dataclass
+class Fig78Result:
+    fig7: FamilyResult
+    fig8: FamilyResult
+    report: str
+
+
+def run(num_instances: int | None = None, rng: int = 0, full: bool | None = None) -> Fig78Result:
+    n = num_instances if num_instances is not None else pick(100, 1000, full)
+    gen = as_generator(rng)
+    fig7 = run_family("fig7", fig7_instance, n, gen)
+    fig8 = run_family("fig8", fig8_instance, n, gen)
+
+    lines = [f"Figs. 7/8 — HEFT vs CPoP on crafted instance families ({n} samples each)", ""]
+    rows = []
+    for fam, expected in ((fig7, "HEFT worse"), (fig8, "CPoP worse")):
+        rows.append(
+            (
+                fam.name,
+                f"{fam.mean('CPoP'):.2f}",
+                f"{fam.mean('HEFT'):.2f}",
+                f"{fam.mean('HEFT') / fam.mean('CPoP'):.2f}",
+                expected,
+            )
+        )
+    lines.append(
+        format_table(
+            ["family", "CPoP mean", "HEFT mean", "HEFT/CPoP", "paper expectation"], rows
+        )
+    )
+    for fam in (fig7, fig8):
+        lines.append("")
+        lines.append(f"{fam.name} makespan distributions:")
+        for s in fam.makespans:
+            lines.append(boxplot_row(s, fam.makespans[s].tolist()))
+    return Fig78Result(fig7=fig7, fig8=fig8, report="\n".join(lines))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().report)

@@ -1,0 +1,73 @@
+"""PISA: Problem-instance Identification using Simulated Annealing.
+
+The paper's main contribution (Section VI): an adversarial method that,
+given a target scheduler A and a baseline B, searches for the problem
+instance maximizing A's makespan ratio over B.  The application-specific
+variant (Section VII) restricts the search to in-family instances of a
+real workflow at a pinned CCR.
+"""
+
+from repro.pisa.annealing import (
+    AnnealingConfig,
+    AnnealingResult,
+    AnnealingStep,
+    SimulatedAnnealing,
+)
+from repro.pisa.perturbations import (
+    AddDependency,
+    ChangeDependencyWeight,
+    ChangeNetworkEdgeWeight,
+    ChangeNetworkNodeWeight,
+    ChangeTaskWeight,
+    Perturbation,
+    PerturbationSet,
+    RemoveDependency,
+    default_perturbations,
+)
+from repro.pisa.constraints import (
+    SearchConstraints,
+    apply_initial_constraints,
+    combined_constraints,
+    constrain_perturbations,
+    constraints_for,
+)
+from repro.pisa.initial import random_chain_instance
+from repro.pisa.pisa import PISA, PISAConfig, PISAResult, PairwiseResult, pairwise_comparison
+from repro.pisa.app_specific import PAPER_CCRS, AppSpecificSpace, app_specific_pairwise
+from repro.pisa.genetic import GeneticConfig, GeneticInstanceFinder, GeneticResult
+from repro.pisa.archive import AdversarialArchive, AdversarialEntry
+
+__all__ = [
+    "AnnealingConfig",
+    "AnnealingResult",
+    "AnnealingStep",
+    "SimulatedAnnealing",
+    "Perturbation",
+    "PerturbationSet",
+    "ChangeNetworkNodeWeight",
+    "ChangeNetworkEdgeWeight",
+    "ChangeTaskWeight",
+    "ChangeDependencyWeight",
+    "AddDependency",
+    "RemoveDependency",
+    "default_perturbations",
+    "SearchConstraints",
+    "constraints_for",
+    "combined_constraints",
+    "apply_initial_constraints",
+    "constrain_perturbations",
+    "random_chain_instance",
+    "PISA",
+    "PISAConfig",
+    "PISAResult",
+    "PairwiseResult",
+    "pairwise_comparison",
+    "PAPER_CCRS",
+    "AppSpecificSpace",
+    "app_specific_pairwise",
+    "GeneticConfig",
+    "GeneticInstanceFinder",
+    "GeneticResult",
+    "AdversarialArchive",
+    "AdversarialEntry",
+]

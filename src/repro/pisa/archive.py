@@ -1,0 +1,135 @@
+"""Publishing adversarial instances (Section VIII future work).
+
+"We also plan to develop a framework for publishing the problem instances
+identified by PISA so that other researchers can use them to evaluate
+their own algorithms."
+
+An :class:`AdversarialArchive` is a JSON-serializable collection of
+PISA/GISA findings: the instance itself plus provenance (target scheduler,
+baseline, claimed ratio).  Loading re-verifies every claim by re-running
+both schedulers — an archive cannot silently go stale when scheduler
+implementations change.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.benchmarking.metrics import makespan_ratio
+from repro.core.exceptions import DatasetError
+from repro.core.instance import ProblemInstance
+from repro.core.scheduler import get_scheduler
+
+__all__ = ["AdversarialEntry", "AdversarialArchive"]
+
+#: Claimed ratios are re-verified to this relative tolerance (WBA's RNG is
+#: seeded, so re-runs are exact; the tolerance absorbs float noise only).
+_VERIFY_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class AdversarialEntry:
+    """One published finding: target does `ratio`x worse than baseline."""
+
+    target: str
+    baseline: str
+    ratio: float
+    instance: ProblemInstance
+    note: str = ""
+
+    def verify(self) -> float:
+        """Re-run both schedulers and return the re-measured ratio.
+
+        Raises :class:`DatasetError` if it differs from the claim.
+        """
+        measured = makespan_ratio(
+            get_scheduler(self.target).schedule(self.instance).makespan,
+            get_scheduler(self.baseline).schedule(self.instance).makespan,
+        )
+        if abs(measured - self.ratio) > _VERIFY_RTOL * max(abs(self.ratio), 1.0):
+            raise DatasetError(
+                f"archived claim {self.target} vs {self.baseline} = {self.ratio} "
+                f"does not reproduce (measured {measured})"
+            )
+        return measured
+
+
+@dataclass
+class AdversarialArchive:
+    """A named collection of verified adversarial instances."""
+
+    name: str
+    entries: list[AdversarialEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    # ------------------------------------------------------------------ #
+    def add_result(self, result, note: str = "") -> AdversarialEntry:
+        """Add a PISA/GISA result (anything with target, baseline,
+        best_ratio, best_instance)."""
+        entry = AdversarialEntry(
+            target=result.target,
+            baseline=result.baseline,
+            ratio=result.best_ratio,
+            instance=result.best_instance,
+            note=note,
+        )
+        self.entries.append(entry)
+        return entry
+
+    def worst_for(self, target: str) -> AdversarialEntry | None:
+        """The worst published instance for a target scheduler."""
+        candidates = [e for e in self.entries if e.target == target]
+        return max(candidates, key=lambda e: e.ratio, default=None)
+
+    def verify_all(self) -> None:
+        """Re-verify every entry's claimed ratio (raises on mismatch)."""
+        for entry in self.entries:
+            entry.verify()
+
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "name": self.name,
+            "entries": [
+                {
+                    "target": e.target,
+                    "baseline": e.baseline,
+                    "ratio": e.ratio,
+                    "note": e.note,
+                    "instance": e.instance.to_dict(),
+                }
+                for e in self.entries
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path, verify: bool = True) -> "AdversarialArchive":
+        """Load an archive; by default re-verify every claim on load."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise DatasetError(f"could not load archive from {path}: {exc}") from exc
+        archive = cls(
+            name=payload["name"],
+            entries=[
+                AdversarialEntry(
+                    target=e["target"],
+                    baseline=e["baseline"],
+                    ratio=e["ratio"],
+                    note=e.get("note", ""),
+                    instance=ProblemInstance.from_dict(e["instance"]),
+                )
+                for e in payload["entries"]
+            ],
+        )
+        if verify:
+            archive.verify_all()
+        return archive

@@ -1,0 +1,90 @@
+"""Scheduler-family constraints on the PISA search space (Section VI).
+
+"Some of the algorithms we evaluate on were only designed for homogeneous
+compute nodes and/or communication links.  In these cases, we restrict the
+perturbations to only change the aspects of the network that are relevant
+to the algorithm.  For ETF, FCP, and FLB, we set all node weights to be 1
+initially and do not allow them to be changed.  For BIL, GDL, FCP, and
+FLB we set all communication link weights to be 1 initially and do not
+allow them to be changed."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.instance import ProblemInstance
+from repro.pisa.perturbations import PerturbationSet
+
+__all__ = [
+    "SearchConstraints",
+    "constraints_for",
+    "combined_constraints",
+    "apply_initial_constraints",
+    "constrain_perturbations",
+]
+
+
+@dataclass(frozen=True)
+class SearchConstraints:
+    """Which network attributes are frozen during the search."""
+
+    fixed_node_speeds: bool = False
+    fixed_link_strengths: bool = False
+
+    def __or__(self, other: "SearchConstraints") -> "SearchConstraints":
+        return SearchConstraints(
+            fixed_node_speeds=self.fixed_node_speeds or other.fixed_node_speeds,
+            fixed_link_strengths=self.fixed_link_strengths or other.fixed_link_strengths,
+        )
+
+
+#: Per-scheduler constraints, verbatim from Section VI.
+_HOMOGENEOUS_NODES = {"ETF", "FCP", "FLB"}
+_HOMOGENEOUS_LINKS = {"BIL", "GDL", "FCP", "FLB"}
+
+
+def constraints_for(scheduler_name: str) -> SearchConstraints:
+    """Constraints one scheduler imposes on the search."""
+    return SearchConstraints(
+        fixed_node_speeds=scheduler_name in _HOMOGENEOUS_NODES,
+        fixed_link_strengths=scheduler_name in _HOMOGENEOUS_LINKS,
+    )
+
+
+def combined_constraints(*scheduler_names: str) -> SearchConstraints:
+    """Union of the constraints of every scheduler in a comparison."""
+    combined = SearchConstraints()
+    for name in scheduler_names:
+        combined = combined | constraints_for(name)
+    return combined
+
+
+def apply_initial_constraints(
+    instance: ProblemInstance, constraints: SearchConstraints
+) -> ProblemInstance:
+    """Reset frozen attributes to 1 on a copy of ``instance``.
+
+    "we set all node weights to be 1 initially" / "we set all
+    communication link weights to be 1 initially".
+    """
+    out = instance.copy()
+    if constraints.fixed_node_speeds:
+        for node in out.network.nodes:
+            out.network.set_speed(node, 1.0)
+    if constraints.fixed_link_strengths:
+        for u, v in out.network.links:
+            out.network.set_strength(u, v, 1.0)
+    return out
+
+
+def constrain_perturbations(
+    perturbations: PerturbationSet, constraints: SearchConstraints
+) -> PerturbationSet:
+    """Drop the operators that would touch frozen attributes."""
+    removed: list[str] = []
+    if constraints.fixed_node_speeds:
+        removed.append("change_network_node_weight")
+    if constraints.fixed_link_strengths:
+        removed.append("change_network_edge_weight")
+    return perturbations.without(*removed) if removed else perturbations

@@ -1,0 +1,170 @@
+"""GISA — a genetic-algorithm adversarial instance finder.
+
+Section VIII lists "explor[ing] other meta-heuristics for adversarial
+analysis (e.g., genetic algorithms)" as future work; this module
+implements it with the same interface as the simulated-annealing PISA so
+the two can be ablated head-to-head (``benchmarks/bench_pisa_ablation.py``).
+
+Design:
+
+* the population is seeded by perturbing copies of one initial instance,
+  so every individual shares the same task and node sets (the PISA
+  perturbations never rename tasks/nodes, only re-weight and re-wire);
+* *crossover* recombines one parent's network with the other's task
+  graph — legal because of the shared name sets;
+* *mutation* applies one PISA perturbation;
+* tournament selection with elitism maximizes the same makespan-ratio
+  energy PISA uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.benchmarking.metrics import makespan_ratio
+from repro.core.instance import ProblemInstance
+from repro.core.scheduler import Scheduler, get_scheduler
+from repro.pisa.constraints import (
+    SearchConstraints,
+    apply_initial_constraints,
+    combined_constraints,
+    constrain_perturbations,
+)
+from repro.pisa.initial import random_chain_instance
+from repro.pisa.perturbations import PerturbationSet, default_perturbations
+from repro.utils.rng import as_generator
+
+__all__ = ["GeneticConfig", "GeneticResult", "GeneticInstanceFinder"]
+
+
+@dataclass(frozen=True)
+class GeneticConfig:
+    """GA parameters sized to match PISA's default evaluation budget
+    (population * generations ~ iterations * restarts)."""
+
+    population_size: int = 24
+    generations: int = 96
+    elite: int = 2
+    tournament_k: int = 3
+    crossover_rate: float = 0.4
+    mutations_per_child: int = 1
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if self.generations < 1:
+            raise ValueError("generations must be >= 1")
+        if not 0 <= self.elite < self.population_size:
+            raise ValueError("elite must be in [0, population_size)")
+        if self.tournament_k < 1:
+            raise ValueError("tournament_k must be >= 1")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise ValueError("crossover_rate must be in [0, 1]")
+        if self.mutations_per_child < 0:
+            raise ValueError("mutations_per_child must be >= 0")
+
+
+@dataclass
+class GeneticResult:
+    target: str
+    baseline: str
+    best_instance: ProblemInstance
+    best_ratio: float
+    #: Best energy after each generation (monotone nondecreasing).
+    generation_best: list[float] = field(default_factory=list)
+
+
+class GeneticInstanceFinder:
+    """Adversarial instance search by genetic algorithm.
+
+    Same constructor surface as :class:`repro.pisa.PISA`: target,
+    baseline, perturbations (used as the mutation operators), config, and
+    an initial-instance factory.
+    """
+
+    def __init__(
+        self,
+        target: Scheduler | str,
+        baseline: Scheduler | str,
+        perturbations: PerturbationSet | None = None,
+        config: GeneticConfig | None = None,
+        initial_factory=None,
+        constraints: SearchConstraints | None = None,
+    ) -> None:
+        self.target = get_scheduler(target) if isinstance(target, str) else target
+        self.baseline = get_scheduler(baseline) if isinstance(baseline, str) else baseline
+        self.config = config or GeneticConfig()
+        if constraints is None:
+            constraints = combined_constraints(self.target.name, self.baseline.name)
+        self.constraints = constraints
+        self.perturbations = constrain_perturbations(
+            perturbations or default_perturbations(), constraints
+        )
+        self.initial_factory = initial_factory or random_chain_instance
+
+    # ------------------------------------------------------------------ #
+    def energy(self, instance: ProblemInstance) -> float:
+        return makespan_ratio(
+            self.target.schedule(instance).makespan,
+            self.baseline.schedule(instance).makespan,
+        )
+
+    def _crossover(
+        self, a: ProblemInstance, b: ProblemInstance
+    ) -> ProblemInstance:
+        """Child = a's network + b's task graph (shared name sets)."""
+        return ProblemInstance(
+            network=a.network.copy(), task_graph=b.task_graph.copy(), name="ga_child"
+        )
+
+    def run(self, rng: int | np.random.Generator | None = None) -> GeneticResult:
+        gen = as_generator(rng)
+        cfg = self.config
+
+        seed_instance = apply_initial_constraints(self.initial_factory(gen), self.constraints)
+        population = [seed_instance]
+        for _ in range(cfg.population_size - 1):
+            population.append(self.perturbations.perturb(seed_instance, gen))
+
+        fitness = [self.energy(ind) for ind in population]
+        best_ever_idx = max(range(cfg.population_size), key=lambda i: fitness[i])
+        best_instance = population[best_ever_idx]
+        best_ratio = fitness[best_ever_idx]
+        generation_best: list[float] = []
+
+        def tournament() -> int:
+            picks = gen.integers(0, cfg.population_size, size=cfg.tournament_k)
+            return int(max(picks, key=lambda i: fitness[int(i)]))
+
+        for _ in range(cfg.generations):
+            order = sorted(range(cfg.population_size), key=lambda i: -fitness[i])
+            next_population = [population[i] for i in order[: cfg.elite]]
+            while len(next_population) < cfg.population_size:
+                pa = population[tournament()]
+                if gen.random() < cfg.crossover_rate:
+                    pb = population[tournament()]
+                    child = self._crossover(pa, pb)
+                else:
+                    child = pa.copy()
+                for _ in range(cfg.mutations_per_child):
+                    child = self.perturbations.perturb(child, gen)
+                next_population.append(child)
+            population = next_population
+            fitness = [self.energy(ind) for ind in population]
+            gen_best_idx = max(range(cfg.population_size), key=lambda i: fitness[i])
+            if fitness[gen_best_idx] > best_ratio:
+                best_ratio = fitness[gen_best_idx]
+                best_instance = population[gen_best_idx]
+            generation_best.append(best_ratio)
+
+        return GeneticResult(
+            target=self.target.name,
+            baseline=self.baseline.name,
+            best_instance=best_instance.with_name(
+                f"gisa:{self.target.name}-vs-{self.baseline.name}"
+            ),
+            best_ratio=best_ratio,
+            generation_best=generation_best,
+        )

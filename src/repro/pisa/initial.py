@@ -1,0 +1,58 @@
+"""Initial problem instances for the PISA search (Section VI).
+
+"The initial problem instance (N, G) is such that N is a complete graph
+with between 3 and 5 nodes (chosen uniformly at random) and
+node/edge-weights between 0 and 1 (generated uniformly at random,
+self-edges have weight infinity) and G is a simple chain task graph with
+between 3 and 5 tasks (chosen uniformly at random) and task/dependency-
+weights between 0 and 1 (generated uniformly at random)."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instance import ProblemInstance
+from repro.core.network import Network
+from repro.core.task_graph import TaskGraph
+from repro.pisa.perturbations import MIN_NODE_SPEED
+from repro.utils.rng import as_generator
+
+__all__ = ["random_chain_instance"]
+
+
+def random_chain_instance(
+    rng: int | np.random.Generator | None = None,
+    min_nodes: int = 3,
+    max_nodes: int = 5,
+    min_tasks: int = 3,
+    max_tasks: int = 5,
+) -> ProblemInstance:
+    """The paper's random initial instance: U(0,1)-weighted chain + network.
+
+    Node speeds are floored at a tiny epsilon (a zero speed is degenerate
+    under related machines); link strengths and task/dependency weights may
+    be arbitrarily close to (or exactly) zero.
+    """
+    gen = as_generator(rng)
+
+    n = int(gen.integers(min_nodes, max_nodes + 1))
+    net = Network()
+    names = [f"v{i + 1}" for i in range(n)]
+    for name in names:
+        net.add_node(name, max(float(gen.uniform(0.0, 1.0)), MIN_NODE_SPEED))
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            net.set_strength(u, v, float(gen.uniform(0.0, 1.0)))
+
+    m = int(gen.integers(min_tasks, max_tasks + 1))
+    tg = TaskGraph()
+    prev = None
+    for j in range(m):
+        name = f"t{j + 1}"
+        tg.add_task(name, float(gen.uniform(0.0, 1.0)))
+        if prev is not None:
+            tg.add_dependency(prev, name, float(gen.uniform(0.0, 1.0)))
+        prev = name
+
+    return ProblemInstance(net, tg, name="pisa_initial")

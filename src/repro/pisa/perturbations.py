@@ -1,0 +1,262 @@
+"""PISA's perturbation operators (Section VI).
+
+Each iteration of the annealer perturbs the current problem instance by
+selecting, uniformly at random, one of six operators:
+
+1. **Change Network Node Weight** — pick a node uniformly, move its weight
+   by U(-1/10, 1/10), clipped into [0, 1].
+2. **Change Network Edge Weight** — the same for a (non-self) link.
+3. **Change Task Weight** — the same for a task cost.
+4. **Change Dependency Weight** — the same for a dependency data size.
+5. **Add Dependency** — pick a task ``t`` uniformly, add ``t -> t'`` to a
+   uniformly random ``t'`` with ``(t, t') not in D`` such that no cycle is
+   created.
+6. **Remove Dependency** — remove a uniformly random dependency.
+
+Operators are objects so the application-specific variant (Section VII)
+can re-parameterize the weight ranges and drop the structural operators.
+Operators never mutate their input; they return a perturbed copy.
+
+Implementation notes
+--------------------
+* Node *speeds* have a tiny positive floor (the related-machines model
+  divides by them); the paper's nominal floor is 0.
+* A new dependency's weight is drawn U(low, high) — the paper does not
+  specify it; U over the same range its weight perturbations use is the
+  natural choice.
+* When an operator has no legal move (e.g. Remove Dependency on an empty
+  edge set), it reports itself inapplicable and the selector skips it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instance import ProblemInstance
+from repro.utils.topo import is_dag_after_edge
+
+__all__ = [
+    "Perturbation",
+    "ChangeNetworkNodeWeight",
+    "ChangeNetworkEdgeWeight",
+    "ChangeTaskWeight",
+    "ChangeDependencyWeight",
+    "AddDependency",
+    "RemoveDependency",
+    "PerturbationSet",
+    "default_perturbations",
+]
+
+#: Speeds must stay strictly positive under the related-machines model.
+MIN_NODE_SPEED = 1e-6
+
+
+class Perturbation(ABC):
+    """One atomic instance-space move."""
+
+    name: str = ""
+
+    @abstractmethod
+    def applicable(self, instance: ProblemInstance) -> bool:
+        """Can this operator do anything on ``instance``?"""
+
+    @abstractmethod
+    def apply(self, instance: ProblemInstance, rng: np.random.Generator) -> ProblemInstance:
+        """Return a perturbed *copy* of ``instance``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+@dataclass(repr=False)
+class _WeightPerturbation(Perturbation):
+    """Shared implementation of the four weight-nudging operators.
+
+    ``low``/``high`` bound the weight; ``step`` is the half-width of the
+    uniform nudge (paper default: 1/10 on the [0, 1] range).
+    """
+
+    low: float = 0.0
+    high: float = 1.0
+    step: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError(f"low ({self.low}) must not exceed high ({self.high})")
+        if self.step <= 0:
+            raise ValueError("step must be positive")
+
+    def _nudge(self, value: float, rng: np.random.Generator, floor: float | None = None) -> float:
+        delta = float(rng.uniform(-self.step, self.step))
+        lo = self.low if floor is None else max(self.low, floor)
+        return float(min(max(value + delta, lo), self.high))
+
+
+class ChangeNetworkNodeWeight(_WeightPerturbation):
+    """Nudge one node speed (floored slightly above 0)."""
+
+    name = "change_network_node_weight"
+
+    def applicable(self, instance: ProblemInstance) -> bool:
+        return len(instance.network) > 0
+
+    def apply(self, instance: ProblemInstance, rng: np.random.Generator) -> ProblemInstance:
+        out = instance.copy()
+        nodes = out.network.nodes
+        node = nodes[int(rng.integers(len(nodes)))]
+        out.network.set_speed(node, self._nudge(out.network.speed(node), rng, floor=MIN_NODE_SPEED))
+        return out
+
+
+class ChangeNetworkEdgeWeight(_WeightPerturbation):
+    """Nudge one (non-self) link strength; zero is allowed."""
+
+    name = "change_network_edge_weight"
+
+    def applicable(self, instance: ProblemInstance) -> bool:
+        return len(instance.network.links) > 0
+
+    def apply(self, instance: ProblemInstance, rng: np.random.Generator) -> ProblemInstance:
+        out = instance.copy()
+        links = out.network.links
+        u, v = links[int(rng.integers(len(links)))]
+        out.network.set_strength(u, v, self._nudge(out.network.strength(u, v), rng))
+        return out
+
+
+class ChangeTaskWeight(_WeightPerturbation):
+    """Nudge one task cost; zero is allowed."""
+
+    name = "change_task_weight"
+
+    def applicable(self, instance: ProblemInstance) -> bool:
+        return len(instance.task_graph) > 0
+
+    def apply(self, instance: ProblemInstance, rng: np.random.Generator) -> ProblemInstance:
+        out = instance.copy()
+        tasks = out.task_graph.tasks
+        task = tasks[int(rng.integers(len(tasks)))]
+        out.task_graph.set_cost(task, self._nudge(out.task_graph.cost(task), rng))
+        return out
+
+
+class ChangeDependencyWeight(_WeightPerturbation):
+    """Nudge one dependency data size; zero is allowed."""
+
+    name = "change_dependency_weight"
+
+    def applicable(self, instance: ProblemInstance) -> bool:
+        return instance.task_graph.num_dependencies > 0
+
+    def apply(self, instance: ProblemInstance, rng: np.random.Generator) -> ProblemInstance:
+        out = instance.copy()
+        deps = out.task_graph.dependencies
+        src, dst = deps[int(rng.integers(len(deps)))]
+        out.task_graph.set_data_size(
+            src, dst, self._nudge(out.task_graph.data_size(src, dst), rng)
+        )
+        return out
+
+
+@dataclass(repr=False)
+class AddDependency(Perturbation):
+    """Add an acyclicity-preserving dependency with a U(low, high) weight."""
+
+    low: float = 0.0
+    high: float = 1.0
+
+    name = "add_dependency"
+
+    def applicable(self, instance: ProblemInstance) -> bool:
+        return len(instance.task_graph) >= 2
+
+    def apply(self, instance: ProblemInstance, rng: np.random.Generator) -> ProblemInstance:
+        out = instance.copy()
+        tg = out.task_graph
+        tasks = list(tg.tasks)
+        # Paper: pick t uniformly, then a uniformly random legal t'.  If t
+        # has no legal partner, fall through to the next candidate source
+        # (in random order) so the operator is a no-op only when the graph
+        # admits no new edge at all.
+        order = list(rng.permutation(len(tasks)))
+        for src_idx in order:
+            src = tasks[src_idx]
+            partners = [
+                dst
+                for dst in tasks
+                if dst != src
+                and not tg.graph.has_edge(src, dst)
+                and is_dag_after_edge(tg.graph, src, dst)
+            ]
+            if partners:
+                dst = partners[int(rng.integers(len(partners)))]
+                tg.add_dependency(src, dst, float(rng.uniform(self.low, self.high)))
+                return out
+        return out  # complete DAG: nothing to add
+
+
+class RemoveDependency(Perturbation):
+    """Remove a uniformly random dependency."""
+
+    name = "remove_dependency"
+
+    def applicable(self, instance: ProblemInstance) -> bool:
+        return instance.task_graph.num_dependencies > 0
+
+    def apply(self, instance: ProblemInstance, rng: np.random.Generator) -> ProblemInstance:
+        out = instance.copy()
+        deps = out.task_graph.dependencies
+        src, dst = deps[int(rng.integers(len(deps)))]
+        out.task_graph.remove_dependency(src, dst)
+        return out
+
+
+class PerturbationSet:
+    """A uniform mixture of perturbation operators (the PERTURB function).
+
+    ``perturb`` picks uniformly among the operators that are *applicable*
+    to the instance at hand — the paper's "randomly selecting (with equal
+    probability) one of the following perturbations", restricted to legal
+    moves.
+    """
+
+    def __init__(self, operators: list[Perturbation]) -> None:
+        if not operators:
+            raise ValueError("PerturbationSet needs at least one operator")
+        self.operators = list(operators)
+
+    def perturb(self, instance: ProblemInstance, rng: np.random.Generator) -> ProblemInstance:
+        candidates = [op for op in self.operators if op.applicable(instance)]
+        if not candidates:
+            return instance.copy()
+        op = candidates[int(rng.integers(len(candidates)))]
+        return op.apply(instance, rng)
+
+    def without(self, *names: str) -> "PerturbationSet":
+        """A copy of this set minus the named operators (Section VII)."""
+        remaining = [op for op in self.operators if op.name not in names]
+        return PerturbationSet(remaining)
+
+    @property
+    def names(self) -> list[str]:
+        return [op.name for op in self.operators]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PerturbationSet({self.names})"
+
+
+def default_perturbations() -> PerturbationSet:
+    """The six operators of Section VI with the paper's parameters."""
+    return PerturbationSet(
+        [
+            ChangeNetworkNodeWeight(),
+            ChangeNetworkEdgeWeight(),
+            ChangeTaskWeight(),
+            ChangeDependencyWeight(),
+            AddDependency(),
+            RemoveDependency(),
+        ]
+    )

@@ -1,0 +1,199 @@
+"""PISA — Problem-instance Identification using Simulated Annealing.
+
+Section VI: given a *target* scheduler A and a *baseline* scheduler B,
+PISA searches the space of problem instances for one that maximizes the
+makespan ratio ``m(S_A) / m(S_B)`` — the instance on which A maximally
+under-performs B.  For every pair of schedulers the search is restarted
+``restarts`` (paper: 5) times from fresh random initial instances.
+
+The pairwise driver (:func:`pairwise_comparison`) reproduces Fig. 4: a
+matrix whose (base B, target A) cell is the largest ratio found over all
+restarts, with the homogeneity constraints of Section VI applied whenever
+a constrained scheduler participates in the pair.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.benchmarking.metrics import makespan_ratio
+from repro.core.instance import ProblemInstance
+from repro.core.scheduler import Scheduler, get_scheduler
+from repro.pisa.annealing import AnnealingConfig, AnnealingResult, SimulatedAnnealing
+from repro.pisa.constraints import (
+    SearchConstraints,
+    apply_initial_constraints,
+    combined_constraints,
+    constrain_perturbations,
+)
+from repro.pisa.initial import random_chain_instance
+from repro.pisa.perturbations import PerturbationSet, default_perturbations
+from repro.utils.rng import as_generator
+
+__all__ = ["PISAConfig", "PISAResult", "PISA", "pairwise_comparison", "PairwiseResult"]
+
+
+@dataclass(frozen=True)
+class PISAConfig:
+    """PISA run parameters (defaults are the paper's, Section VI)."""
+
+    annealing: AnnealingConfig = field(default_factory=AnnealingConfig)
+    restarts: int = 5
+
+    def __post_init__(self) -> None:
+        if self.restarts < 1:
+            raise ValueError("restarts must be >= 1")
+
+
+@dataclass
+class PISAResult:
+    """Outcome of one PISA search (one scheduler pair)."""
+
+    target: str
+    baseline: str
+    best_instance: ProblemInstance
+    best_ratio: float
+    restart_results: list[AnnealingResult] = field(default_factory=list)
+
+    @property
+    def restart_ratios(self) -> list[float]:
+        return [r.best_energy for r in self.restart_results]
+
+
+class PISA:
+    """Adversarial instance finder for one (target, baseline) pair.
+
+    Parameters
+    ----------
+    target, baseline:
+        Scheduler instances or registered names.  The energy being
+        maximized is ``makespan(target) / makespan(baseline)``.
+    perturbations:
+        The PERTURB implementation; defaults to the six operators of
+        Section VI.  Constrained operators are dropped automatically
+        according to the participants (unless ``constraints`` is given).
+    config:
+        Annealing + restart parameters.
+    initial_factory:
+        ``rng -> ProblemInstance`` generator of restart initial states;
+        defaults to the paper's random chain instances.  The Section VII
+        application-specific variant passes workflow-based factories.
+    constraints:
+        Explicit search constraints; ``None`` derives them from the two
+        schedulers' names per Section VI.
+    """
+
+    def __init__(
+        self,
+        target: Scheduler | str,
+        baseline: Scheduler | str,
+        perturbations: PerturbationSet | None = None,
+        config: PISAConfig | None = None,
+        initial_factory: Callable[[np.random.Generator], ProblemInstance] | None = None,
+        constraints: SearchConstraints | None = None,
+    ) -> None:
+        self.target = get_scheduler(target) if isinstance(target, str) else target
+        self.baseline = get_scheduler(baseline) if isinstance(baseline, str) else baseline
+        self.config = config or PISAConfig()
+        if constraints is None:
+            constraints = combined_constraints(self.target.name, self.baseline.name)
+        self.constraints = constraints
+        base_perturbations = perturbations or default_perturbations()
+        self.perturbations = constrain_perturbations(base_perturbations, constraints)
+        self.initial_factory = initial_factory or random_chain_instance
+
+    # ------------------------------------------------------------------ #
+    def energy(self, instance: ProblemInstance) -> float:
+        """Makespan ratio of target over baseline on ``instance``."""
+        target_ms = self.target.schedule(instance).makespan
+        baseline_ms = self.baseline.schedule(instance).makespan
+        return makespan_ratio(target_ms, baseline_ms)
+
+    def run(self, rng: int | np.random.Generator | None = None) -> PISAResult:
+        """Run ``restarts`` annealing runs and keep the best instance."""
+        gen = as_generator(rng)
+        annealer = SimulatedAnnealing(
+            energy=self.energy,
+            perturb=self.perturbations.perturb,
+            config=self.config.annealing,
+        )
+        results: list[AnnealingResult] = []
+        best_instance: ProblemInstance | None = None
+        best_ratio = -math.inf
+        for restart in range(self.config.restarts):
+            initial = apply_initial_constraints(self.initial_factory(gen), self.constraints)
+            result = annealer.run(initial, rng=gen)
+            results.append(result)
+            if result.best_energy > best_ratio:
+                best_ratio = result.best_energy
+                best_instance = result.best_state
+        assert best_instance is not None
+        return PISAResult(
+            target=self.target.name,
+            baseline=self.baseline.name,
+            best_instance=best_instance.with_name(
+                f"pisa:{self.target.name}-vs-{self.baseline.name}"
+            ),
+            best_ratio=best_ratio,
+            restart_results=results,
+        )
+
+
+@dataclass
+class PairwiseResult:
+    """The Fig. 4 matrix: best adversarial ratio for every ordered pair."""
+
+    schedulers: list[str]
+    results: dict[tuple[str, str], PISAResult] = field(default_factory=dict)
+
+    def ratio(self, target: str, baseline: str) -> float:
+        return self.results[(target, baseline)].best_ratio
+
+    def worst_case_row(self) -> dict[str, float]:
+        """Per-target worst ratio over all baselines (Fig. 4's "Worst" row)."""
+        out: dict[str, float] = {}
+        for target in self.schedulers:
+            out[target] = max(
+                self.results[(target, base)].best_ratio
+                for base in self.schedulers
+                if base != target
+            )
+        return out
+
+
+def pairwise_comparison(
+    schedulers: list[str],
+    config: PISAConfig | None = None,
+    rng: int | np.random.Generator | None = None,
+    perturbations: PerturbationSet | None = None,
+    initial_factory: Callable[[np.random.Generator], ProblemInstance] | None = None,
+    progress: Callable[[str, str, float], None] | None = None,
+) -> PairwiseResult:
+    """Run PISA for every ordered pair of ``schedulers`` (Fig. 4).
+
+    ``progress(target, baseline, ratio)`` is invoked after each pair —
+    paper-scale runs take a while and the experiment drivers use this to
+    stream rows.
+    """
+    gen = as_generator(rng)
+    out = PairwiseResult(schedulers=list(schedulers))
+    for target in schedulers:
+        for baseline in schedulers:
+            if target == baseline:
+                continue
+            pisa = PISA(
+                target,
+                baseline,
+                perturbations=perturbations,
+                config=config,
+                initial_factory=initial_factory,
+            )
+            result = pisa.run(gen)
+            out.results[(target, baseline)] = result
+            if progress is not None:
+                progress(target, baseline, result.best_ratio)
+    return out

@@ -1,0 +1,74 @@
+"""The 17 scheduling algorithms of Table I.
+
+Importing this package registers every scheduler with the global registry
+(:func:`repro.core.get_scheduler` / :func:`repro.core.list_schedulers`).
+The 15 polynomial-time algorithms are the set the paper benchmarks
+(Fig. 2) and compares adversarially (Fig. 4); BruteForce and SMT are
+exponential oracles excluded from experiments.
+"""
+
+from repro.schedulers.bil import BILScheduler
+from repro.schedulers.brute_force import BruteForceScheduler
+from repro.schedulers.cpop import CPoPScheduler
+from repro.schedulers.duplex import DuplexScheduler
+from repro.schedulers.ensemble import EnsembleScheduler
+from repro.schedulers.etf import ETFScheduler
+from repro.schedulers.fastest_node import FastestNodeScheduler
+from repro.schedulers.fcp import FCPScheduler
+from repro.schedulers.flb import FLBScheduler
+from repro.schedulers.gdl import GDLScheduler
+from repro.schedulers.heft import HEFTScheduler
+from repro.schedulers.maxmin import MaxMinScheduler
+from repro.schedulers.mct import MCTScheduler
+from repro.schedulers.met import METScheduler
+from repro.schedulers.minmin import MinMinScheduler
+from repro.schedulers.olb import OLBScheduler
+from repro.schedulers.smt import SMTScheduler
+from repro.schedulers.wba import WBAScheduler
+
+#: The 15 algorithms used throughout the paper's experiments, in the
+#: row/column order of Figs. 2 and 4.
+PAPER_SCHEDULERS = [
+    "BIL",
+    "CPoP",
+    "Duplex",
+    "ETF",
+    "FCP",
+    "FLB",
+    "FastestNode",
+    "GDL",
+    "HEFT",
+    "MCT",
+    "MET",
+    "MaxMin",
+    "MinMin",
+    "OLB",
+    "WBA",
+]
+
+#: The subset evaluated in the application-specific experiments
+#: (Section VII / Figs. 10-19), in the paper's ordering.
+APP_SPECIFIC_SCHEDULERS = ["CPoP", "FastestNode", "HEFT", "MaxMin", "MinMin", "WBA"]
+
+__all__ = [
+    "BILScheduler",
+    "BruteForceScheduler",
+    "CPoPScheduler",
+    "DuplexScheduler",
+    "EnsembleScheduler",
+    "ETFScheduler",
+    "FastestNodeScheduler",
+    "FCPScheduler",
+    "FLBScheduler",
+    "GDLScheduler",
+    "HEFTScheduler",
+    "MaxMinScheduler",
+    "MCTScheduler",
+    "METScheduler",
+    "MinMinScheduler",
+    "OLBScheduler",
+    "SMTScheduler",
+    "WBAScheduler",
+    "PAPER_SCHEDULERS",
+    "APP_SPECIFIC_SCHEDULERS",
+]

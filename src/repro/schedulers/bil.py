@@ -1,0 +1,124 @@
+"""BIL — Best Imaginary Level scheduling (Oh & Ha 1996).
+
+Reference: "A static scheduling heuristic for heterogeneous processors",
+Euro-Par 1996.  Scheduling complexity O(|T|^2 |V| log |V|); proven optimal
+for linear task graphs (Section IV-A).
+
+The *best imaginary level* of task ``t`` on node ``v`` is the length of the
+longest path from ``t`` to a sink assuming ideally pipelined execution:
+
+    BIL(t, v) = w(t, v) + max over successors s of
+                min( BIL(s, v),                                # stay on v
+                     min over v' != v ( BIL(s, v') + c(t,s)/s(v,v') ) )
+
+computed bottom-up once.  At runtime the *BIL-star* of a ready task folds
+in the node's actual availability:
+
+    BIL*(t, v) = max(DA(t, v), TF(v)) + BIL(t, v)
+
+Task selection follows Oh & Ha's rule: with ``k`` ready tasks and ``m``
+nodes, a task's priority is its ``min(k, m)``-th smallest BIL* (when more
+tasks than nodes compete, looking deeper into each task's preference list
+anticipates contention); the task with the **largest** priority is
+scheduled on the node minimizing its adjusted BIL**, where
+
+    BIL**(t, v) = BIL*(t, v) + w(t, v) * max(k/m - 1, 0)
+
+penalizes slow nodes when tasks outnumber processors.
+
+BIL assumes a homogeneous interconnect when reasoning about levels, so
+PISA freezes link strengths at 1 when BIL participates (Section VI).
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro.core.instance import ProblemInstance
+from repro.core.schedule import Schedule
+from repro.core.scheduler import Scheduler, SchedulerInfo, register_scheduler
+from repro.core.simulator import ScheduleBuilder, exec_time
+
+__all__ = ["BILScheduler"]
+
+
+@register_scheduler
+class BILScheduler(Scheduler):
+    """Best Imaginary Level list scheduling."""
+
+    name = "BIL"
+    info = SchedulerInfo(
+        name="BIL",
+        full_name="Best Imaginary Level",
+        reference="Oh & Ha, Euro-Par 1996",
+        complexity="O(|T|^2 |V| log |V|)",
+        machine_model="unrelated",
+        notes="Optimal for linear task graphs.",
+    )
+
+    def schedule(self, instance: ProblemInstance) -> Schedule:
+        builder = ScheduleBuilder(instance, insertion=False)
+        nodes = list(instance.network.nodes)
+        bil = self._static_bil(instance, nodes)
+        m = len(nodes)
+        while True:
+            ready = builder.ready_tasks()
+            if not ready:
+                break
+            k = len(ready)
+            bil_star: dict[object, dict[object, float]] = {}
+            for task in ready:
+                bil_star[task] = {}
+                for node in nodes:
+                    avail = max(builder.data_ready_time(task, node), builder.node_available(node))
+                    bil_star[task][node] = avail + bil[task][node]
+            # Priority: the min(k, m)-th smallest BIL* of each task.
+            idx = min(k, m) - 1
+            priority = {
+                task: sorted(bil_star[task].values())[idx] for task in ready
+            }
+            chosen = max(ready, key=lambda t: (priority[t], str(t)))
+            # Node choice: minimize BIL** (== BIL* while tasks <= nodes).
+            penalty = max(k / m - 1.0, 0.0)
+
+            def node_key(v):
+                star = bil_star[chosen][v]
+                if math.isinf(star):
+                    return (math.inf, str(v))
+                return (star + exec_time(instance, chosen, v) * penalty, str(v))
+
+            builder.commit(chosen, min(nodes, key=node_key))
+        return builder.schedule()
+
+    @staticmethod
+    def _static_bil(instance: ProblemInstance, nodes: list) -> dict:
+        """Bottom-up BIL(t, v) table."""
+        tg = instance.task_graph
+        net = instance.network
+        bil: dict[object, dict[object, float]] = {}
+        for task in reversed(list(nx.topological_sort(tg.graph))):
+            bil[task] = {}
+            for v in nodes:
+                succ_terms = []
+                for s in tg.successors(task):
+                    stay = bil[s][v]
+                    move = math.inf
+                    data = tg.data_size(task, s)
+                    for v2 in nodes:
+                        if v2 == v:
+                            continue
+                        strength = net.strength(v, v2)
+                        if strength == 0.0:
+                            comm = math.inf if data > 0 else 0.0
+                        elif math.isinf(strength):
+                            comm = 0.0
+                        else:
+                            comm = data / strength
+                        move = min(move, bil[s][v2] + comm)
+                    succ_terms.append(min(stay, move))
+                bil[task][v] = exec_time(instance, task, v) + (
+                    max(succ_terms) if succ_terms else 0.0
+                )
+        return bil

@@ -1,0 +1,38 @@
+"""Duplex (Braun et al. 2001): run MinMin and MaxMin, keep the better.
+
+Duplex simply executes both heuristics and returns the schedule with the
+smaller makespan, so by construction its makespan equals
+``min(MinMin, MaxMin)`` — an invariant our tests check exactly.
+"""
+
+from __future__ import annotations
+
+from repro.core.instance import ProblemInstance
+from repro.core.schedule import Schedule
+from repro.core.scheduler import Scheduler, SchedulerInfo, register_scheduler
+from repro.schedulers.maxmin import MaxMinScheduler
+from repro.schedulers.minmin import MinMinScheduler
+
+__all__ = ["DuplexScheduler"]
+
+
+@register_scheduler
+class DuplexScheduler(Scheduler):
+    """min(MinMin, MaxMin) by construction."""
+
+    name = "Duplex"
+    info = SchedulerInfo(
+        name="Duplex",
+        full_name="Duplex",
+        reference="Braun et al., JPDC 2001",
+        complexity="O(|T|^2 |V|)",
+        machine_model="unrelated",
+        notes="Best of MinMin and MaxMin.",
+    )
+
+    def schedule(self, instance: ProblemInstance) -> Schedule:
+        candidates = [
+            MinMinScheduler().schedule(instance),
+            MaxMinScheduler().schedule(instance),
+        ]
+        return min(candidates, key=lambda s: s.makespan)

@@ -1,0 +1,74 @@
+"""Ensemble — a portfolio scheduler (the paper's future-work hybrid).
+
+Sections VII-B and VIII suggest that, because PISA shows no scheduler
+dominates, a Workflow Management System "may run a set of scheduling
+algorithms that best covers the different types of client workflows" —
+e.g. the members with the combined minimum maximum makespan ratio.
+
+``EnsembleScheduler`` is that composition: run every member, return the
+schedule with the smallest makespan (Duplex is exactly the 2-member
+ensemble {MinMin, MaxMin}).  Its makespan is, by construction, the
+member-wise minimum — the invariant our tests check — which means an
+adversary attacking the ensemble must find an instance bad for *all*
+members simultaneously.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.instance import ProblemInstance
+from repro.core.schedule import Schedule
+from repro.core.scheduler import Scheduler, SchedulerInfo, get_scheduler, register_scheduler
+
+__all__ = ["EnsembleScheduler"]
+
+#: Default portfolio: the 3-member cover suggested by the Fig. 4 analysis —
+#: a critical-path scheduler, a completion-time scheduler, and the serial
+#: baseline that wins on communication-dominated instances.
+DEFAULT_MEMBERS = ("HEFT", "CPoP", "FastestNode")
+
+
+@register_scheduler
+class EnsembleScheduler(Scheduler):
+    """Run every member scheduler and keep the best schedule.
+
+    Parameters
+    ----------
+    members:
+        Scheduler names (or instances); at least one.  The scheduling
+        complexity is the sum of the members'.
+    """
+
+    name = "Ensemble"
+    info = SchedulerInfo(
+        name="Ensemble",
+        full_name="Ensemble (portfolio of schedulers)",
+        reference="this paper's future-work hybrid (Sections VII-B, VIII)",
+        complexity="sum of members",
+        machine_model="unrelated",
+        notes="Best-of-portfolio; generalizes Duplex.",
+    )
+
+    def __init__(self, members: Sequence[Scheduler | str] = DEFAULT_MEMBERS) -> None:
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        self.members = [
+            get_scheduler(m) if isinstance(m, str) else m for m in members
+        ]
+
+    def schedule(self, instance: ProblemInstance) -> Schedule:
+        best: Schedule | None = None
+        for member in self.members:
+            candidate = member.schedule(instance)
+            if best is None or candidate.makespan < best.makespan:
+                best = candidate
+        assert best is not None
+        return best
+
+    def member_makespans(self, instance: ProblemInstance) -> dict[str, float]:
+        """Per-member makespans (for coverage analyses)."""
+        return {m.name: m.schedule(instance).makespan for m in self.members}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EnsembleScheduler({[m.name for m in self.members]})"

@@ -1,0 +1,48 @@
+"""HEFT — Heterogeneous Earliest Finish Time (Topcuoglu, Hariri, Wu).
+
+Reference: "Task scheduling algorithms for heterogeneous processors",
+HCW 1999 (and the 2002 TPDS version).  Scheduling complexity O(|T|^2 |V|).
+
+HEFT proceeds in two phases:
+
+1. *Task prioritizing*: compute the upward rank of every task (average
+   execution time plus the heaviest average-time chain to a sink) and sort
+   tasks by decreasing rank — a valid topological order.
+2. *Processor selection*: assign each task, in that order, to the node that
+   minimizes its earliest finish time, using the *insertion-based* policy
+   (a task may be slotted into an idle gap between two already-scheduled
+   tasks on a node).
+"""
+
+from __future__ import annotations
+
+from repro.core.instance import ProblemInstance
+from repro.core.schedule import Schedule
+from repro.core.scheduler import Scheduler, SchedulerInfo, register_scheduler
+from repro.core.simulator import ScheduleBuilder
+from repro.schedulers.common import priority_order, upward_rank
+
+__all__ = ["HEFTScheduler"]
+
+
+@register_scheduler
+class HEFTScheduler(Scheduler):
+    """Heterogeneous Earliest Finish Time with insertion."""
+
+    name = "HEFT"
+    info = SchedulerInfo(
+        name="HEFT",
+        full_name="Heterogeneous Earliest Finish Time",
+        reference="Topcuoglu, Hariri & Wu, HCW 1999",
+        complexity="O(|T|^2 |V|)",
+        machine_model="unrelated",
+        notes="Upward-rank list scheduling, insertion-based EFT.",
+    )
+
+    def schedule(self, instance: ProblemInstance) -> Schedule:
+        builder = ScheduleBuilder(instance, insertion=True)
+        ranks = upward_rank(instance)
+        for task in priority_order(instance, ranks):
+            node = builder.best_node_by_eft(task)
+            builder.commit(task, node)
+        return builder.schedule()

@@ -1,0 +1,29 @@
+"""Stochastic problem instances (the paper's Section VIII future work).
+
+Random-variable weights, expected-value planning, realization sampling,
+and robustness evaluation of static schedules under uncertainty.
+"""
+
+from repro.stochastic.variables import (
+    ClippedGaussianRV,
+    Deterministic,
+    RandomVariable,
+    UniformRV,
+)
+from repro.stochastic.model import (
+    RobustnessReport,
+    StochasticInstance,
+    evaluate_robustness,
+    replay_schedule,
+)
+
+__all__ = [
+    "RandomVariable",
+    "Deterministic",
+    "UniformRV",
+    "ClippedGaussianRV",
+    "StochasticInstance",
+    "replay_schedule",
+    "evaluate_robustness",
+    "RobustnessReport",
+]

@@ -1,0 +1,96 @@
+"""Random variables for stochastic problem instances.
+
+Section VIII: "we plan to add support for stochastic problem instances
+(with stochastic task costs, data sizes, computation speeds, and
+communication costs)".  These small distribution objects are the weights
+of a :class:`~repro.stochastic.model.StochasticInstance`; each knows its
+mean (for expected-value scheduling) and how to sample itself.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.distributions import clipped_gaussian
+
+__all__ = ["RandomVariable", "Deterministic", "UniformRV", "ClippedGaussianRV"]
+
+
+class RandomVariable(ABC):
+    """A non-negative random weight."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected value (used to build the expected instance)."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one realization (must be >= 0)."""
+
+
+@dataclass(frozen=True)
+class Deterministic(RandomVariable):
+    """A constant weight (lifts plain floats into the stochastic model)."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError("weights must be non-negative")
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class UniformRV(RandomVariable):
+    """Uniform on [low, high]."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ValueError(f"need 0 <= low <= high, got [{self.low}, {self.high}]")
+
+    @property
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+
+@dataclass(frozen=True)
+class ClippedGaussianRV(RandomVariable):
+    """The paper's workhorse distribution, as a random variable.
+
+    Note: the reported ``mean`` is the *nominal* Gaussian mean, matching
+    how the paper parameterizes its datasets (clipping shifts the true
+    mean slightly; schedulers planning on the nominal mean is part of the
+    stochastic-robustness story).
+    """
+
+    nominal_mean: float
+    std: float
+    low: float = 0.0
+    high: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.std < 0 or self.low < 0 or self.high < self.low:
+            raise ValueError("invalid clipped-Gaussian parameters")
+
+    @property
+    def mean(self) -> float:
+        return min(max(self.nominal_mean, self.low), self.high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return clipped_gaussian(rng, self.nominal_mean, self.std, self.low, self.high)

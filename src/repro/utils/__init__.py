@@ -1,0 +1,29 @@
+"""Shared utilities: RNG plumbing, distributions, topological helpers.
+
+These are deliberately small and dependency-light.  Everything that consumes
+randomness in this package takes an explicit :class:`numpy.random.Generator`
+(see :mod:`repro.utils.rng`) so that every experiment in the paper can be
+reproduced bit-for-bit from a seed.
+"""
+
+from repro.utils.rng import as_generator, spawn, derive_seed
+from repro.utils.distributions import clipped_gaussian, clipped_gaussian_array, LogNormalModel
+from repro.utils.topo import (
+    topological_order,
+    is_dag_after_edge,
+    all_linear_extensions,
+    longest_path_length,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn",
+    "derive_seed",
+    "clipped_gaussian",
+    "clipped_gaussian_array",
+    "LogNormalModel",
+    "topological_order",
+    "is_dag_after_edge",
+    "all_linear_extensions",
+    "longest_path_length",
+]

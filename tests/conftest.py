@@ -1,0 +1,87 @@
+"""Shared fixtures: canonical instances used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Network, ProblemInstance, TaskGraph, list_schedulers
+
+#: All registered schedulers / the polynomial subset the paper evaluates.
+ALL_SCHEDULERS = list_schedulers()
+POLY_SCHEDULERS = list_schedulers(include_exponential=False)
+
+
+@pytest.fixture
+def diamond_instance() -> ProblemInstance:
+    """The paper's Fig. 1 instance: t1 -> {t2, t3} -> t4 on 3 nodes."""
+    task_graph = TaskGraph.from_dicts(
+        {"t1": 1.7, "t2": 1.2, "t3": 2.2, "t4": 0.8},
+        {
+            ("t1", "t2"): 0.6,
+            ("t1", "t3"): 0.5,
+            ("t2", "t4"): 1.3,
+            ("t3", "t4"): 1.6,
+        },
+    )
+    network = Network.from_speeds(
+        {"v1": 1.0, "v2": 1.2, "v3": 1.5},
+        strengths={("v1", "v2"): 0.5, ("v1", "v3"): 1.0, ("v2", "v3"): 1.2},
+    )
+    return ProblemInstance(network, task_graph, name="diamond")
+
+
+@pytest.fixture
+def chain_instance() -> ProblemInstance:
+    """A 3-task chain on a 2-node heterogeneous network."""
+    task_graph = TaskGraph.from_dicts(
+        {"a": 1.0, "b": 2.0, "c": 1.0},
+        {("a", "b"): 1.0, ("b", "c"): 0.5},
+    )
+    network = Network.from_speeds({"n1": 1.0, "n2": 2.0}, default_strength=1.0)
+    return ProblemInstance(network, task_graph, name="chain")
+
+
+@pytest.fixture
+def fork_join_instance() -> ProblemInstance:
+    """The Fig. 3 fork-join (1 -> {2,3,4} -> 5) on the original network."""
+    task_graph = TaskGraph.from_dicts(
+        {"1": 3.0, "2": 3.0, "3": 3.0, "4": 3.0, "5": 3.0},
+        {
+            ("1", "2"): 2.0,
+            ("1", "3"): 2.0,
+            ("1", "4"): 2.0,
+            ("2", "5"): 3.0,
+            ("3", "5"): 3.0,
+            ("4", "5"): 3.0,
+        },
+    )
+    network = Network.homogeneous(3, speed=1.0, strength=1.0)
+    return ProblemInstance(network, task_graph, name="fork_join")
+
+
+@pytest.fixture
+def independent_instance() -> ProblemInstance:
+    """Four independent tasks (no dependencies) on 2 nodes."""
+    task_graph = TaskGraph.from_dicts(
+        {"w": 4.0, "x": 3.0, "y": 2.0, "z": 1.0}, {}
+    )
+    network = Network.from_speeds({"fast": 2.0, "slow": 1.0}, default_strength=1.0)
+    return ProblemInstance(network, task_graph, name="independent")
+
+
+@pytest.fixture
+def single_node_instance() -> ProblemInstance:
+    """A chain on a single-node network (degenerate but legal)."""
+    task_graph = TaskGraph.from_dicts(
+        {"a": 1.0, "b": 1.0}, {("a", "b"): 5.0}
+    )
+    network = Network.from_speeds({"only": 1.0})
+    return ProblemInstance(network, task_graph, name="single_node")
+
+
+@pytest.fixture
+def dead_link_instance() -> ProblemInstance:
+    """Two chained tasks, two nodes joined by a zero-strength link."""
+    task_graph = TaskGraph.from_dicts({"a": 1.0, "b": 1.0}, {("a", "b"): 1.0})
+    network = Network.from_speeds({"n1": 1.0, "n2": 1.0}, default_strength=0.0)
+    return ProblemInstance(network, task_graph, name="dead_link")

@@ -1,0 +1,148 @@
+"""Tests for the analysis toolkit (instance stats, portfolios, trajectories)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import Network, ProblemInstance, TaskGraph
+from repro.analysis import (
+    best_portfolio,
+    instance_stats,
+    portfolio_exposure,
+    portfolio_table,
+    restart_contributions,
+    summarize_trajectory,
+)
+from repro.pisa import PISA, AnnealingConfig, PISAConfig, pairwise_comparison
+
+FAST = PISAConfig(annealing=AnnealingConfig(max_iterations=25, alpha=0.88), restarts=2)
+
+
+class TestInstanceStats:
+    def test_chain_profile(self, chain_instance):
+        stats = instance_stats(chain_instance)
+        assert stats.num_tasks == 3
+        assert stats.depth == 3
+        assert stats.parallelism == pytest.approx(1.0 / 3.0)
+        assert stats.critical_path_dominance == pytest.approx(1.0)
+        assert stats.speed_heterogeneity == pytest.approx(2.0)
+
+    def test_independent_profile(self, independent_instance):
+        stats = instance_stats(independent_instance)
+        assert stats.depth == 1
+        assert stats.parallelism == 4.0
+        # CP dominance = heaviest single task / total work = 4/10.
+        assert stats.critical_path_dominance == pytest.approx(0.4)
+
+    def test_fork_join_profile(self, fork_join_instance):
+        stats = instance_stats(fork_join_instance)
+        assert stats.depth == 3
+        assert stats.parallelism == pytest.approx(1.0)
+        assert stats.speed_heterogeneity == 1.0
+        assert stats.strength_heterogeneity == 1.0
+
+    def test_dead_link_heterogeneity(self):
+        tg = TaskGraph.from_dicts({"a": 1.0}, {})
+        net = Network.from_speeds(
+            {"u": 1.0, "v": 1.0, "w": 1.0},
+            strengths={("u", "v"): 0.0, ("u", "w"): 1.0, ("v", "w"): 1.0},
+        )
+        stats = instance_stats(ProblemInstance(net, tg))
+        assert math.isinf(stats.strength_heterogeneity)
+
+    def test_empty_graph(self):
+        inst = ProblemInstance(Network.from_speeds({"v": 1.0}), TaskGraph())
+        stats = instance_stats(inst)
+        assert stats.num_tasks == 0
+        assert stats.depth == 0
+
+    def test_as_row_serializable(self, diamond_instance):
+        row = instance_stats(diamond_instance).as_row()
+        assert row["tasks"] == 4
+        assert isinstance(row["ccr"], float)
+
+
+class TestPortfolio:
+    @pytest.fixture(scope="class")
+    def pairwise(self):
+        return pairwise_comparison(["HEFT", "CPoP", "FastestNode"], config=FAST, rng=0)
+
+    def test_exposure_full_portfolio_is_one(self, pairwise):
+        assert portfolio_exposure(pairwise, ["HEFT", "CPoP", "FastestNode"]) == 1.0
+
+    def test_exposure_singleton_is_worst_case(self, pairwise):
+        exposure = portfolio_exposure(pairwise, ["HEFT"])
+        assert exposure == max(
+            pairwise.ratio("HEFT", "CPoP"), pairwise.ratio("HEFT", "FastestNode")
+        )
+
+    def test_exposure_monotone_in_members(self, pairwise):
+        solo = portfolio_exposure(pairwise, ["HEFT"])
+        duo = portfolio_exposure(pairwise, ["HEFT", "CPoP"])
+        assert duo <= solo + 1e-12
+
+    def test_exposure_validation(self, pairwise):
+        with pytest.raises(ValueError):
+            portfolio_exposure(pairwise, [])
+        with pytest.raises(ValueError):
+            portfolio_exposure(pairwise, ["Ghost"])
+
+    def test_best_portfolio(self, pairwise):
+        choice = best_portfolio(pairwise, 2)
+        assert len(choice.members) == 2
+        # Optimality: no other 2-subset does better.
+        import itertools
+
+        for members in itertools.combinations(pairwise.schedulers, 2):
+            assert choice.exposure <= portfolio_exposure(pairwise, members) + 1e-12
+
+    def test_best_portfolio_size_validation(self, pairwise):
+        with pytest.raises(ValueError):
+            best_portfolio(pairwise, 0)
+        with pytest.raises(ValueError):
+            best_portfolio(pairwise, 99)
+
+    def test_portfolio_table(self, pairwise):
+        table = portfolio_table(pairwise, max_size=3)
+        assert [len(c.members) for c in table] == [1, 2, 3]
+        exposures = [c.exposure for c in table]
+        assert exposures == sorted(exposures, reverse=True)  # bigger never worse
+
+
+class TestTrajectory:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return PISA("HEFT", "CPoP", config=FAST).run(rng=0)
+
+    def test_summary_fields(self, result):
+        summary = summarize_trajectory(result.restart_results[0])
+        assert summary.iterations == 25
+        assert 0.0 <= summary.acceptance_rate <= 1.0
+        assert summary.best_energy >= summary.initial_energy
+        assert summary.improvement >= 1.0
+
+    def test_last_improvement_consistent(self, result):
+        restart = result.restart_results[0]
+        summary = summarize_trajectory(restart)
+        if summary.last_improvement >= 0:
+            step = restart.history[summary.last_improvement]
+            assert step.best_energy == restart.best_energy
+
+    def test_empty_history(self):
+        from repro.pisa.annealing import AnnealingResult
+
+        summary = summarize_trajectory(
+            AnnealingResult(best_state=None, best_energy=1.0, initial_energy=1.0, iterations=0)
+        )
+        assert summary.acceptance_rate == 0.0
+        assert summary.last_improvement == -1
+
+    def test_restart_contributions(self, result):
+        rows = restart_contributions(result)
+        assert len(rows) == 2
+        ranks = sorted(row["rank"] for row in rows)
+        assert ranks == [1, 2]
+        best_row = next(row for row in rows if row["rank"] == 1)
+        assert best_row["best"] == result.best_ratio

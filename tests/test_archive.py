@@ -1,0 +1,91 @@
+"""Tests for the adversarial-instance archive (publishing framework)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DatasetError
+from repro.pisa import PISA, AnnealingConfig, PISAConfig
+from repro.pisa.archive import AdversarialArchive, AdversarialEntry
+
+FAST = PISAConfig(annealing=AnnealingConfig(max_iterations=25, alpha=0.88), restarts=1)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return PISA("HEFT", "CPoP", config=FAST).run(rng=0)
+
+
+class TestEntry:
+    def test_verify_passes_for_real_result(self, result):
+        archive = AdversarialArchive("test")
+        entry = archive.add_result(result, note="unit test")
+        assert entry.verify() == pytest.approx(result.best_ratio)
+
+    def test_verify_rejects_inflated_claim(self, result):
+        entry = AdversarialEntry(
+            target="HEFT",
+            baseline="CPoP",
+            ratio=result.best_ratio * 3.0,  # a lie
+            instance=result.best_instance,
+        )
+        with pytest.raises(DatasetError, match="does not reproduce"):
+            entry.verify()
+
+
+class TestArchive:
+    def test_add_and_query(self, result):
+        archive = AdversarialArchive("findings")
+        archive.add_result(result)
+        assert len(archive) == 1
+        worst = archive.worst_for("HEFT")
+        assert worst is not None
+        assert worst.ratio == result.best_ratio
+        assert archive.worst_for("MinMin") is None
+
+    def test_worst_for_picks_maximum(self, result):
+        archive = AdversarialArchive("findings")
+        archive.add_result(result)
+        # A second, weaker entry for the same target.
+        weaker = AdversarialEntry(
+            target="HEFT",
+            baseline="CPoP",
+            ratio=result.best_ratio * 0.5,
+            instance=result.best_instance,
+        )
+        archive.entries.append(weaker)
+        assert archive.worst_for("HEFT").ratio == result.best_ratio
+
+    def test_save_load_roundtrip(self, result, tmp_path):
+        archive = AdversarialArchive("findings")
+        archive.add_result(result, note="roundtrip")
+        path = tmp_path / "archive.json"
+        archive.save(path)
+        again = AdversarialArchive.load(path)  # verify=True re-checks claims
+        assert again.name == "findings"
+        assert len(again) == 1
+        entry = again.entries[0]
+        assert entry.note == "roundtrip"
+        assert entry.ratio == pytest.approx(result.best_ratio)
+        assert entry.instance.task_graph == result.best_instance.task_graph
+
+    def test_load_detects_tampering(self, result, tmp_path):
+        archive = AdversarialArchive("findings")
+        archive.add_result(result)
+        path = tmp_path / "archive.json"
+        archive.save(path)
+        # Tamper with the claimed ratio on disk.
+        import json
+
+        payload = json.loads(path.read_text())
+        payload["entries"][0]["ratio"] *= 10.0
+        path.write_text(json.dumps(payload))
+        with pytest.raises(DatasetError):
+            AdversarialArchive.load(path)
+        # Loading without verification still works (for forensics).
+        loaded = AdversarialArchive.load(path, verify=False)
+        assert len(loaded) == 1
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            AdversarialArchive.load(tmp_path / "nope.json")

@@ -1,0 +1,100 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "HEFT" in out and "chains" in out
+
+    def test_schedule(self, capsys):
+        assert main(["schedule", "--scheduler", "HEFT", "--dataset", "chains", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "|" in out  # gantt chart rendered
+
+    def test_schedule_index(self, capsys):
+        assert (
+            main(
+                [
+                    "schedule",
+                    "--scheduler",
+                    "CPoP",
+                    "--dataset",
+                    "in_trees",
+                    "--index",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert "in_trees[2]" in capsys.readouterr().out
+
+    def test_benchmark(self, capsys):
+        assert (
+            main(
+                [
+                    "benchmark",
+                    "--datasets",
+                    "chains",
+                    "--schedulers",
+                    "HEFT,FastestNode",
+                    "--instances",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "chains" in out and "FastestNode" in out
+
+    def test_pisa(self, capsys):
+        assert (
+            main(
+                [
+                    "pisa",
+                    "--target",
+                    "HEFT",
+                    "--baseline",
+                    "CPoP",
+                    "--iterations",
+                    "15",
+                    "--restarts",
+                    "1",
+                    "--alpha",
+                    "0.8",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "worst ratio found" in out
+        assert "HEFT schedule" in out
+
+    def test_experiment_tables(self, capsys):
+        assert main(["experiment", "tables"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_experiment_fig1(self, capsys):
+        assert main(["experiment", "fig1"]) == 0
+        assert "Fig. 1" in capsys.readouterr().out
+
+    def test_experiment_fig9(self, capsys):
+        assert main(["experiment", "fig9"]) == 0
+        assert "srasearch" in capsys.readouterr().out

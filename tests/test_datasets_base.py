@@ -1,0 +1,86 @@
+"""Tests for the Dataset container, registry, and persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DatasetError, Network, ProblemInstance, TaskGraph
+from repro.datasets import (
+    Dataset,
+    PAPER_DATASETS,
+    generate_dataset,
+    get_dataset_generator,
+    list_datasets,
+)
+
+
+def _instance(i: int) -> ProblemInstance:
+    tg = TaskGraph.from_dicts({"a": float(i + 1), "b": 1.0}, {("a", "b"): 0.5})
+    net = Network.from_speeds({"u": 1.0, "v": 2.0}, default_strength=1.0)
+    return ProblemInstance(net, tg, name=f"inst[{i}]")
+
+
+class TestDatasetContainer:
+    def test_basic_container_ops(self):
+        ds = Dataset("demo", [_instance(0), _instance(1)])
+        assert len(ds) == 2
+        assert ds[1].name == "inst[1]"
+        assert [i.name for i in ds] == ["inst[0]", "inst[1]"]
+
+    def test_add(self):
+        ds = Dataset("demo")
+        ds.add(_instance(0))
+        assert len(ds) == 1
+
+    def test_save_load_roundtrip(self, tmp_path):
+        ds = Dataset("demo", [_instance(i) for i in range(3)])
+        path = tmp_path / "demo.json.gz"
+        ds.save(path)
+        again = Dataset.load(path)
+        assert again.name == "demo"
+        assert len(again) == 3
+        for x, y in zip(ds, again):
+            assert x.task_graph == y.task_graph
+            assert x.network == y.network
+            assert x.name == y.name
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            Dataset.load(tmp_path / "nope.json.gz")
+
+    def test_load_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json.gz"
+        path.write_bytes(b"not gzip at all")
+        with pytest.raises(DatasetError):
+            Dataset.load(path)
+
+
+class TestRegistry:
+    def test_all_paper_datasets_registered(self):
+        assert set(PAPER_DATASETS) <= set(list_datasets())
+        assert len(PAPER_DATASETS) == 16
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            get_dataset_generator("nonexistent")
+
+    def test_generate_dataset_dispatch(self):
+        ds = generate_dataset("chains", num_instances=2, rng=0)
+        assert ds.name == "chains"
+        assert len(ds) == 2
+
+    def test_generate_negative_count(self):
+        with pytest.raises(DatasetError):
+            generate_dataset("chains", num_instances=-1, rng=0)
+
+    def test_workflow_roundtrip_through_disk(self, tmp_path):
+        ds = generate_dataset("blast", num_instances=2, rng=0)
+        path = tmp_path / "blast.json.gz"
+        ds.save(path)
+        again = Dataset.load(path)
+        # Infinite strengths must survive the JSON roundtrip.
+        inst = again[0]
+        u, v = inst.network.links[0]
+        import math
+
+        assert math.isinf(inst.network.strength(u, v))

@@ -1,0 +1,142 @@
+"""Tests for the IoT datasets (etl, predict, stats, train) and the
+Edge/Fog/Cloud networks."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets.iot import (
+    IOT_APPLICATIONS,
+    edge_fog_cloud_network,
+    etl_dataset,
+    iot_task_graph,
+    predict_dataset,
+    stats_dataset,
+    train_dataset,
+)
+
+SMALL = {"edge_range": (4, 6), "fog_range": (2, 3), "cloud_range": (1, 2)}
+
+
+class TestApplicationTemplates:
+    @pytest.mark.parametrize("app", sorted(IOT_APPLICATIONS))
+    def test_template_topologically_ordered(self, app):
+        seen = set()
+        for task, ratio, parents in IOT_APPLICATIONS[app]:
+            assert ratio >= 0
+            for parent in parents:
+                assert parent in seen
+            seen.add(task)
+
+    @pytest.mark.parametrize("app", sorted(IOT_APPLICATIONS))
+    def test_single_source(self, app):
+        sources = [t for t, _, parents in IOT_APPLICATIONS[app] if not parents]
+        assert len(sources) == 1
+
+
+class TestIotTaskGraph:
+    def test_unknown_app(self):
+        with pytest.raises(KeyError):
+            iot_task_graph("nonexistent")
+
+    @pytest.mark.parametrize("app", sorted(IOT_APPLICATIONS))
+    def test_costs_in_clip_range(self, app):
+        tg = iot_task_graph(app, rng=0)
+        assert all(10.0 <= tg.cost(t) <= 60.0 for t in tg.tasks)
+
+    def test_edge_weights_follow_io_ratios(self):
+        """Edge weight = producer output = ratio * producer input."""
+        rows = IOT_APPLICATIONS["etl"]
+        tg = iot_task_graph("etl", rng=1)
+        ratios = {task: ratio for task, ratio, _ in rows}
+        parents_of = {task: parents for task, _, parents in rows}
+        # source input is the sampled application input in [500, 1500]
+        (source,) = [t for t, _, p in rows if not p]
+        outputs = {}
+        inputs = {}
+        for task, ratio, parents in rows:
+            if not parents:
+                inp = None  # unknown sample, recovered below
+            # recover from the graph instead: every out-edge of t carries
+            # the same weight = output(t)
+            out_edges = [tg.data_size(task, s) for s in tg.successors(task)]
+            if out_edges:
+                assert max(out_edges) - min(out_edges) < 1e-9
+                outputs[task] = out_edges[0]
+        # source output within ratio * [500, 1500]
+        src_ratio = ratios[source]
+        assert 500 * src_ratio - 1e-6 <= outputs[source] <= 1500 * src_ratio + 1e-6
+        # downstream: output = ratio * sum(inputs)
+        for task, ratio, parents in rows:
+            if parents and task in outputs:
+                total_in = sum(outputs[p] for p in parents)
+                assert outputs[task] == pytest.approx(ratio * total_in)
+
+    def test_deterministic(self):
+        a = iot_task_graph("stats", rng=3)
+        b = iot_task_graph("stats", rng=3)
+        assert a == b
+
+
+class TestEdgeFogCloudNetwork:
+    def test_tier_sizes(self):
+        net = edge_fog_cloud_network(rng=0, **SMALL)
+        edge = [n for n in net.nodes if str(n).startswith("edge")]
+        fog = [n for n in net.nodes if str(n).startswith("fog")]
+        cloud = [n for n in net.nodes if str(n).startswith("cloud")]
+        assert 4 <= len(edge) <= 6
+        assert 2 <= len(fog) <= 3
+        assert 1 <= len(cloud) <= 2
+
+    def test_tier_speeds(self):
+        net = edge_fog_cloud_network(rng=1, **SMALL)
+        for node in net.nodes:
+            name = str(node)
+            expected = 1.0 if name.startswith("edge") else 6.0 if name.startswith("fog") else 50.0
+            assert net.speed(node) == expected
+
+    def test_tier_strengths(self):
+        net = edge_fog_cloud_network(rng=2, **SMALL)
+
+        def tier(n):
+            return "edge" if str(n).startswith("edge") else (
+                "fog" if str(n).startswith("fog") else "cloud"
+            )
+
+        for u, v in net.links:
+            pair = frozenset((tier(u), tier(v)))
+            s = net.strength(u, v)
+            if pair == frozenset(("cloud",)):
+                assert math.isinf(s)
+            elif pair in (frozenset(("fog",)), frozenset(("fog", "cloud"))):
+                assert s == 100.0
+            else:
+                assert s == 60.0
+
+    def test_paper_scale_ranges(self):
+        net = edge_fog_cloud_network(rng=3)
+        edge = sum(1 for n in net.nodes if str(n).startswith("edge"))
+        assert 75 <= edge <= 125
+
+    def test_complete(self):
+        edge_fog_cloud_network(rng=4, **SMALL).validate()
+
+
+@pytest.mark.parametrize(
+    "generator", [etl_dataset, predict_dataset, stats_dataset, train_dataset]
+)
+class TestIotDatasets:
+    def test_generate_small(self, generator):
+        ds = generator(num_instances=3, rng=0, network_kwargs=SMALL)
+        assert len(ds) == 3
+        ds.validate()
+
+    def test_deterministic(self, generator):
+        a = generator(num_instances=2, rng=5, network_kwargs=SMALL)
+        b = generator(num_instances=2, rng=5, network_kwargs=SMALL)
+        for x, y in zip(a, b):
+            assert x.task_graph == y.task_graph
+            assert x.network == y.network

@@ -1,0 +1,182 @@
+"""Tests for the scientific-workflow recipes and trace substitution."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_dataset
+from repro.datasets.traces import chameleon_network, synthetic_trace
+from repro.datasets.workflows import get_recipe, list_recipes, workflow_dataset
+
+ALL_RECIPES = list_recipes()
+
+
+def test_nine_recipes_registered():
+    assert ALL_RECIPES == sorted(
+        [
+            "blast",
+            "bwa",
+            "cycles",
+            "epigenomics",
+            "genome",
+            "montage",
+            "seismology",
+            "soykb",
+            "srasearch",
+        ]
+    )
+
+
+@pytest.mark.parametrize("name", ALL_RECIPES)
+class TestRecipeStructure:
+    def test_structure_is_topologically_ordered(self, name):
+        recipe = get_recipe(name)
+        spec = recipe.structure(np.random.default_rng(0))
+        seen = set()
+        for task, _, parents in spec:
+            assert task not in seen, "duplicate task name"
+            for parent in parents:
+                assert parent in seen, f"{task} listed before parent {parent}"
+            seen.add(task)
+
+    def test_all_types_declared(self, name):
+        recipe = get_recipe(name)
+        spec = recipe.structure(np.random.default_rng(1))
+        declared = set(recipe.task_types)
+        used = {task_type for _, task_type, _ in spec}
+        assert used <= declared
+
+    def test_structure_width_varies(self, name):
+        recipe = get_recipe(name)
+        sizes = {len(recipe.structure(np.random.default_rng(s))) for s in range(15)}
+        assert len(sizes) > 1
+
+    def test_task_graph_builds_and_validates(self, name):
+        recipe = get_recipe(name)
+        trace = recipe.trace(rng=0)
+        tg = recipe.build_task_graph(np.random.default_rng(2), trace)
+        tg.validate()
+        assert len(tg) >= 4
+        assert all(tg.cost(t) > 0 for t in tg.tasks)
+
+    def test_instance_has_chameleon_network(self, name):
+        recipe = get_recipe(name)
+        inst = recipe.instance(rng=3)
+        inst.validate()
+        # Shared filesystem: all links infinitely strong => CCR 0.
+        assert all(math.isinf(inst.network.strength(u, v)) for u, v in inst.network.links)
+        assert inst.ccr() == 0.0
+
+
+class TestSpecificStructures:
+    def test_blast_fork_join(self):
+        """Fig. 9b: split -> n x blastall -> two gather tasks."""
+        recipe = get_recipe("blast")
+        spec = recipe.structure(np.random.default_rng(5))
+        by_type: dict[str, list] = {}
+        for task, task_type, parents in spec:
+            by_type.setdefault(task_type, []).append((task, parents))
+        assert len(by_type["split_fasta"]) == 1
+        n = len(by_type["blastall"])
+        assert recipe.min_width <= n <= recipe.max_width
+        # Every blastall depends only on the split task.
+        split = by_type["split_fasta"][0][0]
+        assert all(parents == [split] for _, parents in by_type["blastall"])
+        # Both gathers consume all blastall outputs.
+        for gather_type in ("cat_blast", "cat"):
+            (_, parents), = by_type[gather_type]
+            assert len(parents) == n
+
+    def test_srasearch_blocks(self):
+        """Fig. 9a: per-block 2x2 diamonds + aggregation tail."""
+        recipe = get_recipe("srasearch")
+        spec = recipe.structure(np.random.default_rng(6))
+        types = {task: t for task, t, _ in spec}
+        parents = {task: p for task, _, p in spec}
+        searches = [t for t, ty in types.items() if ty == "search"]
+        for s in searches:
+            kinds = sorted(types[p] for p in parents[s])
+            assert kinds == ["fasterq_dump", "prefetch"]
+        # Single finalize sink fed by the two postprocess tasks.
+        (final,) = [t for t, ty in types.items() if ty == "finalize"]
+        assert sorted(types[p] for p in parents[final]) == ["postprocess", "postprocess"]
+
+    def test_seismology_star(self):
+        recipe = get_recipe("seismology")
+        spec = recipe.structure(np.random.default_rng(7))
+        gathers = [row for row in spec if row[1] == "wrapper_siftSTFByMisfit"]
+        assert len(gathers) == 1
+        assert len(gathers[0][2]) == len(spec) - 1  # consumes every decon
+
+    def test_montage_layering(self):
+        recipe = get_recipe("montage")
+        spec = recipe.structure(np.random.default_rng(8))
+        types = {task: t for task, t, _ in spec}
+        parents = {task: p for task, _, p in spec}
+        n = sum(1 for t in types.values() if t == "mProject")
+        assert sum(1 for t in types.values() if t == "mDiffFit") == n - 1
+        assert sum(1 for t in types.values() if t == "mBackground") == n
+        # Every background reads the model and one projection.
+        for task, ty in types.items():
+            if ty == "mBackground":
+                kinds = sorted(types[p] for p in parents[task])
+                assert kinds == ["mBgModel", "mProject"]
+
+
+class TestTraces:
+    def test_synthetic_trace_columns(self):
+        recipe = get_recipe("blast")
+        trace = recipe.trace(rng=0)
+        assert trace.task_types == sorted(recipe.task_types)
+        lo, hi = trace.runtime_range
+        assert 0 < lo < hi
+
+    def test_trace_deterministic(self):
+        recipe = get_recipe("bwa")
+        t1, t2 = recipe.trace(rng=5), recipe.trace(rng=5)
+        assert t1.runtime_range == t2.runtime_range
+        assert t1.records[0] == t2.records[0]
+
+    def test_fit_and_sample_positive(self):
+        recipe = get_recipe("montage")
+        trace = recipe.trace(rng=1)
+        model = trace.runtime_model("mProject")
+        samples = model.sample(np.random.default_rng(0), size=100)
+        assert np.all(samples > 0)
+        # Mean within a factor ~2 of the profile mean (log-normal spread).
+        assert 30 < float(np.mean(samples)) < 300
+
+    def test_speed_model(self):
+        trace = synthetic_trace(
+            "x", get_recipe("blast").task_types, rng=2, num_machines=5
+        )
+        model = trace.speed_model()
+        assert model.mean > 0
+
+    def test_chameleon_network_size(self):
+        trace = get_recipe("blast").trace(rng=3)
+        net = chameleon_network(trace, rng=4, min_nodes=4, max_nodes=10)
+        assert 4 <= len(net) <= 10
+        net.validate()
+
+
+class TestWorkflowDatasets:
+    def test_generate_via_registry(self):
+        ds = generate_dataset("seismology", num_instances=4, rng=9)
+        assert len(ds) == 4
+        ds.validate()
+
+    def test_workflow_dataset_deterministic(self):
+        a = workflow_dataset("blast", num_instances=3, rng=11)
+        b = workflow_dataset("blast", num_instances=3, rng=11)
+        for x, y in zip(a, b):
+            assert x.task_graph == y.task_graph
+            assert x.network == y.network
+
+    def test_instances_share_family_not_weights(self):
+        ds = workflow_dataset("blast", num_instances=4, rng=12)
+        costs = [tuple(sorted(i.task_graph.cost(t) for t in i.task_graph.tasks)) for i in ds]
+        assert len(set(costs)) > 1  # weights vary across instances

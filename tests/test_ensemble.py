@@ -1,0 +1,73 @@
+"""Tests for the Ensemble (portfolio) scheduler extension."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro import get_scheduler
+from repro.schedulers import EnsembleScheduler
+from tests.strategies import instances
+
+
+class TestConstruction:
+    def test_registered(self):
+        assert isinstance(get_scheduler("Ensemble"), EnsembleScheduler)
+
+    def test_default_members(self):
+        ens = EnsembleScheduler()
+        assert [m.name for m in ens.members] == ["HEFT", "CPoP", "FastestNode"]
+
+    def test_needs_members(self):
+        with pytest.raises(ValueError):
+            EnsembleScheduler(members=())
+
+    def test_accepts_instances_and_names(self):
+        from repro.schedulers import HEFTScheduler
+
+        ens = EnsembleScheduler(members=[HEFTScheduler(), "MinMin"])
+        assert [m.name for m in ens.members] == ["HEFT", "MinMin"]
+
+
+class TestBehaviour:
+    def test_valid_schedule(self, diamond_instance):
+        sched = EnsembleScheduler().schedule(diamond_instance)
+        sched.validate(diamond_instance)
+
+    def test_matches_best_member(self, diamond_instance):
+        ens = EnsembleScheduler()
+        member_makespans = ens.member_makespans(diamond_instance)
+        assert ens.schedule(diamond_instance).makespan == min(member_makespans.values())
+
+    def test_duplex_is_a_two_member_ensemble(self, diamond_instance):
+        duplex = get_scheduler("Duplex").schedule(diamond_instance).makespan
+        ens = EnsembleScheduler(members=["MinMin", "MaxMin"]).schedule(diamond_instance)
+        assert ens.makespan == duplex
+
+    def test_single_member_is_identity(self, diamond_instance):
+        solo = EnsembleScheduler(members=["HEFT"]).schedule(diamond_instance)
+        heft = get_scheduler("HEFT").schedule(diamond_instance)
+        assert solo.makespan == heft.makespan
+
+    @settings(max_examples=20, deadline=None)
+    @given(inst=instances(min_tasks=1))
+    def test_property_never_worse_than_any_member(self, inst):
+        members = ["HEFT", "CPoP", "MinMin", "FastestNode"]
+        ens = EnsembleScheduler(members=members)
+        makespan = ens.schedule(inst).makespan
+        for name in members:
+            assert makespan <= get_scheduler(name).schedule(inst).makespan + 1e-12
+
+    def test_harder_to_attack_than_members(self):
+        """An adversary must beat every member at once; the ensemble's
+        worst-case PISA ratio never exceeds a member's on the same run."""
+        from repro.pisa import PISA, AnnealingConfig, PISAConfig
+
+        config = PISAConfig(
+            annealing=AnnealingConfig(max_iterations=40, alpha=0.9), restarts=1
+        )
+        heft_result = PISA("HEFT", "MinMin", config=config).run(rng=0)
+        ens = EnsembleScheduler(members=["HEFT", "CPoP", "FastestNode"])
+        ens_pisa = PISA(ens, "MinMin", config=config)
+        # On HEFT's adversarial instance, the ensemble does at least as well.
+        assert ens_pisa.energy(heft_result.best_instance) <= heft_result.best_ratio + 1e-9

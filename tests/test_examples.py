@@ -1,0 +1,74 @@
+"""Smoke tests: the example scripts run and print what they promise.
+
+Only the fast examples run in-process here; the slower adversarial ones
+are exercised indirectly through the PISA tests (same code paths).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_examples_exist():
+    expected = {
+        "quickstart.py",
+        "scientific_workflow.py",
+        "iot_edge.py",
+        "adversarial_analysis.py",
+        "hybrid_portfolio.py",
+        "stochastic_robustness.py",
+    }
+    assert expected <= {p.name for p in EXAMPLES.glob("*.py")}
+
+
+def test_quickstart_runs():
+    out = _run("quickstart.py")
+    assert "HEFT: makespan" in out
+    assert "task t1 on" in out
+
+
+def test_iot_edge_runs():
+    out = _run("iot_edge.py")
+    assert "=== etl" in out
+    assert "FastestNode" in out
+
+
+@pytest.mark.slow
+def test_adversarial_analysis_runs():
+    out = _run("adversarial_analysis.py", timeout=600)
+    assert "best ratio" in out
+
+
+@pytest.mark.slow
+def test_hybrid_portfolio_runs():
+    out = _run("hybrid_portfolio.py", timeout=600)
+    assert "best portfolio" in out
+
+
+@pytest.mark.slow
+def test_scientific_workflow_runs():
+    out = _run("scientific_workflow.py", timeout=600)
+    assert "benchmark winner" in out
+
+
+@pytest.mark.slow
+def test_stochastic_robustness_runs():
+    out = _run("stochastic_robustness.py", timeout=600)
+    assert "realized mean" in out

@@ -1,0 +1,66 @@
+"""Tests for the benchmarking harness (Section V machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarking.harness import benchmark_dataset, benchmark_grid
+from repro.datasets import Dataset, generate_dataset
+
+SCHEDULERS = ["HEFT", "CPoP", "FastestNode", "OLB"]
+
+
+@pytest.fixture(scope="module")
+def chains() -> Dataset:
+    return generate_dataset("chains", num_instances=6, rng=0)
+
+
+class TestBenchmarkDataset:
+    def test_per_instance_minimum_ratio_is_one(self, chains):
+        result = benchmark_dataset(SCHEDULERS, chains)
+        for inst_result in result.per_instance:
+            assert min(inst_result.ratios.values()) == pytest.approx(1.0)
+
+    def test_ratios_at_least_one(self, chains):
+        result = benchmark_dataset(SCHEDULERS, chains)
+        for name in SCHEDULERS:
+            assert all(r >= 1.0 - 1e-12 for r in result.ratios(name))
+
+    def test_best_scheduler_has_ratio_one(self, chains):
+        result = benchmark_dataset(SCHEDULERS, chains)
+        for inst_result in result.per_instance:
+            best = inst_result.best_scheduler
+            assert inst_result.ratios[best] == pytest.approx(1.0)
+
+    def test_summary_consistency(self, chains):
+        result = benchmark_dataset(SCHEDULERS, chains)
+        summary = result.summary("OLB")
+        ratios = result.ratios("OLB")
+        assert summary.count == len(ratios)
+        assert summary.maximum == max(ratios)
+        assert summary.maximum == result.max_ratio("OLB")
+
+    def test_progress_callback(self, chains):
+        seen = []
+        benchmark_dataset(SCHEDULERS, chains, progress=lambda i, r: seen.append(i))
+        assert seen == list(range(len(chains)))
+
+    def test_scheduler_instances_accepted(self, chains):
+        from repro.schedulers import HEFTScheduler
+
+        result = benchmark_dataset([HEFTScheduler(), "CPoP"], chains)
+        assert set(result.schedulers) == {"HEFT", "CPoP"}
+
+
+class TestBenchmarkGrid:
+    def test_grid_covers_all(self, chains):
+        other = generate_dataset("in_trees", num_instances=4, rng=1)
+        grid = benchmark_grid(SCHEDULERS, [chains, other])
+        assert grid.datasets == ["chains", "in_trees"]
+        cell = grid.cell("in_trees", "HEFT")
+        assert cell.count == 4
+
+    def test_grid_progress(self, chains):
+        names = []
+        benchmark_grid(SCHEDULERS, [chains], progress=names.append)
+        assert names == ["chains"]

@@ -1,0 +1,172 @@
+"""Metamorphic properties of the related-machines model.
+
+Two exact invariances follow from Section II's timing formulas, and every
+scheduler must respect them because tie-break order relations are
+preserved under exact power-of-two scaling:
+
+* scaling all task costs and data sizes by k scales every makespan by k;
+* scaling all node speeds and link strengths by k divides it by k.
+
+These catch a whole class of unit mix-ups (cost-vs-time confusion,
+forgotten divisions) that point tests miss.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+
+from repro import Network, ProblemInstance, TaskGraph, get_scheduler
+from tests.strategies import instances
+
+#: A representative policy cross-section (priority-list, ready-set greedy,
+#: two-candidate, level-based, randomized, baseline).
+SCHEDULERS = ["HEFT", "CPoP", "MinMin", "MaxMin", "ETF", "GDL", "BIL", "FCP", "WBA", "OLB", "MCT", "FastestNode"]
+
+
+def _sane_magnitudes(inst: ProblemInstance) -> bool:
+    """Exclude (sub)normal-boundary weights: below ~1e-100, float division
+    no longer commutes exactly with doubling (2*fl(c/s) != fl(2c/s)), so
+    exact scale invariance legitimately breaks.  Weights are either 0 or
+    comfortably normal; the paper's instance spaces live in [0, 2]."""
+    values = [inst.task_graph.cost(t) for t in inst.task_graph.tasks]
+    values += [inst.task_graph.data_size(u, v) for u, v in inst.task_graph.dependencies]
+    return all(v == 0.0 or v >= 1e-100 for v in values)
+
+
+def _scale_workload(inst: ProblemInstance, k: float) -> ProblemInstance:
+    out = inst.copy()
+    for t in out.task_graph.tasks:
+        out.task_graph.set_cost(t, out.task_graph.cost(t) * k)
+    for u, v in out.task_graph.dependencies:
+        out.task_graph.set_data_size(u, v, out.task_graph.data_size(u, v) * k)
+    return out
+
+
+def _scale_network(inst: ProblemInstance, k: float) -> ProblemInstance:
+    out = inst.copy()
+    for n in out.network.nodes:
+        out.network.set_speed(n, out.network.speed(n) * k)
+    for u, v in out.network.links:
+        out.network.set_strength(u, v, out.network.strength(u, v) * k)
+    return out
+
+
+@settings(max_examples=15, deadline=None)
+@given(inst=instances(min_tasks=1, max_tasks=5, min_nodes=1, max_nodes=3))
+@pytest.mark.parametrize("name", SCHEDULERS)
+def test_property_workload_scaling(name, inst):
+    """makespan(k * workload) == k * makespan(workload) for k = 2."""
+    assume(_sane_magnitudes(inst))
+    scheduler = get_scheduler(name)
+    base = scheduler.schedule(inst).makespan
+    scaled = scheduler.schedule(_scale_workload(inst, 2.0)).makespan
+    detail = {
+        "costs": {t: inst.task_graph.cost(t) for t in inst.task_graph.tasks},
+        "deps": {e: inst.task_graph.data_size(*e) for e in inst.task_graph.dependencies},
+        "speeds": {v: inst.network.speed(v) for v in inst.network.nodes},
+        "strengths": {e: inst.network.strength(*e) for e in inst.network.links},
+    }
+    if math.isinf(base):
+        assert math.isinf(scaled), detail
+    else:
+        assert scaled == pytest.approx(2.0 * base, rel=1e-12), detail
+
+
+@settings(max_examples=15, deadline=None)
+@given(inst=instances(min_tasks=1, max_tasks=5, min_nodes=1, max_nodes=3))
+@pytest.mark.parametrize("name", SCHEDULERS)
+def test_property_network_scaling(name, inst):
+    """makespan(2x-faster network) == makespan / 2."""
+    assume(_sane_magnitudes(inst))
+    scheduler = get_scheduler(name)
+    base = scheduler.schedule(inst).makespan
+    scaled = scheduler.schedule(_scale_network(inst, 2.0)).makespan
+    detail = {
+        "costs": {t: inst.task_graph.cost(t) for t in inst.task_graph.tasks},
+        "deps": {e: inst.task_graph.data_size(*e) for e in inst.task_graph.dependencies},
+        "speeds": {v: inst.network.speed(v) for v in inst.network.nodes},
+        "strengths": {e: inst.network.strength(*e) for e in inst.network.links},
+    }
+    if math.isinf(base):
+        assert math.isinf(scaled), detail
+    else:
+        assert scaled == pytest.approx(base / 2.0, rel=1e-12), detail
+
+
+class TestEdgeCases:
+    def test_single_task_single_node(self):
+        inst = ProblemInstance(
+            Network.from_speeds({"v": 2.0}), TaskGraph.from_dicts({"a": 3.0}, {})
+        )
+        for name in SCHEDULERS:
+            sched = get_scheduler(name).schedule(inst)
+            assert sched.makespan == pytest.approx(1.5)
+
+    def test_all_zero_cost_tasks(self):
+        tg = TaskGraph.from_dicts(
+            {"a": 0.0, "b": 0.0, "c": 0.0}, {("a", "b"): 0.0, ("b", "c"): 0.0}
+        )
+        inst = ProblemInstance(Network.homogeneous(2), tg)
+        for name in SCHEDULERS:
+            sched = get_scheduler(name).schedule(inst)
+            sched.validate(inst)
+            assert sched.makespan == 0.0
+
+    def test_wide_star_free_communication(self):
+        """With infinite link strengths, a wide star parallelizes fully."""
+        center = {"hub": 1.0}
+        leaves = {f"l{i}": 1.0 for i in range(8)}
+        tg = TaskGraph.from_dicts(
+            {**center, **leaves}, {("hub", leaf): 5.0 for leaf in leaves}
+        )
+        net = Network.from_speeds(
+            {f"v{i}": 1.0 for i in range(4)}, default_strength=float("inf")
+        )
+        inst = ProblemInstance(net, tg)
+        heft = get_scheduler("HEFT").schedule(inst)
+        heft.validate(inst)
+        # 1 (hub) + ceil(8/4) * 1 = 3 is achievable; HEFT must find <= 3.
+        assert heft.makespan <= 3.0 + 1e-9
+        # And much better than serializing.
+        assert heft.makespan < get_scheduler("FastestNode").schedule(inst).makespan
+
+    def test_deep_chain_stays_serial(self):
+        """A pure chain cannot be parallelized; every scheduler's makespan
+        is at least the chain's serial time on the fastest node."""
+        tg = TaskGraph()
+        prev = None
+        for i in range(12):
+            tg.add_task(f"t{i}", 1.0)
+            if prev is not None:
+                tg.add_dependency(prev, f"t{i}", 1.0)
+            prev = f"t{i}"
+        net = Network.from_speeds({"fast": 2.0, "slow": 1.0}, default_strength=10.0)
+        inst = ProblemInstance(net, tg)
+        for name in SCHEDULERS:
+            makespan = get_scheduler(name).schedule(inst).makespan
+            assert makespan >= 12 / 2.0 - 1e-9
+
+    def test_extreme_weight_magnitudes(self):
+        """1e-9 .. 1e9 weight spans must not break any scheduler."""
+        tg = TaskGraph.from_dicts(
+            {"tiny": 1e-9, "huge": 1e9, "mid": 1.0},
+            {("tiny", "huge"): 1e9, ("huge", "mid"): 1e-9},
+        )
+        net = Network.from_speeds(
+            {"slow": 1e-3, "fast": 1e3}, default_strength=1e-3
+        )
+        inst = ProblemInstance(net, tg)
+        for name in SCHEDULERS:
+            sched = get_scheduler(name).schedule(inst)
+            sched.validate(inst)
+            assert math.isfinite(sched.makespan)
+
+    def test_two_tasks_dead_link_colocation_is_optimal(self, dead_link_instance):
+        """BruteForce confirms colocation beats the dead link."""
+        opt = get_scheduler("BruteForce").schedule(dead_link_instance)
+        assert opt.makespan == pytest.approx(2.0)
+        entries = list(opt)
+        assert entries[0].node == entries[1].node

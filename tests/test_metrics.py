@@ -1,0 +1,75 @@
+"""Tests for makespan-ratio metrics and summaries."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.benchmarking.metrics import (
+    RATIO_CAP,
+    makespan_ratio,
+    summarize_ratios,
+)
+
+
+class TestMakespanRatio:
+    def test_plain_quotient(self):
+        assert makespan_ratio(3.0, 2.0) == 1.5
+
+    def test_equal(self):
+        assert makespan_ratio(2.0, 2.0) == 1.0
+
+    def test_both_zero(self):
+        assert makespan_ratio(0.0, 0.0) == 1.0
+
+    def test_zero_target(self):
+        assert makespan_ratio(0.0, 5.0) == 0.0
+
+    def test_zero_baseline(self):
+        assert makespan_ratio(5.0, 0.0) == RATIO_CAP
+
+    def test_both_infinite(self):
+        assert makespan_ratio(math.inf, math.inf) == 1.0
+
+    def test_infinite_target(self):
+        assert makespan_ratio(math.inf, 1.0) == RATIO_CAP
+
+    def test_infinite_baseline(self):
+        assert makespan_ratio(1.0, math.inf) == 0.0
+
+    def test_cap_applies_to_finite_monsters(self):
+        assert makespan_ratio(1e12, 1.0) == RATIO_CAP
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            makespan_ratio(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            makespan_ratio(1.0, -1.0)
+
+    def test_always_finite(self):
+        for t, b in [(0, 0), (1, 0), (0, 1), (math.inf, 1), (1, math.inf), (math.inf, math.inf)]:
+            assert math.isfinite(makespan_ratio(t, b))
+
+
+class TestSummaries:
+    def test_summary_fields(self):
+        s = summarize_ratios([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.median == 2.5
+
+    def test_single_value(self):
+        s = summarize_ratios([1.7])
+        assert s.minimum == s.median == s.maximum == 1.7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_ratios([])
+
+    def test_as_row(self):
+        row = summarize_ratios([1.0, 3.0]).as_row()
+        assert row["count"] == 2
+        assert row["max"] == 3.0

@@ -1,0 +1,117 @@
+"""Tests for the text renderings: heatmaps, Gantt charts, tables, boxplots."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import Schedule
+from repro.benchmarking.heatmap import (
+    format_gradient,
+    format_ratio,
+    render_benchmark_rows,
+    render_matrix,
+)
+from repro.benchmarking.gantt import render_gantt
+from repro.benchmarking.metrics import summarize_ratios
+from repro.benchmarking.report import boxplot_row, format_table, to_csv
+
+
+class TestFormatRatio:
+    def test_plain(self):
+        assert format_ratio(1.234) == "1.23"
+
+    def test_exactly_five(self):
+        assert format_ratio(5.0) == "5.00"
+
+    def test_above_five(self):
+        assert format_ratio(5.01) == "> 5.0"
+
+    def test_above_thousand(self):
+        assert format_ratio(1234.0) == "> 1000"
+        assert format_ratio(1e6) == "> 1000"
+
+    def test_below_one(self):
+        assert format_ratio(0.8) == "0.80"
+
+
+class TestMatrices:
+    def test_render_matrix_layout(self):
+        values = {("r1", "c1"): 1.0, ("r1", "c2"): 7.0, ("r2", "c1"): 2000.0}
+        text = render_matrix(values, ["r1", "r2"], ["c1", "c2"], title="T")
+        assert "T" in text
+        assert "> 5.0" in text
+        assert "> 1000" in text
+        assert "-" in text  # missing (r2, c2)
+        # All rows align to the same width.
+        lines = [l for l in text.splitlines()[1:] if l]
+        assert len({len(l) for l in lines}) == 1
+
+    def test_render_benchmark_rows(self):
+        summary = summarize_ratios([1.0, 1.5, 6.0])
+        text = render_benchmark_rows(
+            {"ds": {"HEFT": summary}}, ["ds"], ["HEFT"], title="bench"
+        )
+        assert "1.50~> 5.0" in text
+
+    def test_format_gradient(self):
+        s = summarize_ratios([1.0, 2.0, 3.0])
+        assert format_gradient(s) == "2.00~3.00"
+
+
+class TestGantt:
+    def test_renders_tasks(self):
+        s = Schedule()
+        s.add("alpha", "n1", 0.0, 2.0)
+        s.add("beta", "n2", 1.0, 4.0)
+        text = render_gantt(s, width=40)
+        assert "n1" in text and "n2" in text
+        assert "a" in text and "b" in text  # label prefixes
+        assert "4.00" in text  # horizon
+
+    def test_empty_schedule(self):
+        assert "(empty schedule)" in render_gantt(Schedule())
+
+    def test_infinite_tasks_listed(self):
+        s = Schedule()
+        s.add("ok", "n1", 0.0, 1.0)
+        s.add("dead", "n2", math.inf, math.inf)
+        text = render_gantt(s)
+        assert "never executes" in text
+        assert "dead" in text
+
+    def test_node_order_respected(self):
+        s = Schedule()
+        s.add("a", "z_node", 0.0, 1.0)
+        s.add("b", "a_node", 0.0, 1.0)
+        text = render_gantt(s, node_order=["z_node", "a_node"])
+        assert text.index("z_node") < text.index("a_node")
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "val"], [("x", 1), ("longer", 22)])
+        lines = text.splitlines()
+        assert len({len(l) for l in lines}) == 1
+
+    def test_format_table_bad_row(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [("only-one",)])
+
+    def test_to_csv(self):
+        csv_text = to_csv(["a", "b"], [(1, 2), (3, 4)])
+        assert csv_text.splitlines()[0] == "a,b"
+        assert "3,4" in csv_text
+
+    def test_boxplot_row(self):
+        text = boxplot_row("HEFT", [1.0, 2.0, 3.0, 4.0, 10.0])
+        assert "HEFT" in text
+        assert "med=" in text and "M" in text
+
+    def test_boxplot_empty(self):
+        assert "no data" in boxplot_row("x", [])
+
+    def test_boxplot_constant(self):
+        text = boxplot_row("x", [2.0, 2.0])
+        assert "med=2.00" in text

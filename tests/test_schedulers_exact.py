@@ -1,0 +1,82 @@
+"""Tests for the exponential oracles: BruteForce and SMT."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro import Network, ProblemInstance, SchedulingError, TaskGraph, get_scheduler
+from repro.schedulers import BruteForceScheduler, SMTScheduler
+from tests.conftest import POLY_SCHEDULERS
+from tests.strategies import instances
+
+
+class TestBruteForce:
+    def test_optimal_on_two_independent_tasks(self):
+        tg = TaskGraph.from_dicts({"a": 1.0, "b": 1.0}, {})
+        net = Network.from_speeds({"u": 1.0, "v": 1.0}, default_strength=1.0)
+        sched = BruteForceScheduler().schedule(ProblemInstance(net, tg))
+        assert sched.makespan == pytest.approx(1.0)  # parallel execution
+
+    def test_optimal_keeps_heavy_comm_colocated(self):
+        tg = TaskGraph.from_dicts({"a": 1.0, "b": 1.0}, {("a", "b"): 100.0})
+        net = Network.from_speeds({"u": 1.0, "v": 1.0}, default_strength=1.0)
+        sched = BruteForceScheduler().schedule(ProblemInstance(net, tg))
+        assert sched["a"].node == sched["b"].node
+        assert sched.makespan == pytest.approx(2.0)
+
+    def test_refuses_oversized_search_space(self):
+        tg = TaskGraph.from_dicts({f"t{i}": 1.0 for i in range(12)}, {})
+        net = Network.homogeneous(4)
+        with pytest.raises(SchedulingError, match="too large"):
+            BruteForceScheduler(max_evaluations=1000).schedule(
+                ProblemInstance(net, tg)
+            )
+
+    def test_empty_graph(self):
+        inst = ProblemInstance(Network.from_speeds({"v": 1.0}), TaskGraph())
+        assert BruteForceScheduler().schedule(inst).makespan == 0.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(inst=instances(min_tasks=1, max_tasks=4, min_nodes=1, max_nodes=3))
+    def test_property_no_heuristic_beats_brute_force(self, inst):
+        """The keystone oracle property: BruteForce <= every heuristic."""
+        opt = BruteForceScheduler().schedule(inst)
+        opt.validate(inst)
+        for name in POLY_SCHEDULERS:
+            heuristic = get_scheduler(name).schedule(inst).makespan
+            assert opt.makespan <= heuristic + 1e-9, name
+
+
+class TestSMT:
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            SMTScheduler(eps=0.0)
+
+    def test_matches_brute_force_on_small(self, diamond_instance):
+        opt = BruteForceScheduler().schedule(diamond_instance).makespan
+        smt = SMTScheduler(eps=0.01).schedule(diamond_instance).makespan
+        assert smt <= opt * 1.01 + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(inst=instances(min_tasks=1, max_tasks=4, min_nodes=1, max_nodes=3))
+    def test_property_one_plus_eps_optimal(self, inst):
+        opt = BruteForceScheduler().schedule(inst).makespan
+        smt = SMTScheduler(eps=0.05).schedule(inst)
+        smt.validate(inst)
+        if opt == 0.0:
+            assert smt.makespan == pytest.approx(0.0, abs=1e-9)
+        else:
+            assert smt.makespan <= opt * 1.05 + 1e-9
+
+    def test_dead_link_instance_finite_fallback(self, dead_link_instance):
+        """Even on an instance with a dead link, SMT returns the finite
+        serial schedule."""
+        sched = SMTScheduler().schedule(dead_link_instance)
+        sched.validate(dead_link_instance)
+        assert sched.makespan == pytest.approx(2.0)
+
+    def test_lower_bound_sanity(self, diamond_instance):
+        lb = SMTScheduler._lower_bound(diamond_instance)
+        opt = BruteForceScheduler().schedule(diamond_instance).makespan
+        assert 0 < lb <= opt + 1e-9

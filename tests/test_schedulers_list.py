@@ -1,0 +1,200 @@
+"""Behavioural tests for the list schedulers: HEFT, CPoP, ETF, GDL, BIL,
+FCP, FLB — including the priority functions in schedulers/common.py."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import Network, ProblemInstance, TaskGraph, get_scheduler
+from repro.schedulers.common import (
+    critical_path_tasks,
+    downward_rank,
+    priority_order,
+    static_level,
+    upward_rank,
+)
+
+
+@pytest.fixture
+def chain3() -> ProblemInstance:
+    tg = TaskGraph.from_dicts(
+        {"a": 1.0, "b": 2.0, "c": 3.0},
+        {("a", "b"): 1.0, ("b", "c"): 1.0},
+    )
+    net = Network.homogeneous(2, speed=1.0, strength=1.0)
+    return ProblemInstance(net, tg)
+
+
+class TestPriorityFunctions:
+    def test_upward_rank_chain(self, chain3):
+        ranks = upward_rank(chain3)
+        # Homogeneous unit network: w̄ = cost, c̄ = data size.
+        assert ranks["c"] == pytest.approx(3.0)
+        assert ranks["b"] == pytest.approx(2.0 + 1.0 + 3.0)
+        assert ranks["a"] == pytest.approx(1.0 + 1.0 + 6.0)
+
+    def test_upward_rank_decreases_along_edges(self, diamond_instance):
+        ranks = upward_rank(diamond_instance)
+        for u, v in diamond_instance.task_graph.dependencies:
+            assert ranks[u] > ranks[v]
+
+    def test_downward_rank_chain(self, chain3):
+        ranks = downward_rank(chain3)
+        assert ranks["a"] == 0.0
+        assert ranks["b"] == pytest.approx(1.0 + 1.0)
+        assert ranks["c"] == pytest.approx(2.0 + 2.0 + 1.0)
+
+    def test_static_level_ignores_communication(self, chain3):
+        levels = static_level(chain3)
+        assert levels["a"] == pytest.approx(6.0)  # 1+2+3, no comm terms
+
+    def test_priority_order_is_topological(self, diamond_instance):
+        ranks = upward_rank(diamond_instance)
+        order = priority_order(diamond_instance, ranks)
+        pos = {t: i for i, t in enumerate(order)}
+        for u, v in diamond_instance.task_graph.dependencies:
+            assert pos[u] < pos[v]
+
+    def test_priority_order_topological_even_with_zero_weights(self):
+        tg = TaskGraph.from_dicts(
+            {"a": 0.0, "b": 0.0, "c": 0.0},
+            {("a", "b"): 0.0, ("b", "c"): 0.0},
+        )
+        inst = ProblemInstance(Network.homogeneous(2), tg)
+        order = priority_order(inst, upward_rank(inst))
+        pos = {t: i for i, t in enumerate(order)}
+        assert pos["a"] < pos["b"] < pos["c"]
+
+    def test_critical_path_is_a_path(self, chain3):
+        cp = critical_path_tasks(chain3, upward_rank(chain3), downward_rank(chain3))
+        assert cp == {"a", "b", "c"}
+
+    def test_critical_path_picks_one_chain(self):
+        """Two equal-length parallel chains: CP walk keeps a single chain."""
+        tg = TaskGraph.from_dicts(
+            {"s": 1.0, "l1": 2.0, "r1": 2.0, "t": 1.0},
+            {("s", "l1"): 1.0, ("s", "r1"): 1.0, ("l1", "t"): 1.0, ("r1", "t"): 1.0},
+        )
+        inst = ProblemInstance(Network.homogeneous(2), tg)
+        cp = critical_path_tasks(inst, upward_rank(inst), downward_rank(inst))
+        assert cp in ({"s", "l1", "t"}, {"s", "r1", "t"})
+
+
+class TestHEFT:
+    def test_prefers_fast_node_for_heavy_chain(self, chain3):
+        tg = chain3.task_graph
+        net = Network.from_speeds({"slow": 1.0, "fast": 3.0}, default_strength=10.0)
+        sched = get_scheduler("HEFT").schedule(ProblemInstance(net, tg))
+        # Cheap communication, 3x faster node: everything belongs there.
+        assert all(e.node == "fast" for e in sched)
+
+    def test_insertion_used(self):
+        """A later-priority short task slots into an earlier gap."""
+        tg = TaskGraph.from_dicts(
+            {"root": 1.0, "heavy": 10.0, "light": 0.5},
+            {("root", "heavy"): 5.0, ("root", "light"): 0.1},
+        )
+        net = Network.from_speeds({"u": 1.0, "v": 1.0}, default_strength=0.5)
+        sched = get_scheduler("HEFT").schedule(ProblemInstance(net, tg))
+        sched.validate(ProblemInstance(net, tg))
+
+    def test_beats_fastest_node_on_parallel_work(self, independent_instance):
+        heft = get_scheduler("HEFT").schedule(independent_instance).makespan
+        fn = get_scheduler("FastestNode").schedule(independent_instance).makespan
+        assert heft <= fn
+
+
+class TestCPoP:
+    def test_critical_path_tasks_on_one_node(self, chain3):
+        """A pure chain is all critical path -> all on the CP processor."""
+        sched = get_scheduler("CPoP").schedule(chain3)
+        assert len({e.node for e in sched}) == 1
+
+    def test_cp_processor_is_fastest_under_related_machines(self):
+        tg = TaskGraph.from_dicts(
+            {"a": 3.0, "b": 3.0}, {("a", "b"): 0.1}
+        )
+        net = Network.from_speeds({"slow": 1.0, "fast": 2.0}, default_strength=1.0)
+        sched = get_scheduler("CPoP").schedule(ProblemInstance(net, tg))
+        assert sched["a"].node == "fast"
+        assert sched["b"].node == "fast"
+
+
+class TestETF:
+    def test_minimizes_start_not_finish(self):
+        """ETF's defining quirk (Section IV-A): it picks the placement with
+        the earliest *start*, even when another node would finish sooner."""
+        tg = TaskGraph.from_dicts({"a": 10.0}, {})
+        # Both nodes idle at 0: start times tie; ETF takes the first node
+        # (insertion order), not the faster finisher.
+        net = Network()
+        net.add_node("slow", 1.0)
+        net.add_node("fast", 10.0)
+        net.set_strength("slow", "fast", 1.0)
+        sched = get_scheduler("ETF").schedule(ProblemInstance(net, tg))
+        assert sched["a"].node == "slow"
+
+    def test_respects_precedence_and_validates(self, fork_join_instance):
+        sched = get_scheduler("ETF").schedule(fork_join_instance)
+        sched.validate(fork_join_instance)
+
+
+class TestGDL:
+    def test_delta_prefers_faster_node(self):
+        """Equal start times: Δ(t, v) steers GDL to the faster node."""
+        tg = TaskGraph.from_dicts({"a": 10.0}, {})
+        net = Network.from_speeds({"slow": 1.0, "fast": 10.0}, default_strength=1.0)
+        sched = get_scheduler("GDL").schedule(ProblemInstance(net, tg))
+        assert sched["a"].node == "fast"
+
+    def test_validates_on_diamond(self, diamond_instance):
+        sched = get_scheduler("GDL").schedule(diamond_instance)
+        sched.validate(diamond_instance)
+
+
+class TestBIL:
+    def test_optimal_on_linear_graph(self, chain3):
+        """BIL is provably optimal for linear task graphs (Section IV-A);
+        check it matches BruteForce on a chain."""
+        bil = get_scheduler("BIL").schedule(chain3).makespan
+        opt = get_scheduler("BruteForce").schedule(chain3).makespan
+        assert bil == pytest.approx(opt)
+
+    def test_optimal_on_heterogeneous_chain(self):
+        tg = TaskGraph.from_dicts(
+            {"a": 2.0, "b": 1.0}, {("a", "b"): 3.0}
+        )
+        net = Network.from_speeds({"u": 1.0, "v": 2.5}, default_strength=0.5)
+        inst = ProblemInstance(net, tg)
+        bil = get_scheduler("BIL").schedule(inst).makespan
+        opt = get_scheduler("BruteForce").schedule(inst).makespan
+        assert bil == pytest.approx(opt)
+
+
+class TestFCPFLB:
+    def test_candidate_restriction_still_valid(self, fork_join_instance):
+        for name in ("FCP", "FLB"):
+            sched = get_scheduler(name).schedule(fork_join_instance)
+            sched.validate(fork_join_instance)
+
+    def test_fcp_uses_enabling_node(self):
+        """With a huge transfer, the enabling node (where the parent ran)
+        must win over the first-idle node."""
+        tg = TaskGraph.from_dicts(
+            {"p": 1.0, "c": 1.0}, {("p", "c"): 100.0}
+        )
+        net = Network.from_speeds({"u": 1.0, "v": 1.0}, default_strength=0.1)
+        sched = get_scheduler("FCP").schedule(ProblemInstance(net, tg))
+        assert sched["p"].node == sched["c"].node
+
+    def test_flb_differs_from_fcp_by_task_selection(self, diamond_instance):
+        """Both validate; they may produce different (but valid) schedules."""
+        fcp = get_scheduler("FCP").schedule(diamond_instance)
+        flb = get_scheduler("FLB").schedule(diamond_instance)
+        fcp.validate(diamond_instance)
+        flb.validate(diamond_instance)
+
+    def test_flb_finite_on_finite_instance(self, diamond_instance):
+        assert not math.isinf(get_scheduler("FLB").schedule(diamond_instance).makespan)

@@ -1,0 +1,155 @@
+"""Tests for the stochastic-instance extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import InvalidInstanceError, Network, ProblemInstance, TaskGraph, get_scheduler
+from repro.stochastic import (
+    ClippedGaussianRV,
+    Deterministic,
+    StochasticInstance,
+    UniformRV,
+    evaluate_robustness,
+    replay_schedule,
+)
+
+
+@pytest.fixture
+def stochastic() -> StochasticInstance:
+    return StochasticInstance(
+        task_costs={
+            "a": UniformRV(0.5, 1.5),
+            "b": ClippedGaussianRV(2.0, 0.5, low=0.1),
+            "c": 1.0,  # plain float lifted
+        },
+        data_sizes={("a", "b"): UniformRV(0.5, 1.5), ("b", "c"): 0.5},
+        speeds={"u": 1.0, "v": UniformRV(1.0, 3.0)},
+        strengths={("u", "v"): UniformRV(0.5, 1.5)},
+        name="stoch",
+    )
+
+
+class TestVariables:
+    def test_deterministic(self):
+        rv = Deterministic(2.0)
+        assert rv.mean == 2.0
+        assert rv.sample(np.random.default_rng(0)) == 2.0
+
+    def test_deterministic_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Deterministic(-1.0)
+
+    def test_uniform(self):
+        rv = UniformRV(1.0, 3.0)
+        assert rv.mean == 2.0
+        gen = np.random.default_rng(0)
+        assert all(1.0 <= rv.sample(gen) <= 3.0 for _ in range(100))
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            UniformRV(2.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformRV(-1.0, 1.0)
+
+    def test_clipped_gaussian(self):
+        rv = ClippedGaussianRV(1.0, 1.0 / 3.0, low=0.0, high=2.0)
+        assert rv.mean == 1.0
+        gen = np.random.default_rng(0)
+        assert all(0.0 <= rv.sample(gen) <= 2.0 for _ in range(200))
+
+    def test_clipped_gaussian_mean_respects_clip(self):
+        assert ClippedGaussianRV(5.0, 1.0, low=0.0, high=2.0).mean == 2.0
+
+
+class TestStochasticInstance:
+    def test_expected_instance(self, stochastic):
+        expected = stochastic.expected()
+        expected.validate()
+        assert expected.task_graph.cost("a") == pytest.approx(1.0)
+        assert expected.network.speed("v") == pytest.approx(2.0)
+
+    def test_realize_varies(self, stochastic):
+        a = stochastic.realize(rng=0)
+        b = stochastic.realize(rng=1)
+        assert a.task_graph.cost("a") != b.task_graph.cost("a")
+        a.validate()
+        b.validate()
+
+    def test_realize_deterministic_per_seed(self, stochastic):
+        a = stochastic.realize(rng=3)
+        b = stochastic.realize(rng=3)
+        assert a.task_graph == b.task_graph and a.network == b.network
+
+    def test_unknown_dependency_endpoint(self):
+        with pytest.raises(InvalidInstanceError):
+            StochasticInstance(
+                task_costs={"a": 1.0},
+                data_sizes={("a", "ghost"): 1.0},
+                speeds={"u": 1.0},
+            )
+
+    def test_unknown_link_endpoint(self):
+        with pytest.raises(InvalidInstanceError):
+            StochasticInstance(
+                task_costs={"a": 1.0},
+                speeds={"u": 1.0},
+                strengths={("u", "ghost"): 1.0},
+            )
+
+    def test_from_instance_lift(self, diamond_instance):
+        stoch = StochasticInstance.from_instance(diamond_instance)
+        expected = stoch.expected()
+        assert expected.task_graph == diamond_instance.task_graph
+        assert expected.network == diamond_instance.network
+
+    def test_from_instance_with_jitter(self, diamond_instance):
+        stoch = StochasticInstance.from_instance(
+            diamond_instance, jitter={"t1": UniformRV(1.0, 2.0)}
+        )
+        assert stoch.task_costs["t1"].mean == 1.5
+
+
+class TestReplay:
+    def test_replay_identity(self, diamond_instance):
+        """Replaying on the same instance reproduces the makespan (the
+        planner's schedule is already earliest-start for its own order)."""
+        sched = get_scheduler("MCT").schedule(diamond_instance)
+        replayed = replay_schedule(sched, diamond_instance)
+        replayed.validate(diamond_instance)
+        assert replayed.makespan <= sched.makespan + 1e-9
+
+    def test_replay_preserves_decisions(self, diamond_instance):
+        sched = get_scheduler("HEFT").schedule(diamond_instance)
+        # Perturb a weight and replay: same mapping, new times.
+        other = diamond_instance.copy()
+        other.task_graph.set_cost("t2", 5.0)
+        replayed = replay_schedule(sched, other)
+        replayed.validate(other)
+        for entry in sched:
+            assert replayed[entry.task].node == entry.node
+
+
+class TestRobustness:
+    def test_report_fields(self, stochastic):
+        report = evaluate_robustness(get_scheduler("HEFT"), stochastic, samples=20, rng=0)
+        assert report.scheduler == "HEFT"
+        assert report.samples == 20
+        assert report.minimum <= report.mean <= report.maximum
+        assert report.degradation > 0
+
+    def test_zero_variance_degenerates_to_plan(self, diamond_instance):
+        stoch = StochasticInstance.from_instance(diamond_instance)
+        report = evaluate_robustness(get_scheduler("HEFT"), stoch, samples=5, rng=0)
+        assert report.std == 0.0
+        assert report.mean <= report.planned_makespan + 1e-9
+
+    def test_samples_validation(self, stochastic):
+        with pytest.raises(ValueError):
+            evaluate_robustness(get_scheduler("HEFT"), stochastic, samples=0)
+
+    def test_deterministic(self, stochastic):
+        a = evaluate_robustness(get_scheduler("CPoP"), stochastic, samples=10, rng=7)
+        b = evaluate_robustness(get_scheduler("CPoP"), stochastic, samples=10, rng=7)
+        assert a.mean == b.mean

@@ -1,0 +1,183 @@
+"""Unit tests for :class:`repro.core.TaskGraph`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+
+from repro import InvalidInstanceError, TaskGraph
+from tests.strategies import task_graphs
+
+
+class TestConstruction:
+    def test_add_task_and_cost(self):
+        tg = TaskGraph()
+        tg.add_task("a", 1.5)
+        assert tg.cost("a") == 1.5
+        assert "a" in tg
+        assert len(tg) == 1
+
+    def test_zero_cost_allowed(self):
+        # Clipped Gaussians can produce exactly 0 (paper Section IV-B).
+        tg = TaskGraph()
+        tg.add_task("a", 0.0)
+        assert tg.cost("a") == 0.0
+
+    def test_negative_cost_rejected(self):
+        tg = TaskGraph()
+        with pytest.raises(InvalidInstanceError):
+            tg.add_task("a", -0.1)
+
+    def test_nan_cost_rejected(self):
+        tg = TaskGraph()
+        with pytest.raises(InvalidInstanceError):
+            tg.add_task("a", float("nan"))
+
+    def test_add_dependency(self):
+        tg = TaskGraph.from_dicts({"a": 1, "b": 1}, {})
+        tg.add_dependency("a", "b", 0.5)
+        assert tg.data_size("a", "b") == 0.5
+        assert tg.dependencies == (("a", "b"),)
+
+    def test_dependency_requires_existing_tasks(self):
+        tg = TaskGraph.from_dicts({"a": 1}, {})
+        with pytest.raises(InvalidInstanceError):
+            tg.add_dependency("a", "ghost", 1.0)
+
+    def test_self_dependency_rejected(self):
+        tg = TaskGraph.from_dicts({"a": 1}, {})
+        with pytest.raises(InvalidInstanceError):
+            tg.add_dependency("a", "a", 1.0)
+
+    def test_cycle_rejected_and_rolled_back(self):
+        tg = TaskGraph.from_dicts({"a": 1, "b": 1}, {("a", "b"): 1.0})
+        with pytest.raises(InvalidInstanceError):
+            tg.add_dependency("b", "a", 1.0)
+        # The offending edge must not linger.
+        assert tg.dependencies == (("a", "b"),)
+
+    def test_from_dicts(self):
+        tg = TaskGraph.from_dicts({"a": 1, "b": 2}, {("a", "b"): 3})
+        assert set(tg.tasks) == {"a", "b"}
+        assert tg.data_size("a", "b") == 3
+
+
+class TestAccessors:
+    @pytest.fixture
+    def diamond(self) -> TaskGraph:
+        return TaskGraph.from_dicts(
+            {"s": 1.0, "l": 2.0, "r": 3.0, "t": 4.0},
+            {("s", "l"): 1, ("s", "r"): 2, ("l", "t"): 3, ("r", "t"): 4},
+        )
+
+    def test_predecessors_successors(self, diamond):
+        assert set(diamond.predecessors("t")) == {"l", "r"}
+        assert set(diamond.successors("s")) == {"l", "r"}
+        assert diamond.predecessors("s") == ()
+
+    def test_sources_sinks(self, diamond):
+        assert diamond.source_tasks == ("s",)
+        assert diamond.sink_tasks == ("t",)
+
+    def test_topological_order_valid(self, diamond):
+        order = diamond.topological_order()
+        pos = {t: i for i, t in enumerate(order)}
+        for u, v in diamond.dependencies:
+            assert pos[u] < pos[v]
+
+    def test_unknown_task_raises(self, diamond):
+        with pytest.raises(InvalidInstanceError):
+            diamond.cost("ghost")
+        with pytest.raises(InvalidInstanceError):
+            diamond.data_size("s", "t")
+
+    def test_aggregates(self, diamond):
+        assert diamond.total_cost() == 10.0
+        assert diamond.mean_cost() == 2.5
+        assert diamond.mean_data_size() == 2.5
+
+    def test_empty_aggregates(self):
+        tg = TaskGraph()
+        assert tg.total_cost() == 0.0
+        assert tg.mean_cost() == 0.0
+        assert tg.mean_data_size() == 0.0
+
+
+class TestMutation:
+    def test_set_cost(self):
+        tg = TaskGraph.from_dicts({"a": 1}, {})
+        tg.set_cost("a", 9.0)
+        assert tg.cost("a") == 9.0
+
+    def test_set_data_size(self):
+        tg = TaskGraph.from_dicts({"a": 1, "b": 1}, {("a", "b"): 1})
+        tg.set_data_size("a", "b", 7.0)
+        assert tg.data_size("a", "b") == 7.0
+
+    def test_set_cost_unknown_task(self):
+        tg = TaskGraph()
+        with pytest.raises(InvalidInstanceError):
+            tg.set_cost("ghost", 1.0)
+
+    def test_remove_dependency(self):
+        tg = TaskGraph.from_dicts({"a": 1, "b": 1}, {("a", "b"): 1})
+        tg.remove_dependency("a", "b")
+        assert tg.num_dependencies == 0
+
+    def test_remove_missing_dependency(self):
+        tg = TaskGraph.from_dicts({"a": 1, "b": 1}, {})
+        with pytest.raises(InvalidInstanceError):
+            tg.remove_dependency("a", "b")
+
+    def test_copy_is_independent(self):
+        tg = TaskGraph.from_dicts({"a": 1, "b": 1}, {("a", "b"): 1})
+        clone = tg.copy()
+        clone.set_cost("a", 99.0)
+        clone.remove_dependency("a", "b")
+        assert tg.cost("a") == 1.0
+        assert tg.num_dependencies == 1
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        tg = TaskGraph.from_dicts(
+            {"a": 1.25, "b": 0.0}, {("a", "b"): 0.75}
+        )
+        again = TaskGraph.from_dict(tg.to_dict())
+        assert again == tg
+
+    def test_equality_ignores_insertion_order(self):
+        tg1 = TaskGraph.from_dicts({"a": 1, "b": 2}, {("a", "b"): 1})
+        tg2 = TaskGraph()
+        tg2.add_task("b", 2)
+        tg2.add_task("a", 1)
+        tg2.add_dependency("a", "b", 1)
+        assert tg1 == tg2
+
+    def test_inequality_on_weights(self):
+        tg1 = TaskGraph.from_dicts({"a": 1}, {})
+        tg2 = TaskGraph.from_dicts({"a": 2}, {})
+        assert tg1 != tg2
+
+
+@given(task_graphs())
+def test_property_generated_graphs_validate(tg: TaskGraph):
+    tg.validate()
+    order = tg.topological_order()
+    pos = {t: i for i, t in enumerate(order)}
+    for u, v in tg.dependencies:
+        assert pos[u] < pos[v]
+
+
+@given(task_graphs())
+def test_property_roundtrip(tg: TaskGraph):
+    assert TaskGraph.from_dict(tg.to_dict()) == tg
+
+
+@given(task_graphs(min_tasks=2))
+def test_property_mean_cost_bounds(tg: TaskGraph):
+    costs = [tg.cost(t) for t in tg.tasks]
+    assert min(costs) - 1e-12 <= tg.mean_cost() <= max(costs) + 1e-12
+    assert math.isclose(tg.total_cost(), sum(costs))

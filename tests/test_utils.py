@@ -1,0 +1,145 @@
+"""Tests for the utility modules: rng, distributions, topo."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.utils.distributions import LogNormalModel, clipped_gaussian, clipped_gaussian_array
+from repro.utils.rng import as_generator, derive_seed, spawn
+from repro.utils.topo import (
+    all_linear_extensions,
+    is_dag_after_edge,
+    longest_path_length,
+    topological_order,
+)
+
+
+class TestRng:
+    def test_as_generator_from_none(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_as_generator_from_seed(self):
+        a, b = as_generator(7), as_generator(7)
+        assert a.random() == b.random()
+
+    def test_as_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_as_generator_rejects_junk(self):
+        with pytest.raises(TypeError):
+            as_generator("seed")
+
+    def test_spawn_independence(self):
+        children = spawn(0, 3)
+        assert len(children) == 3
+        draws = [c.random() for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_negative(self):
+        with pytest.raises(ValueError):
+            spawn(0, -1)
+
+    def test_derive_seed_stable_and_distinct(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+        assert 0 <= derive_seed(123, "x") < 2**63
+
+
+class TestDistributions:
+    def test_clipped_gaussian_bounds(self):
+        rng = np.random.default_rng(0)
+        xs = [clipped_gaussian(rng, 1.0, 1.0, low=0.0, high=2.0) for _ in range(500)]
+        assert all(0.0 <= x <= 2.0 for x in xs)
+        assert any(x in (0.0, 2.0) for x in xs)  # clipping actually happens
+
+    def test_clipped_gaussian_zero_std(self):
+        rng = np.random.default_rng(0)
+        assert clipped_gaussian(rng, 1.5, 0.0) == 1.5
+
+    def test_clipped_gaussian_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            clipped_gaussian(rng, 1.0, -1.0)
+        with pytest.raises(ValueError):
+            clipped_gaussian(rng, 1.0, 1.0, low=2.0, high=1.0)
+
+    def test_clipped_gaussian_array(self):
+        rng = np.random.default_rng(0)
+        arr = clipped_gaussian_array(rng, 10.0, 3.0, size=100, low=5.0, high=15.0)
+        assert arr.shape == (100,)
+        assert arr.min() >= 5.0 and arr.max() <= 15.0
+
+    def test_lognormal_fit_sample(self):
+        rng = np.random.default_rng(0)
+        data = rng.lognormal(1.0, 0.4, size=2000)
+        model = LogNormalModel.fit(data)
+        assert model.mu == pytest.approx(1.0, abs=0.05)
+        assert model.sigma == pytest.approx(0.4, abs=0.05)
+        samples = model.sample(rng, size=1000)
+        assert np.all(samples > 0)
+
+    def test_lognormal_fit_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            LogNormalModel.fit([1.0, 0.0])
+        with pytest.raises(ValueError):
+            LogNormalModel.fit([])
+
+    def test_lognormal_single_sample_fit(self):
+        model = LogNormalModel.fit([math.e])
+        assert model.sigma == 0.0
+        assert model.sample(0) == pytest.approx(math.e)
+
+    def test_lognormal_mean(self):
+        model = LogNormalModel(mu=0.0, sigma=0.5)
+        assert model.mean == pytest.approx(math.exp(0.125))
+
+
+class TestTopo:
+    @pytest.fixture
+    def diamond(self) -> nx.DiGraph:
+        g = nx.DiGraph()
+        g.add_edges_from([("s", "a"), ("s", "b"), ("a", "t"), ("b", "t")])
+        return g
+
+    def test_topological_order_deterministic(self, diamond):
+        assert topological_order(diamond) == ["s", "a", "b", "t"]
+
+    def test_is_dag_after_edge(self, diamond):
+        assert is_dag_after_edge(diamond, "a", "b")
+        assert not is_dag_after_edge(diamond, "t", "s")  # would cycle
+        assert not is_dag_after_edge(diamond, "a", "a")  # self-loop
+        assert is_dag_after_edge(diamond, "s", "a")  # existing edge: fine
+
+    def test_all_linear_extensions_diamond(self, diamond):
+        exts = list(all_linear_extensions(diamond))
+        assert len(exts) == 2  # s {a,b} in either order, then t
+        assert ("s", "a", "b", "t") in exts
+        assert ("s", "b", "a", "t") in exts
+
+    def test_all_linear_extensions_chain(self):
+        g = nx.DiGraph()
+        g.add_edges_from([("a", "b"), ("b", "c")])
+        assert list(all_linear_extensions(g)) == [("a", "b", "c")]
+
+    def test_all_linear_extensions_independent(self):
+        g = nx.DiGraph()
+        g.add_nodes_from(["x", "y", "z"])
+        assert len(list(all_linear_extensions(g))) == 6
+
+    def test_longest_path_nodes_only(self, diamond):
+        weights = {"s": 1.0, "a": 2.0, "b": 5.0, "t": 1.0}
+        assert longest_path_length(diamond, weights) == 7.0  # s-b-t
+
+    def test_longest_path_with_edges(self, diamond):
+        weights = {"s": 1.0, "a": 2.0, "b": 2.0, "t": 1.0}
+        edge_w = {("s", "a"): 10.0}
+        assert longest_path_length(diamond, weights, edge_w) == 14.0
+
+    def test_longest_path_empty(self):
+        assert longest_path_length(nx.DiGraph(), {}) == 0.0
