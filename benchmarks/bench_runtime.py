@@ -1,0 +1,172 @@
+"""Runtime benchmarks: parallel pairwise speedup + simulator hot path.
+
+Two measurements seed the repo's performance trajectory (timings land in
+``benchmarks/_reports/runtime.json``, which CI uploads as an artifact):
+
+* **Parallel pairwise sweep** — a 4-scheduler PISA grid (12 ordered
+  pairs x 2 restarts = 24 work units) at ``jobs=1`` vs ``jobs=4``.  On a
+  machine with >= 4 CPUs the pool must deliver >= 2x wall-clock speedup;
+  on smaller machines (CI containers are often 1-2 vCPUs) the timing is
+  recorded but the speedup assertion is skipped — there is nothing to
+  parallelize onto.  Determinism is asserted unconditionally: both runs
+  must produce the identical ratio matrix.
+* **ScheduleBuilder hot path** — a greedy EFT scheduling loop driven
+  through the optimized builder vs an uncached reference builder that
+  recomputes every ``exec``/``comm``/data-ready query the way the
+  pre-optimization code did.  The memoized builder must win while
+  producing identical makespans.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+
+from repro.core.exceptions import SchedulingError
+from repro.core.instance import ProblemInstance
+from repro.core.simulator import ScheduleBuilder, comm_time, exec_time
+from repro.datasets.random_graphs import parallel_chains_task_graph, random_network
+from repro.pisa import AnnealingConfig, PISAConfig, pairwise_comparison
+from repro.utils.rng import as_generator
+
+GRID_SCHEDULERS = ["HEFT", "CPoP", "MinMin", "FastestNode"]
+GRID_CONFIG = PISAConfig(
+    annealing=AnnealingConfig(max_iterations=120, alpha=0.97), restarts=2
+)
+PARALLEL_JOBS = 4
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _write_timings(report_dir, name: str, payload: dict) -> None:
+    path = report_dir / "runtime.json"
+    existing = json.loads(path.read_text()) if path.exists() else {}
+    existing[name] = payload
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+
+
+def test_parallel_pairwise_speedup(report_dir):
+    """jobs=4 vs jobs=1 on a 4-scheduler grid: same matrix, less wall-clock."""
+    serial, t_serial = _timed(
+        lambda: pairwise_comparison(GRID_SCHEDULERS, config=GRID_CONFIG, rng=0, jobs=1)
+    )
+    parallel, t_parallel = _timed(
+        lambda: pairwise_comparison(
+            GRID_SCHEDULERS, config=GRID_CONFIG, rng=0, jobs=PARALLEL_JOBS
+        )
+    )
+
+    # Determinism across jobs is unconditional.
+    for pair, result in serial.results.items():
+        assert parallel.results[pair].restart_ratios == result.restart_ratios
+
+    cpus = os.cpu_count() or 1
+    speedup = t_serial / t_parallel if t_parallel > 0 else math.inf
+    _write_timings(
+        report_dir,
+        "parallel_pairwise",
+        {
+            "schedulers": GRID_SCHEDULERS,
+            "units": len(GRID_SCHEDULERS) * (len(GRID_SCHEDULERS) - 1) * GRID_CONFIG.restarts,
+            "jobs": PARALLEL_JOBS,
+            "cpus": cpus,
+            "serial_seconds": round(t_serial, 4),
+            "parallel_seconds": round(t_parallel, 4),
+            "speedup": round(speedup, 3),
+        },
+    )
+    if cpus >= PARALLEL_JOBS:
+        assert speedup >= 2.0, (
+            f"jobs={PARALLEL_JOBS} on {cpus} CPUs only reached {speedup:.2f}x "
+            f"({t_serial:.2f}s -> {t_parallel:.2f}s)"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Simulator hot path
+# ---------------------------------------------------------------------- #
+class _UncachedBuilder(ScheduleBuilder):
+    """Pre-optimization reference: recompute every timing query."""
+
+    def _exec_time(self, task, node):
+        return exec_time(self.instance, task, node)
+
+    def _comm_time(self, src_task, dst_task, src_node, dst_node):
+        return comm_time(self.instance, src_task, dst_task, src_node, dst_node)
+
+    def data_ready_time(self, task, node):
+        ready = 0.0
+        for pred in self.instance.task_graph.predecessors(task):
+            entry = self._placed.get(pred)
+            if entry is None:
+                raise SchedulingError(
+                    f"cannot evaluate task {task!r}: predecessor {pred!r} unscheduled"
+                )
+            arrival = entry.end + comm_time(self.instance, pred, task, entry.node, node)
+            ready = max(ready, arrival)
+        return ready
+
+
+def _greedy_eft_schedule(builder: ScheduleBuilder) -> float:
+    """ETF-style loop: rescore every ready (task, node) pair each round."""
+    nodes = builder.instance.network.nodes
+    while True:
+        ready = builder.ready_tasks()
+        if not ready:
+            break
+        _, task, node = min(
+            (builder.eft(t, v), str(t), v) for t in ready for v in nodes
+        )
+        builder.commit(task, node)
+    return builder.makespan()
+
+
+def _bench_instances(num: int, rng) -> list[ProblemInstance]:
+    gen = as_generator(rng)
+    out = []
+    for i in range(num):
+        tg = parallel_chains_task_graph(
+            gen, min_chains=4, max_chains=6, min_length=4, max_length=6
+        )
+        net = random_network(gen, min_nodes=6, max_nodes=8)
+        out.append(ProblemInstance(net, tg, name=f"bench[{i}]"))
+    return out
+
+
+def test_builder_hot_path_speedup(report_dir):
+    """Memoized builder beats the uncached reference on identical work."""
+    instances = _bench_instances(20, rng=0)
+
+    def run_all(builder_cls):
+        return [_greedy_eft_schedule(builder_cls(inst)) for inst in instances]
+
+    # Warm-up round so import/JIT-ish costs don't skew either side.
+    run_all(ScheduleBuilder)
+    run_all(_UncachedBuilder)
+
+    optimized, t_optimized = _timed(lambda: run_all(ScheduleBuilder))
+    reference, t_reference = _timed(lambda: run_all(_UncachedBuilder))
+
+    assert optimized == reference, "hot-path memoization changed makespans"
+
+    speedup = t_reference / t_optimized if t_optimized > 0 else math.inf
+    _write_timings(
+        report_dir,
+        "builder_hot_path",
+        {
+            "instances": len(instances),
+            "optimized_seconds": round(t_optimized, 4),
+            "reference_seconds": round(t_reference, 4),
+            "speedup": round(speedup, 3),
+        },
+    )
+    assert speedup > 1.1, (
+        f"memoized builder not measurably faster: {t_reference:.3f}s reference "
+        f"vs {t_optimized:.3f}s optimized ({speedup:.2f}x)"
+    )

@@ -69,6 +69,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--restarts", type=int, default=5)
     p.add_argument("--alpha", type=float, default=0.99, help="cooling rate")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the restarts"
+    )
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument(
@@ -87,6 +90,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--full", action="store_true", help="paper-scale protocol (slow)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the PISA sweeps (fig4, fig7_fig8, fig10_19)",
+    )
+    p.add_argument(
+        "--run-dir",
+        default=None,
+        help="checkpoint run directory; completed work units stream to "
+        "<run-dir>/units.jsonl (fig4, fig10_19)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip work units already recorded in --run-dir",
+    )
     return parser
 
 
@@ -145,7 +165,9 @@ def _cmd_pisa(args) -> int:
         annealing=AnnealingConfig(max_iterations=args.iterations, alpha=args.alpha),
         restarts=args.restarts,
     )
-    result = PISA(args.target, args.baseline, config=config).run(rng=args.seed)
+    result = PISA(args.target, args.baseline, config=config).run(
+        rng=args.seed, jobs=args.jobs
+    )
     print(
         f"PISA {args.target} vs {args.baseline}: worst ratio found "
         f"{format_ratio(result.best_ratio)} "
@@ -179,11 +201,25 @@ def _cmd_experiment(args) -> int:
         "fig1": lambda: fig1_example.run().report,
         "fig2": lambda: fig2_benchmarking.run(rng=args.seed, full=args.full).report,
         "fig3": lambda: fig3_motivating.run(rng=args.seed, full=args.full).report,
-        "fig4": lambda: fig4_pisa_heatmap.run(rng=args.seed, full=args.full).report,
+        "fig4": lambda: fig4_pisa_heatmap.run(
+            rng=args.seed,
+            full=args.full,
+            jobs=args.jobs,
+            checkpoint_dir=args.run_dir,
+            resume=args.resume,
+        ).report,
         "fig5_fig6": lambda: fig5_fig6_case_study.run(rng=args.seed, full=args.full).report,
-        "fig7_fig8": lambda: fig7_fig8_families.run(rng=args.seed, full=args.full).report,
+        "fig7_fig8": lambda: fig7_fig8_families.run(
+            rng=args.seed, full=args.full, jobs=args.jobs
+        ).report,
         "fig9": lambda: fig9_structures.run(rng=args.seed).report,
-        "fig10_19": lambda: fig10_19_app_specific.run(rng=args.seed, full=args.full).report,
+        "fig10_19": lambda: fig10_19_app_specific.run(
+            rng=args.seed,
+            full=args.full,
+            jobs=args.jobs,
+            run_dir=args.run_dir,
+            resume=args.resume,
+        ).report,
     }
     print(drivers[args.name]())
     return 0

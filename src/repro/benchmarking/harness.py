@@ -12,7 +12,6 @@ from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
 from repro.benchmarking.metrics import RatioSummary, makespan_ratio, summarize_ratios
-from repro.core.instance import ProblemInstance
 from repro.core.scheduler import Scheduler, get_scheduler
 from repro.datasets.base import Dataset
 

@@ -20,6 +20,7 @@ Conventions
 from __future__ import annotations
 
 import math
+from bisect import insort
 from collections.abc import Hashable, Iterable
 
 from repro.core.exceptions import SchedulingError
@@ -113,17 +114,88 @@ class ScheduleBuilder:
         committed tasks on a node (HEFT's insertion-based policy); if
         False, tasks are appended after the node's last committed task
         (the non-insertion policy of MCT, ETF, FCP, ...).
+
+    Schedulers re-query the same (task, node) timings many times per
+    build (ETF re-scores every ready task every round), so the builder
+    snapshots the instance's weights at construction and memoizes
+    ``exec``/``comm``/data-ready lookups.  The instance must therefore not
+    be mutated while a builder is live — PISA's perturbations already
+    operate on copies, and schedulers build-and-discard.
     """
 
     def __init__(self, instance: ProblemInstance, insertion: bool = True) -> None:
         instance.validate()
         self.instance = instance
         self.insertion = insertion
-        self._entries: dict[Node, list[ScheduledTask]] = {v: [] for v in instance.network.nodes}
+        task_graph = instance.task_graph
+        network = instance.network
+        self._tasks: tuple[Task, ...] = task_graph.tasks
+        self._nodes: tuple[Node, ...] = network.nodes
+        self._entries: dict[Node, list[ScheduledTask]] = {v: [] for v in self._nodes}
         self._placed: dict[Task, ScheduledTask] = {}
-        self._remaining_preds: dict[Task, int] = {
-            t: len(instance.task_graph.predecessors(t)) for t in instance.task_graph.tasks
+        self._preds: dict[Task, tuple[Task, ...]] = {
+            t: task_graph.predecessors(t) for t in self._tasks
         }
+        self._succs: dict[Task, tuple[Task, ...]] = {
+            t: task_graph.successors(t) for t in self._tasks
+        }
+        self._remaining_preds: dict[Task, int] = {
+            t: len(self._preds[t]) for t in self._tasks
+        }
+        # Weight snapshots + memo tables for the hot timing queries.
+        self._cost: dict[Task, float] = {t: task_graph.cost(t) for t in self._tasks}
+        self._speed: dict[Node, float] = {v: network.speed(v) for v in self._nodes}
+        self._data: dict[tuple[Task, Task], float] = {
+            (u, v): size for u, v, size in task_graph.iter_dependencies()
+        }
+        self._strength: dict[tuple[Node, Node], float] = {}
+        for u, v in network.links:
+            s = network.strength(u, v)
+            self._strength[(u, v)] = s
+            self._strength[(v, u)] = s
+        self._exec_cache: dict[tuple[Task, Node], float] = {}
+        self._comm_cache: dict[tuple[Task, Task, Node, Node], float] = {}
+        self._drt_cache: dict[tuple[Task, Node], float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Memoized timing primitives (semantics of exec_time / comm_time)
+    # ------------------------------------------------------------------ #
+    def _exec_time(self, task: Task, node: Node) -> float:
+        key = (task, node)
+        cached = self._exec_cache.get(key)
+        if cached is not None:
+            return cached
+        try:
+            value = self._cost[task] / self._speed[node]
+        except KeyError:
+            # Unknown task/node: defer to the uncached path for its error.
+            value = exec_time(self.instance, task, node)
+        self._exec_cache[key] = value
+        return value
+
+    def _comm_time(self, src_task: Task, dst_task: Task, src_node: Node, dst_node: Node) -> float:
+        key = (src_task, dst_task, src_node, dst_node)
+        cached = self._comm_cache.get(key)
+        if cached is not None:
+            return cached
+        if src_node == dst_node:
+            value = 0.0
+        else:
+            data = self._data.get((src_task, dst_task))
+            strength = self._strength.get((src_node, dst_node))
+            if data is None or strength is None:
+                # Unknown dependency/link: defer for the proper error.
+                value = comm_time(self.instance, src_task, dst_task, src_node, dst_node)
+            elif data == 0.0:
+                value = 0.0
+            elif strength == 0.0:
+                value = math.inf
+            elif math.isinf(strength):
+                value = 0.0
+            else:
+                value = data / strength
+        self._comm_cache[key] = value
+        return value
 
     # ------------------------------------------------------------------ #
     # State
@@ -134,7 +206,7 @@ class ScheduleBuilder:
 
     @property
     def unscheduled_tasks(self) -> tuple[Task, ...]:
-        return tuple(t for t in self.instance.task_graph.tasks if t not in self._placed)
+        return tuple(t for t in self._tasks if t not in self._placed)
 
     def is_scheduled(self, task: Task) -> bool:
         return task in self._placed
@@ -147,7 +219,7 @@ class ScheduleBuilder:
         """
         return [
             t
-            for t in self.instance.task_graph.tasks
+            for t in self._tasks
             if t not in self._placed and self._remaining_preds[t] == 0
         ]
 
@@ -170,17 +242,26 @@ class ScheduleBuilder:
         """Earliest time all inputs of ``task`` are available at ``node``.
 
         Max over scheduled predecessors of (finish + communication); all
-        predecessors must already be committed.
+        predecessors must already be committed.  Committed placements are
+        immutable, so once computable the value is memoized.
         """
+        key = (task, node)
+        cached = self._drt_cache.get(key)
+        if cached is not None:
+            return cached
+        preds = self._preds.get(task)
+        if preds is None:
+            preds = self.instance.task_graph.predecessors(task)  # unknown task: error
         ready = 0.0
-        for pred in self.instance.task_graph.predecessors(task):
+        for pred in preds:
             entry = self._placed.get(pred)
             if entry is None:
                 raise SchedulingError(
                     f"cannot evaluate task {task!r}: predecessor {pred!r} unscheduled"
                 )
-            arrival = entry.end + comm_time(self.instance, pred, task, entry.node, node)
+            arrival = entry.end + self._comm_time(pred, task, entry.node, node)
             ready = max(ready, arrival)
+        self._drt_cache[key] = ready
         return ready
 
     def enabling_parent(self, task: Task, node: Node) -> Task | None:
@@ -189,13 +270,16 @@ class ScheduleBuilder:
         Returns None for source tasks.
         """
         best: tuple[float, Task] | None = None
-        for pred in self.instance.task_graph.predecessors(task):
+        preds = self._preds.get(task)
+        if preds is None:
+            preds = self.instance.task_graph.predecessors(task)  # unknown task: error
+        for pred in preds:
             entry = self._placed.get(pred)
             if entry is None:
                 raise SchedulingError(
                     f"cannot evaluate task {task!r}: predecessor {pred!r} unscheduled"
                 )
-            arrival = entry.end + comm_time(self.instance, pred, task, entry.node, node)
+            arrival = entry.end + self._comm_time(pred, task, entry.node, node)
             if best is None or arrival > best[0]:
                 best = (arrival, pred)
         return best[1] if best else None
@@ -203,7 +287,7 @@ class ScheduleBuilder:
     def est(self, task: Task, node: Node) -> float:
         """Earliest start of ``task`` on ``node`` under the builder's policy."""
         ready = self.data_ready_time(task, node)
-        duration = exec_time(self.instance, task, node)
+        duration = self._exec_time(task, node)
         return self._earliest_slot(node, ready, duration)
 
     def eft(self, task: Task, node: Node) -> float:
@@ -211,11 +295,11 @@ class ScheduleBuilder:
         start = self.est(task, node)
         if math.isinf(start):
             return math.inf
-        return start + exec_time(self.instance, task, node)
+        return start + self._exec_time(task, node)
 
     def best_node_by_eft(self, task: Task, nodes: Iterable[Node] | None = None) -> Node:
         """Node minimizing EFT for ``task`` (first wins on ties)."""
-        candidates = list(nodes) if nodes is not None else list(self.instance.network.nodes)
+        candidates = list(nodes) if nodes is not None else list(self._nodes)
         if not candidates:
             raise SchedulingError("no candidate nodes")
         return min(candidates, key=lambda v: (self.eft(task, v),))
@@ -260,7 +344,7 @@ class ScheduleBuilder:
             )
         if node not in self._entries:
             raise SchedulingError(f"unknown node {node!r}")
-        duration = exec_time(self.instance, task, node)
+        duration = self._exec_time(task, node)
         if start is None:
             start = self.est(task, node)
         else:
@@ -276,10 +360,9 @@ class ScheduleBuilder:
                     )
         end = start + duration if not math.isinf(start) else math.inf
         entry = ScheduledTask(start=float(start), end=float(end), task=task, node=node)
-        self._entries[node].append(entry)
-        self._entries[node].sort()
+        insort(self._entries[node], entry)
         self._placed[task] = entry
-        for succ in self.instance.task_graph.successors(task):
+        for succ in self._succs[task]:
             self._remaining_preds[succ] -= 1
         return entry
 

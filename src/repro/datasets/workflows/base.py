@@ -24,8 +24,7 @@ consumer must fetch, the convention the Pegasus traces use).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Callable, Mapping, Sequence
-from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 

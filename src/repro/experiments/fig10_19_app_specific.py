@@ -15,6 +15,7 @@ scale runs two workflows x two CCRs with a shortened annealing schedule.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.benchmarking.harness import BenchmarkResult, benchmark_dataset
 from repro.benchmarking.heatmap import format_gradient, render_matrix
@@ -64,6 +65,9 @@ def run_panel(
     rng: int = 0,
     full: bool | None = None,
     progress=None,
+    jobs: int = 1,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> Panel:
     """One Figs. 10-19 panel."""
     schedulers = list(schedulers) if schedulers is not None else list(APP_SPECIFIC_SCHEDULERS)
@@ -71,12 +75,17 @@ def run_panel(
     space = AppSpecificSpace(workflow, ccr=ccr, trace_seed=derive_seed(rng, workflow, "trace"))
     dataset = space.dataset(bench_instances, rng=as_generator(derive_seed(rng, workflow, ccr, "bench")))
     benchmark = benchmark_dataset(schedulers, dataset)
+    # The derived seed stays an int so the checkpoint manifest records it
+    # and a resumed run is validated against it.
     pisa = app_specific_pairwise(
         space,
         schedulers,
         config=config,
-        rng=as_generator(derive_seed(rng, workflow, ccr, "pisa")),
+        rng=derive_seed(rng, workflow, ccr, "pisa"),
         progress=progress,
+        jobs=jobs,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )
     return Panel(workflow=workflow, ccr=ccr, benchmark=benchmark, pisa=pisa)
 
@@ -98,12 +107,17 @@ def run(
     rng: int = 0,
     full: bool | None = None,
     progress=None,
+    jobs: int = 1,
+    run_dir=None,
+    resume: bool = False,
 ) -> Fig1019Result:
     """Regenerate Figs. 10-19 panels.
 
     Defaults: srasearch + blast (the two panels in the paper body) at
     CCRs {0.2, 1.0}; full scale runs all nine workflows at all five CCRs
-    (the appendix).
+    (the appendix).  With a ``run_dir``, every panel checkpoints its
+    (pair, restart) units to ``run_dir/<workflow>_ccr<ccr>`` so the
+    whole multi-panel sweep is resumable.
     """
     if workflows is None:
         workflows = pick(
@@ -126,6 +140,9 @@ def run(
     result = Fig1019Result()
     for workflow in workflows:
         for ccr in ccrs:
+            checkpoint_dir = None
+            if run_dir is not None:
+                checkpoint_dir = Path(run_dir) / f"{workflow}_ccr{ccr}"
             result.panels.append(
                 run_panel(
                     workflow,
@@ -135,6 +152,9 @@ def run(
                     rng=rng,
                     full=full,
                     progress=progress,
+                    jobs=jobs,
+                    checkpoint_dir=checkpoint_dir,
+                    resume=resume,
                 )
             )
     return result

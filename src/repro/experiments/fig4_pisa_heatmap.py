@@ -17,8 +17,6 @@ from repro.benchmarking.heatmap import render_matrix
 from repro.experiments.config import pisa_config
 from repro.pisa.pisa import PairwiseResult, PISAConfig, pairwise_comparison
 from repro.schedulers import PAPER_SCHEDULERS
-from repro.utils.rng import as_generator
-
 __all__ = ["Fig4Result", "run"]
 
 
@@ -37,11 +35,30 @@ def run(
     rng: int = 0,
     full: bool | None = None,
     progress=None,
+    jobs: int = 1,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> Fig4Result:
-    """Regenerate the Fig. 4 matrix (reduced annealing schedule by default)."""
+    """Regenerate the Fig. 4 matrix (reduced annealing schedule by default).
+
+    ``jobs`` fans the (pair, restart) work units over worker processes;
+    ``checkpoint_dir``/``resume`` stream completed units to a run
+    directory so an interrupted sweep continues where it stopped (see
+    :func:`repro.pisa.pisa.pairwise_comparison`).
+    """
     schedulers = list(schedulers) if schedulers is not None else list(PAPER_SCHEDULERS)
     config = config or pisa_config(full)
-    pairwise = pairwise_comparison(schedulers, config=config, rng=as_generator(rng), progress=progress)
+    # Pass the seed through un-coerced: integer seeds are recorded in the
+    # checkpoint manifest, so a resumed run can be validated against it.
+    pairwise = pairwise_comparison(
+        schedulers,
+        config=config,
+        rng=rng,
+        progress=progress,
+        jobs=jobs,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
 
     # Row = base scheduler, column = target scheduler, matching Fig. 4.
     values = {

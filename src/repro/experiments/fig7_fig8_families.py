@@ -32,8 +32,10 @@ from repro.core.network import Network
 from repro.core.scheduler import get_scheduler
 from repro.core.task_graph import TaskGraph
 from repro.experiments.config import pick
+from repro.runtime.executor import run_units
+from repro.runtime.units import WorkUnit
 from repro.utils.distributions import clipped_gaussian
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, spawn
 
 __all__ = ["fig7_instance", "fig8_instance", "FamilyResult", "run_family", "run"]
 
@@ -100,21 +102,37 @@ class FamilyResult:
         return float(np.median(self.makespans[scheduler]))
 
 
+def _sample_family_unit(unit: WorkUnit) -> dict[str, float]:
+    """Worker: sample one family instance, schedule it with every scheduler."""
+    instance_factory, scheduler_names = unit.payload
+    instance = instance_factory(unit.rng)
+    return {
+        name: get_scheduler(name).schedule(instance).makespan
+        for name in scheduler_names
+    }
+
+
 def run_family(
     name: str,
     instance_factory,
     num_instances: int,
     rng,
     schedulers: tuple[str, ...] = ("CPoP", "HEFT"),
+    jobs: int = 1,
 ) -> FamilyResult:
-    """Sample a family and collect per-scheduler makespans."""
-    gen = as_generator(rng)
-    resolved = {s: get_scheduler(s) for s in schedulers}
-    makespans: dict[str, list[float]] = {s: [] for s in schedulers}
-    for _ in range(num_instances):
-        instance = instance_factory(gen)
-        for s, scheduler in resolved.items():
-            makespans[s].append(scheduler.schedule(instance).makespan)
+    """Sample a family and collect per-scheduler makespans.
+
+    Each sample is one work unit on its own spawned RNG stream, so the
+    distributions are identical at any ``jobs``.
+    """
+    units = [
+        WorkUnit(key=f"{name}[{i}]", payload=(instance_factory, tuple(schedulers)), rng=gen)
+        for i, gen in enumerate(spawn(rng, num_instances))
+    ]
+    results = run_units(units, _sample_family_unit, jobs=jobs)
+    makespans = {
+        s: [results[f"{name}[{i}]"][s] for i in range(num_instances)] for s in schedulers
+    }
     return FamilyResult(
         name=name, makespans={s: np.asarray(v) for s, v in makespans.items()}
     )
@@ -127,11 +145,16 @@ class Fig78Result:
     report: str
 
 
-def run(num_instances: int | None = None, rng: int = 0, full: bool | None = None) -> Fig78Result:
+def run(
+    num_instances: int | None = None,
+    rng: int = 0,
+    full: bool | None = None,
+    jobs: int = 1,
+) -> Fig78Result:
     n = num_instances if num_instances is not None else pick(100, 1000, full)
     gen = as_generator(rng)
-    fig7 = run_family("fig7", fig7_instance, n, gen)
-    fig8 = run_family("fig8", fig8_instance, n, gen)
+    fig7 = run_family("fig7", fig7_instance, n, gen, jobs=jobs)
+    fig8 = run_family("fig8", fig8_instance, n, gen, jobs=jobs)
 
     lines = [f"Figs. 7/8 — HEFT vs CPoP on crafted instance families ({n} samples each)", ""]
     rows = []

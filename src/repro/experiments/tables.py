@@ -7,8 +7,6 @@ live registries, so they stay true to what the package actually ships.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.benchmarking.report import format_table
 from repro.core.scheduler import scheduler_registry
 from repro.datasets import PAPER_DATASETS, list_datasets

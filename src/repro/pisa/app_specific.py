@@ -172,16 +172,28 @@ def app_specific_pairwise(
     config: PISAConfig | None = None,
     rng: int | np.random.Generator | None = None,
     progress=None,
+    jobs: int = 1,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> PairwiseResult:
-    """The PISA half of one Figs. 10-19 panel: all ordered pairs in-family."""
-    gen = as_generator(rng)
-    out = PairwiseResult(schedulers=list(schedulers))
-    for target in schedulers:
-        for baseline in schedulers:
-            if target == baseline:
-                continue
-            result = space.run_pair(target, baseline, config=config, rng=gen)
-            out.results[(target, baseline)] = result
-            if progress is not None:
-                progress(target, baseline, result.best_ratio)
-    return out
+    """The PISA half of one Figs. 10-19 panel: all ordered pairs in-family.
+
+    Runs on the work-unit runtime: one unit per (pair, restart), each on
+    its own spawned RNG stream, optionally fanned out over ``jobs``
+    worker processes and checkpointed to ``checkpoint_dir`` (see
+    :func:`repro.pisa.pisa.pairwise_comparison`).
+    """
+    from repro.runtime.pairwise import run_pairwise
+
+    return run_pairwise(
+        schedulers,
+        config=config,
+        rng=rng,
+        perturbations=space.perturbations(),
+        initial_factory=space.initial_instance,
+        constraints=SearchConstraints(),
+        progress=progress,
+        jobs=jobs,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )

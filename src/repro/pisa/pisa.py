@@ -32,7 +32,7 @@ from repro.pisa.constraints import (
 )
 from repro.pisa.initial import random_chain_instance
 from repro.pisa.perturbations import PerturbationSet, default_perturbations
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, spawn
 
 __all__ = ["PISAConfig", "PISAResult", "PISA", "pairwise_comparison", "PairwiseResult"]
 
@@ -62,6 +62,28 @@ class PISAResult:
     @property
     def restart_ratios(self) -> list[float]:
         return [r.best_energy for r in self.restart_results]
+
+    @classmethod
+    def from_restarts(
+        cls, target: str, baseline: str, restart_results: list[AnnealingResult]
+    ) -> "PISAResult":
+        """Combine per-restart annealing results (first restart wins ties)."""
+        if not restart_results:
+            raise ValueError("at least one restart result is required")
+        best_instance: ProblemInstance | None = None
+        best_ratio = -math.inf
+        for result in restart_results:
+            if result.best_energy > best_ratio:
+                best_ratio = result.best_energy
+                best_instance = result.best_state
+        assert best_instance is not None
+        return cls(
+            target=target,
+            baseline=baseline,
+            best_instance=best_instance.with_name(f"pisa:{target}-vs-{baseline}"),
+            best_ratio=best_ratio,
+            restart_results=list(restart_results),
+        )
 
 
 class PISA:
@@ -113,34 +135,39 @@ class PISA:
         baseline_ms = self.baseline.schedule(instance).makespan
         return makespan_ratio(target_ms, baseline_ms)
 
-    def run(self, rng: int | np.random.Generator | None = None) -> PISAResult:
-        """Run ``restarts`` annealing runs and keep the best instance."""
+    def run_restart(self, rng: int | np.random.Generator | None = None) -> AnnealingResult:
+        """One annealing run from a fresh constrained initial instance.
+
+        This is the runtime's work unit: the caller owns the seeding (one
+        spawned child generator per restart) and the combination of
+        restarts into a :class:`PISAResult`.
+        """
         gen = as_generator(rng)
         annealer = SimulatedAnnealing(
             energy=self.energy,
             perturb=self.perturbations.perturb,
             config=self.config.annealing,
         )
-        results: list[AnnealingResult] = []
-        best_instance: ProblemInstance | None = None
-        best_ratio = -math.inf
-        for restart in range(self.config.restarts):
-            initial = apply_initial_constraints(self.initial_factory(gen), self.constraints)
-            result = annealer.run(initial, rng=gen)
-            results.append(result)
-            if result.best_energy > best_ratio:
-                best_ratio = result.best_energy
-                best_instance = result.best_state
-        assert best_instance is not None
-        return PISAResult(
-            target=self.target.name,
-            baseline=self.baseline.name,
-            best_instance=best_instance.with_name(
-                f"pisa:{self.target.name}-vs-{self.baseline.name}"
-            ),
-            best_ratio=best_ratio,
-            restart_results=results,
-        )
+        initial = apply_initial_constraints(self.initial_factory(gen), self.constraints)
+        return annealer.run(initial, rng=gen)
+
+    def run(self, rng: int | np.random.Generator | None = None, jobs: int = 1) -> PISAResult:
+        """Run ``restarts`` annealing runs and keep the best instance.
+
+        Every restart draws from its own child generator spawned from
+        ``rng`` (``np.random.SeedSequence.spawn`` semantics), so restart
+        ``i``'s result does not depend on how many restarts precede it or
+        on whether restarts execute serially (``jobs=1``) or across a
+        process pool (``jobs>1``) — the two paths are bit-identical.
+        """
+        restart_gens = spawn(rng, self.config.restarts)
+        if jobs > 1:
+            from repro.runtime.pairwise import run_pisa_restarts
+
+            results = run_pisa_restarts(self, restart_gens, jobs=jobs)
+        else:
+            results = [self.run_restart(gen) for gen in restart_gens]
+        return PISAResult.from_restarts(self.target.name, self.baseline.name, results)
 
 
 @dataclass
@@ -172,28 +199,37 @@ def pairwise_comparison(
     perturbations: PerturbationSet | None = None,
     initial_factory: Callable[[np.random.Generator], ProblemInstance] | None = None,
     progress: Callable[[str, str, float], None] | None = None,
+    jobs: int = 1,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> PairwiseResult:
     """Run PISA for every ordered pair of ``schedulers`` (Fig. 4).
 
-    ``progress(target, baseline, ratio)`` is invoked after each pair —
-    paper-scale runs take a while and the experiment drivers use this to
-    stream rows.
+    The sweep decomposes into one work unit per (target, baseline,
+    restart), each on its own spawned RNG stream, executed by
+    :mod:`repro.runtime`:
+
+    * ``jobs`` fans units out over that many worker processes; for a
+      fixed seed the ratio matrix is identical at any ``jobs``.
+    * ``checkpoint_dir`` records completed units to a JSON-lines run
+      directory as they finish; ``resume=True`` skips units already
+      recorded there, so an interrupted sweep continues instead of
+      restarting (requires the same schedulers/config/seed).
+
+    ``progress(target, baseline, ratio)`` is invoked as each pair's last
+    restart completes — paper-scale runs take a while and the experiment
+    drivers use this to stream rows.
     """
-    gen = as_generator(rng)
-    out = PairwiseResult(schedulers=list(schedulers))
-    for target in schedulers:
-        for baseline in schedulers:
-            if target == baseline:
-                continue
-            pisa = PISA(
-                target,
-                baseline,
-                perturbations=perturbations,
-                config=config,
-                initial_factory=initial_factory,
-            )
-            result = pisa.run(gen)
-            out.results[(target, baseline)] = result
-            if progress is not None:
-                progress(target, baseline, result.best_ratio)
-    return out
+    from repro.runtime.pairwise import run_pairwise
+
+    return run_pairwise(
+        schedulers,
+        config=config,
+        rng=rng,
+        perturbations=perturbations,
+        initial_factory=initial_factory,
+        progress=progress,
+        jobs=jobs,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )

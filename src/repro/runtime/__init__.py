@@ -1,0 +1,38 @@
+"""Parallel experiment runtime: work units, process pools, checkpoints.
+
+The paper's headline sweeps (Fig. 4's 210 scheduler pairs x 5 restarts,
+the Figs. 10-19 per-application panels, the Figs. 7/8 family samples)
+decompose into independent *work units*, each carrying its own spawned
+RNG stream.  This package executes such unit collections serially or
+over a process pool, streams results back as they complete, and
+checkpoints finished units to a JSON-lines run directory so interrupted
+sweeps resume instead of restarting.  See README.md in this directory
+for the work-unit / checkpoint model.
+"""
+
+from repro.runtime.checkpoint import RunCheckpoint
+from repro.runtime.executor import default_jobs, run_units
+from repro.runtime.pairwise import (
+    PairwiseUnitResult,
+    decode_unit_result,
+    encode_unit_result,
+    run_pairwise,
+    run_pairwise_unit,
+    run_pisa_restarts,
+    unit_key,
+)
+from repro.runtime.units import WorkUnit
+
+__all__ = [
+    "WorkUnit",
+    "RunCheckpoint",
+    "run_units",
+    "default_jobs",
+    "run_pairwise",
+    "run_pairwise_unit",
+    "run_pisa_restarts",
+    "PairwiseUnitResult",
+    "encode_unit_result",
+    "decode_unit_result",
+    "unit_key",
+]

@@ -1,0 +1,122 @@
+"""JSON-lines checkpointing for interruptible experiment runs.
+
+A *run directory* holds two files:
+
+``manifest.json``
+    The run's identity: what experiment, which schedulers/configs, how
+    many units.  A resumed run must present an identical manifest — a
+    mismatch means the checkpoint belongs to a different experiment and
+    silently mixing results would corrupt the sweep.
+``units.jsonl``
+    One JSON object per *completed* work unit: ``{"key": ..., "result":
+    ...}``.  Records are appended and flushed as units finish, so an
+    interrupted run loses at most the units that were in flight.  A torn
+    final line (the process died mid-write) is ignored on load.
+
+Results are encoded/decoded through caller-supplied functions so the
+executor stays agnostic of what a unit produces; PISA units, for
+example, serialize the adversarial instance via
+:meth:`~repro.core.instance.ProblemInstance.to_dict` and drop the
+per-iteration annealing history (summary statistics survive the round
+trip, trajectories do not).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable
+from pathlib import Path
+from typing import Any
+
+__all__ = ["RunCheckpoint"]
+
+
+class RunCheckpoint:
+    """Append-only checkpoint of completed work units in a run directory."""
+
+    MANIFEST_NAME = "manifest.json"
+    UNITS_NAME = "units.jsonl"
+
+    def __init__(
+        self,
+        run_dir: str | Path,
+        encode: Callable[[Any], Any] | None = None,
+        decode: Callable[[Any], Any] | None = None,
+    ) -> None:
+        self.run_dir = Path(run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self._encode = encode if encode is not None else (lambda result: result)
+        self._decode = decode if decode is not None else (lambda payload: payload)
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.run_dir / self.MANIFEST_NAME
+
+    @property
+    def units_path(self) -> Path:
+        return self.run_dir / self.UNITS_NAME
+
+    # ------------------------------------------------------------------ #
+    def initialize(self, manifest: dict, resume: bool = False) -> None:
+        """Write (fresh run) or validate (resume) the run manifest.
+
+        A resumed run requires the stored manifest to match ``manifest``
+        exactly and keeps the completed-unit records.  A fresh run
+        refuses to start over a directory that already holds completed
+        units — hours of checkpointed work must never vanish because
+        ``resume`` was forgotten; pass ``resume=True`` or use a new
+        directory.
+        """
+        if resume:
+            if self.manifest_path.exists():
+                stored = json.loads(self.manifest_path.read_text())
+                if stored != manifest:
+                    raise ValueError(
+                        f"cannot resume from {self.run_dir}: checkpoint manifest does not "
+                        f"match this run (stored {stored!r}, expected {manifest!r})"
+                    )
+                return
+            if self.units_path.exists() and self.units_path.stat().st_size > 0:
+                raise ValueError(
+                    f"cannot resume from {self.run_dir}: units.jsonl exists but "
+                    "manifest.json is missing"
+                )
+        elif self.units_path.exists() and self.units_path.stat().st_size > 0:
+            raise ValueError(
+                f"run directory {self.run_dir} already holds completed units; "
+                "pass resume=True (--resume) to continue it, or point the run "
+                "at a fresh directory"
+            )
+        self.manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        self.units_path.write_text("")
+
+    def manifest(self) -> dict | None:
+        """The stored manifest, or None for an uninitialized directory."""
+        if not self.manifest_path.exists():
+            return None
+        return json.loads(self.manifest_path.read_text())
+
+    # ------------------------------------------------------------------ #
+    def completed(self) -> dict[str, Any]:
+        """Decoded results of every completed unit, keyed by unit key."""
+        if not self.units_path.exists():
+            return {}
+        out: dict[str, Any] = {}
+        for line in self.units_path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn final line from an interrupted write
+            out[record["key"]] = self._decode(record["result"])
+        return out
+
+    def record(self, key: str, result: Any) -> None:
+        """Append one completed unit; flushed immediately so an interrupt
+        after this call never loses the unit."""
+        line = json.dumps({"key": key, "result": self._encode(result)})
+        with self.units_path.open("a") as fh:
+            fh.write(line + "\n")
+            fh.flush()

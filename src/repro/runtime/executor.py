@@ -1,0 +1,125 @@
+"""The work-unit executor: serial or process-pool, with checkpointing.
+
+:func:`run_units` is the single entry point every parallelized experiment
+goes through:
+
+* ``jobs=1`` executes units in order, in process — this is *the* serial
+  path, not a simulation of it, so serial results are bit-identical to
+  what the pre-runtime drivers produced.
+* ``jobs>1`` fans units out over a :class:`~concurrent.futures.
+  ProcessPoolExecutor` and streams results back as they complete.
+  Determinism is unaffected because every unit carries its own spawned
+  RNG (see :mod:`repro.runtime.units`).
+* With a :class:`~repro.runtime.checkpoint.RunCheckpoint`, completed
+  units are appended to ``units.jsonl`` as they finish, and units already
+  recorded there are *not* re-executed — an interrupted sweep resumes
+  where it left off.
+
+Workers must be module-level functions (they cross process boundaries by
+pickle) mapping one :class:`WorkUnit` to one picklable result.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Callable, Iterable
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from pathlib import Path
+from typing import Any
+
+from repro.runtime.checkpoint import RunCheckpoint
+from repro.runtime.units import WorkUnit
+
+__all__ = ["run_units", "default_jobs"]
+
+
+def default_jobs() -> int:
+    """A reasonable worker count for this machine (all visible CPUs)."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def _mp_context():
+    """Prefer fork (cheap, inherits sys.path); fall back to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _ensure_child_importable() -> None:
+    """Make sure spawned children can ``import repro``.
+
+    Under the spawn start method a worker re-imports its module from
+    scratch; if the parent got ``repro`` on ``sys.path`` without setting
+    ``PYTHONPATH`` (e.g. via pytest's ``pythonpath`` ini option), the
+    child would fail.  Exporting the package root is harmless otherwise.
+    """
+    import repro
+
+    root = str(Path(repro.__file__).resolve().parent.parent)
+    existing = os.environ.get("PYTHONPATH", "")
+    if root not in existing.split(os.pathsep):
+        os.environ["PYTHONPATH"] = root + (os.pathsep + existing if existing else "")
+
+
+def run_units(
+    units: Iterable[WorkUnit],
+    worker: Callable[[WorkUnit], Any],
+    *,
+    jobs: int = 1,
+    checkpoint: RunCheckpoint | None = None,
+    on_result: Callable[[WorkUnit, Any, bool], None] | None = None,
+) -> dict[str, Any]:
+    """Execute ``units`` and return ``{unit.key: result}``.
+
+    Parameters
+    ----------
+    units:
+        The work units; keys must be unique.
+    worker:
+        Module-level function mapping one unit to one result.
+    jobs:
+        Worker processes; ``1`` runs everything serially in-process.
+    checkpoint:
+        Optional :class:`RunCheckpoint`.  Units whose keys are already
+        recorded are returned from the checkpoint without re-executing;
+        freshly completed units are appended as they finish.
+    on_result:
+        Streaming callback ``(unit, result, cached)`` invoked once per
+        unit — with ``cached=True`` for units restored from the
+        checkpoint, in unit order before any execution starts.
+    """
+    units = list(units)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    keys = [u.key for u in units]
+    if len(set(keys)) != len(keys):
+        raise ValueError("work-unit keys must be unique within a run")
+
+    results: dict[str, Any] = {}
+    if checkpoint is not None:
+        done = checkpoint.completed()
+        for unit in units:
+            if unit.key in done:
+                results[unit.key] = done[unit.key]
+                if on_result is not None:
+                    on_result(unit, done[unit.key], True)
+    pending = [u for u in units if u.key not in results]
+
+    def _finish(unit: WorkUnit, result: Any) -> None:
+        results[unit.key] = result
+        if checkpoint is not None:
+            checkpoint.record(unit.key, result)
+        if on_result is not None:
+            on_result(unit, result, False)
+
+    if jobs == 1 or len(pending) <= 1:
+        for unit in pending:
+            _finish(unit, worker(unit))
+    elif pending:
+        _ensure_child_importable()
+        max_workers = min(jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=max_workers, mp_context=_mp_context()) as pool:
+            futures = {pool.submit(worker, unit): unit for unit in pending}
+            for future in as_completed(futures):
+                _finish(futures[future], future.result())
+    return results

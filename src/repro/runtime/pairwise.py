@@ -1,0 +1,210 @@
+"""Pairwise PISA sweeps on the work-unit runtime (Fig. 4, Figs. 10-19).
+
+The unit of work is one *(target, baseline, restart)* annealing run —
+the finest grain at which the paper's experiment decomposes without
+changing its semantics.  Seeding follows a two-level spawn tree rooted
+at the sweep's seed:
+
+    root ── spawn(#pairs) ──> pair generator ── spawn(restarts) ──> unit
+
+:meth:`repro.pisa.pisa.PISA.run` uses exactly the same per-restart spawn
+for its serial path, so for a fixed seed the sweep produces bit-identical
+ratios at any ``jobs`` and across interrupt/resume boundaries.
+
+Checkpointed unit results keep the adversarial instance (via
+``ProblemInstance.to_dict``) and the summary statistics of the annealing
+run; the per-iteration history is dropped from the JSONL record (resumed
+pairs have empty ``history`` lists).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.instance import ProblemInstance
+from repro.pisa.annealing import AnnealingResult
+from repro.pisa.constraints import SearchConstraints
+from repro.pisa.perturbations import PerturbationSet
+from repro.pisa.pisa import PISA, PairwiseResult, PISAConfig, PISAResult
+from repro.runtime.checkpoint import RunCheckpoint
+from repro.runtime.executor import run_units
+from repro.runtime.units import WorkUnit
+from repro.utils.rng import as_generator, spawn
+
+__all__ = [
+    "PairwiseUnitResult",
+    "run_pairwise_unit",
+    "run_pisa_restarts",
+    "run_pairwise",
+    "unit_key",
+]
+
+
+def unit_key(target: str, baseline: str, restart: int) -> str:
+    """Checkpoint key of one (target, baseline, restart) unit."""
+    return f"{target}|{baseline}|r{restart}"
+
+
+@dataclass
+class PairwiseUnitResult:
+    """Outcome of one unit: one annealing restart of one scheduler pair."""
+
+    target: str
+    baseline: str
+    restart: int
+    annealing: AnnealingResult
+
+
+def run_pairwise_unit(unit: WorkUnit) -> PairwiseUnitResult:
+    """Worker: execute one (pair, restart) unit on its own RNG stream."""
+    pisa, restart = unit.payload
+    return PairwiseUnitResult(
+        target=pisa.target.name,
+        baseline=pisa.baseline.name,
+        restart=restart,
+        annealing=pisa.run_restart(unit.rng),
+    )
+
+
+def run_pisa_restarts(
+    pisa: PISA, gens: list[np.random.Generator], jobs: int = 1
+) -> list[AnnealingResult]:
+    """Execute one pair's restarts (each on its own generator) in parallel."""
+    units = [
+        WorkUnit(key=f"r{i}", payload=(pisa, i), rng=gen) for i, gen in enumerate(gens)
+    ]
+    results = run_units(units, run_pairwise_unit, jobs=jobs)
+    return [results[f"r{i}"].annealing for i in range(len(gens))]
+
+
+# ---------------------------------------------------------------------- #
+# Checkpoint encoding
+# ---------------------------------------------------------------------- #
+def encode_unit_result(result: PairwiseUnitResult) -> dict:
+    """JSON payload of a unit result (drops the per-iteration history)."""
+    ann = result.annealing
+    return {
+        "target": result.target,
+        "baseline": result.baseline,
+        "restart": result.restart,
+        "best_energy": ann.best_energy,
+        "initial_energy": ann.initial_energy,
+        "iterations": ann.iterations,
+        "best_instance": ann.best_state.to_dict(),
+    }
+
+
+def decode_unit_result(payload: dict) -> PairwiseUnitResult:
+    return PairwiseUnitResult(
+        target=payload["target"],
+        baseline=payload["baseline"],
+        restart=payload["restart"],
+        annealing=AnnealingResult(
+            best_state=ProblemInstance.from_dict(payload["best_instance"]),
+            best_energy=payload["best_energy"],
+            initial_energy=payload["initial_energy"],
+            iterations=payload["iterations"],
+            history=[],
+        ),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# The sweep
+# ---------------------------------------------------------------------- #
+def run_pairwise(
+    schedulers: list[str],
+    config: PISAConfig | None = None,
+    rng: int | np.random.Generator | None = None,
+    perturbations: PerturbationSet | None = None,
+    initial_factory: Callable[[np.random.Generator], ProblemInstance] | None = None,
+    constraints: SearchConstraints | None = None,
+    progress: Callable[[str, str, float], None] | None = None,
+    jobs: int = 1,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+) -> PairwiseResult:
+    """PISA over every ordered pair of ``schedulers`` as a unit sweep.
+
+    ``progress(target, baseline, ratio)`` fires when a pair's last
+    restart completes (including pairs restored from a checkpoint).
+    """
+    config = config or PISAConfig()
+    seed = int(rng) if isinstance(rng, (int, np.integer)) else None
+    gen = as_generator(rng)
+
+    pairs: list[tuple[str, str, PISA]] = []
+    for target in schedulers:
+        for baseline in schedulers:
+            if target == baseline:
+                continue
+            pairs.append(
+                (
+                    target,
+                    baseline,
+                    PISA(
+                        target,
+                        baseline,
+                        perturbations=perturbations,
+                        config=config,
+                        initial_factory=initial_factory,
+                        constraints=constraints,
+                    ),
+                )
+            )
+
+    units: list[WorkUnit] = []
+    key_to_pair: dict[str, tuple[str, str]] = {}
+    for (target, baseline, pisa), pair_gen in zip(pairs, spawn(gen, len(pairs))):
+        for restart, restart_gen in enumerate(spawn(pair_gen, config.restarts)):
+            key = unit_key(target, baseline, restart)
+            units.append(WorkUnit(key=key, payload=(pisa, restart), rng=restart_gen))
+            key_to_pair[key] = (target, baseline)
+
+    checkpoint = None
+    if checkpoint_dir is not None:
+        checkpoint = RunCheckpoint(
+            checkpoint_dir, encode=encode_unit_result, decode=decode_unit_result
+        )
+        manifest = {
+            "kind": "pairwise",
+            "schedulers": [str(s) for s in schedulers],
+            "restarts": config.restarts,
+            "annealing": asdict(config.annealing),
+            "seed": seed,
+            "units": len(units),
+        }
+        checkpoint.initialize(manifest, resume=resume)
+
+    on_result = None
+    if progress is not None:
+        collected: dict[tuple[str, str], dict[int, AnnealingResult]] = {
+            (t, b): {} for t, b, _ in pairs
+        }
+
+        def on_result(unit: WorkUnit, result: PairwiseUnitResult, cached: bool) -> None:
+            pair = key_to_pair[unit.key]
+            collected[pair][result.restart] = result.annealing
+            if len(collected[pair]) == config.restarts:
+                restarts = [collected[pair][r] for r in range(config.restarts)]
+                best = max(r.best_energy for r in restarts)
+                progress(pair[0], pair[1], best)
+
+    unit_results = run_units(
+        units, run_pairwise_unit, jobs=jobs, checkpoint=checkpoint, on_result=on_result
+    )
+
+    out = PairwiseResult(schedulers=list(schedulers))
+    for target, baseline, pisa in pairs:
+        restarts = [
+            unit_results[unit_key(target, baseline, r)].annealing
+            for r in range(config.restarts)
+        ]
+        out.results[(target, baseline)] = PISAResult.from_restarts(
+            pisa.target.name, pisa.baseline.name, restarts
+        )
+    return out

@@ -1,0 +1,40 @@
+"""Work units: the schedulable atom of the experiment runtime.
+
+A :class:`WorkUnit` is one independently executable slice of an
+experiment — one PISA annealing restart, one sampled family instance,
+one benchmark cell.  Units carry
+
+* a **key**: a stable, human-readable identifier that is unique within a
+  run (``"HEFT|CPoP|r2"``).  Keys name checkpoint records, so a resumed
+  run can skip exactly the units that already completed.
+* a **payload**: an arbitrary picklable spec the worker function
+  interprets (for PISA units: the configured :class:`~repro.pisa.pisa.PISA`
+  search object plus the restart index).
+* an **rng**: a :class:`numpy.random.Generator` spawned deterministically
+  from the run's root seed (``np.random.SeedSequence.spawn`` semantics via
+  :func:`repro.utils.rng.spawn`).  Because every unit owns its own stream,
+  results are identical whether units run serially, in any parallel
+  interleaving, or across an interrupt/resume boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["WorkUnit"]
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independently executable, independently seeded slice of a run."""
+
+    key: str
+    payload: Any = None
+    rng: np.random.Generator | None = None
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ValueError("work-unit key must be a non-empty string")

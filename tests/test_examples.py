@@ -6,6 +6,7 @@ are exercised indirectly through the PISA tests (same code paths).
 
 from __future__ import annotations
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -13,14 +14,22 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = Path(__file__).resolve().parent.parent / "src"
 
 
 def _run(script: str, timeout: int = 240) -> str:
+    # pytest's `pythonpath` ini only patches sys.path in-process; the
+    # example subprocess needs the package on PYTHONPATH explicitly.
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if str(SRC) not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = str(SRC) + (os.pathsep + existing if existing else "")
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / script)],
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
     assert result.returncode == 0, result.stderr[-2000:]
     return result.stdout

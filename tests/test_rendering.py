@@ -45,8 +45,8 @@ class TestMatrices:
         assert "> 1000" in text
         assert "-" in text  # missing (r2, c2)
         # All rows align to the same width.
-        lines = [l for l in text.splitlines()[1:] if l]
-        assert len({len(l) for l in lines}) == 1
+        lines = [line for line in text.splitlines()[1:] if line]
+        assert len({len(line) for line in lines}) == 1
 
     def test_render_benchmark_rows(self):
         summary = summarize_ratios([1.0, 1.5, 6.0])
@@ -93,7 +93,7 @@ class TestReport:
     def test_format_table_alignment(self):
         text = format_table(["name", "val"], [("x", 1), ("longer", 22)])
         lines = text.splitlines()
-        assert len({len(l) for l in lines}) == 1
+        assert len({len(line) for line in lines}) == 1
 
     def test_format_table_bad_row(self):
         with pytest.raises(ValueError):

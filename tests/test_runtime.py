@@ -1,0 +1,299 @@
+"""Tests for the parallel experiment runtime (src/repro/runtime/).
+
+The properties that make the runtime trustworthy:
+
+* **jobs-invariance** — a pairwise sweep's ratio matrix is bit-identical
+  at ``jobs=1`` and ``jobs>1`` for a fixed seed (every work unit owns a
+  deterministically spawned RNG stream);
+* **serial fidelity** — ``jobs=1`` goes through the same code as a plain
+  loop of ``PISA.run`` calls over spawned per-pair generators;
+* **resumability** — killing a sweep after N units and resuming from its
+  checkpoint produces the same final matrix while re-executing only the
+  missing units;
+* **restart independence** — ``PISA.run`` seeds each restart from its
+  own spawned child, so restart ``i`` does not depend on how many
+  restarts run before or after it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.pisa import PISA, AnnealingConfig, PISAConfig, pairwise_comparison
+from repro.runtime import (
+    RunCheckpoint,
+    WorkUnit,
+    decode_unit_result,
+    encode_unit_result,
+    run_pairwise_unit,
+    run_units,
+    unit_key,
+)
+from repro.utils.rng import as_generator, spawn
+
+FAST = PISAConfig(annealing=AnnealingConfig(max_iterations=25, alpha=0.9), restarts=2)
+SCHEDULERS = ["HEFT", "CPoP", "MinMin"]
+
+
+def _ratios(result):
+    return {pair: res.restart_ratios for pair, res in result.results.items()}
+
+
+# ---------------------------------------------------------------------- #
+# Generic executor
+# ---------------------------------------------------------------------- #
+def _square_unit(unit: WorkUnit) -> int:
+    return int(unit.payload) ** 2
+
+
+def _draw_unit(unit: WorkUnit) -> float:
+    return float(unit.rng.random())
+
+
+class TestRunUnits:
+    def test_serial_results_keyed_by_unit(self):
+        units = [WorkUnit(key=f"u{i}", payload=i) for i in range(5)]
+        results = run_units(units, _square_unit)
+        assert results == {f"u{i}": i * i for i in range(5)}
+
+    def test_parallel_matches_serial(self):
+        units = [WorkUnit(key=f"u{i}", payload=i) for i in range(8)]
+        assert run_units(units, _square_unit, jobs=4) == run_units(units, _square_unit)
+
+    def test_spawned_rngs_are_jobs_invariant(self):
+        units = [
+            WorkUnit(key=f"u{i}", rng=gen) for i, gen in enumerate(spawn(123, 6))
+        ]
+        serial = run_units(units, _draw_unit, jobs=1)
+        # Fresh generators: WorkUnit rngs are stateful, re-spawn for the
+        # parallel run.
+        units2 = [
+            WorkUnit(key=f"u{i}", rng=gen) for i, gen in enumerate(spawn(123, 6))
+        ]
+        parallel = run_units(units2, _draw_unit, jobs=3)
+        assert serial == parallel
+
+    def test_duplicate_keys_rejected(self):
+        units = [WorkUnit(key="same", payload=1), WorkUnit(key="same", payload=2)]
+        with pytest.raises(ValueError, match="unique"):
+            run_units(units, _square_unit)
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_units([WorkUnit(key="u", payload=1)], _square_unit, jobs=0)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError, match="key"):
+            WorkUnit(key="")
+
+    def test_checkpoint_skips_completed_units(self, tmp_path):
+        checkpoint = RunCheckpoint(tmp_path / "run")
+        checkpoint.initialize({"kind": "squares"}, resume=False)
+        executed: list[str] = []
+
+        def worker(unit):
+            executed.append(unit.key)
+            return int(unit.payload) ** 2
+
+        units = [WorkUnit(key=f"u{i}", payload=i) for i in range(4)]
+        first = run_units(units, worker, checkpoint=checkpoint)
+        assert executed == ["u0", "u1", "u2", "u3"]
+
+        executed.clear()
+        again = run_units(units, worker, checkpoint=checkpoint)
+        assert executed == []
+        assert again == first
+
+    def test_on_result_reports_cached_flag(self, tmp_path):
+        checkpoint = RunCheckpoint(tmp_path / "run")
+        checkpoint.initialize({"kind": "squares"}, resume=False)
+        units = [WorkUnit(key=f"u{i}", payload=i) for i in range(3)]
+        run_units(units[:2], _square_unit, checkpoint=checkpoint)
+        seen: list[tuple[str, bool]] = []
+        run_units(
+            units,
+            _square_unit,
+            checkpoint=checkpoint,
+            on_result=lambda u, r, cached: seen.append((u.key, cached)),
+        )
+        assert seen == [("u0", True), ("u1", True), ("u2", False)]
+
+
+# ---------------------------------------------------------------------- #
+# Checkpoint plumbing
+# ---------------------------------------------------------------------- #
+class TestRunCheckpoint:
+    def test_manifest_mismatch_raises(self, tmp_path):
+        checkpoint = RunCheckpoint(tmp_path)
+        checkpoint.initialize({"kind": "a"}, resume=False)
+        with pytest.raises(ValueError, match="manifest"):
+            checkpoint.initialize({"kind": "b"}, resume=True)
+
+    def test_fresh_run_refuses_to_destroy_completed_units(self, tmp_path):
+        checkpoint = RunCheckpoint(tmp_path)
+        checkpoint.initialize({"kind": "a"}, resume=False)
+        checkpoint.record("u0", 1)
+        with pytest.raises(ValueError, match="resume"):
+            checkpoint.initialize({"kind": "a"}, resume=False)
+        # The completed unit survives the refused initialize.
+        assert checkpoint.completed() == {"u0": 1}
+
+    def test_fresh_run_over_empty_checkpoint_allowed(self, tmp_path):
+        checkpoint = RunCheckpoint(tmp_path)
+        checkpoint.initialize({"kind": "a"}, resume=False)
+        checkpoint.initialize({"kind": "b"}, resume=False)
+        assert checkpoint.manifest() == {"kind": "b"}
+
+    def test_torn_final_line_ignored(self, tmp_path):
+        checkpoint = RunCheckpoint(tmp_path)
+        checkpoint.initialize({"kind": "a"}, resume=False)
+        checkpoint.record("u0", 1)
+        with checkpoint.units_path.open("a") as fh:
+            fh.write('{"key": "u1", "resu')  # interrupted mid-write
+        assert checkpoint.completed() == {"u0": 1}
+
+    def test_units_without_manifest_rejected_on_resume(self, tmp_path):
+        checkpoint = RunCheckpoint(tmp_path)
+        checkpoint.units_path.write_text('{"key": "u0", "result": 1}\n')
+        with pytest.raises(ValueError, match="manifest.json is missing"):
+            checkpoint.initialize({"kind": "a"}, resume=True)
+
+
+# ---------------------------------------------------------------------- #
+# Pairwise sweeps on the runtime
+# ---------------------------------------------------------------------- #
+class TestPairwiseParallel:
+    def test_jobs_invariance(self):
+        serial = pairwise_comparison(SCHEDULERS, config=FAST, rng=0, jobs=1)
+        parallel = pairwise_comparison(SCHEDULERS, config=FAST, rng=0, jobs=4)
+        assert _ratios(serial) == _ratios(parallel)
+
+    def test_serial_path_matches_pisa_run(self):
+        """jobs=1 is the PISA.run serial path, not a reimplementation."""
+        sweep = pairwise_comparison(SCHEDULERS, config=FAST, rng=11, jobs=1)
+        pairs = [(t, b) for t in SCHEDULERS for b in SCHEDULERS if t != b]
+        gen = as_generator(11)
+        for (target, baseline), pair_gen in zip(pairs, spawn(gen, len(pairs))):
+            direct = PISA(target, baseline, config=FAST).run(pair_gen)
+            assert direct.restart_ratios == sweep.results[(target, baseline)].restart_ratios
+            assert direct.best_ratio == sweep.results[(target, baseline)].best_ratio
+
+    def test_progress_fires_once_per_pair(self):
+        calls = []
+        pairwise_comparison(
+            ["HEFT", "CPoP"],
+            config=FAST,
+            rng=0,
+            jobs=2,
+            progress=lambda t, b, r: calls.append((t, b, r)),
+        )
+        assert sorted(c[:2] for c in calls) == [("CPoP", "HEFT"), ("HEFT", "CPoP")]
+
+    def test_unit_result_roundtrip(self):
+        pisa = PISA("HEFT", "CPoP", config=FAST)
+        unit = WorkUnit(key=unit_key("HEFT", "CPoP", 0), payload=(pisa, 0), rng=spawn(3, 1)[0])
+        result = run_pairwise_unit(unit)
+        restored = decode_unit_result(json.loads(json.dumps(encode_unit_result(result))))
+        assert restored.target == "HEFT" and restored.baseline == "CPoP"
+        assert restored.annealing.best_energy == result.annealing.best_energy
+        assert restored.annealing.initial_energy == result.annealing.initial_energy
+        assert restored.annealing.best_state.task_graph == result.annealing.best_state.task_graph
+        assert restored.annealing.best_state.network == result.annealing.best_state.network
+
+
+class TestCheckpointResume:
+    def test_resume_after_partial_run(self, tmp_path):
+        """Kill after N units, resume, same final matrix."""
+        run_dir = tmp_path / "sweep"
+        full = pairwise_comparison(
+            SCHEDULERS, config=FAST, rng=5, checkpoint_dir=run_dir
+        )
+        units_path = run_dir / "units.jsonl"
+        lines = units_path.read_text().splitlines()
+        total = len(lines)
+        assert total == len(SCHEDULERS) * (len(SCHEDULERS) - 1) * FAST.restarts
+
+        # Simulate an interrupt: keep only the first 5 completed units.
+        units_path.write_text("\n".join(lines[:5]) + "\n")
+        executed: list[str] = []
+        resumed = pairwise_comparison(
+            SCHEDULERS,
+            config=FAST,
+            rng=5,
+            checkpoint_dir=run_dir,
+            resume=True,
+            progress=lambda t, b, r: executed.append((t, b)),
+        )
+        assert _ratios(resumed) == _ratios(full)
+        # Only the missing units were appended.
+        assert len(units_path.read_text().splitlines()) == total
+
+    def test_resume_with_different_config_rejected(self, tmp_path):
+        run_dir = tmp_path / "sweep"
+        pairwise_comparison(["HEFT", "CPoP"], config=FAST, rng=5, checkpoint_dir=run_dir)
+        other = PISAConfig(
+            annealing=AnnealingConfig(max_iterations=26, alpha=0.9), restarts=2
+        )
+        with pytest.raises(ValueError, match="manifest"):
+            pairwise_comparison(
+                ["HEFT", "CPoP"], config=other, rng=5, checkpoint_dir=run_dir, resume=True
+            )
+
+    def test_resumed_best_instance_survives_roundtrip(self, tmp_path):
+        run_dir = tmp_path / "sweep"
+        full = pairwise_comparison(["HEFT", "CPoP"], config=FAST, rng=9, checkpoint_dir=run_dir)
+        # Resume with everything already complete: the matrix is rebuilt
+        # purely from the checkpoint.
+        restored = pairwise_comparison(
+            ["HEFT", "CPoP"], config=FAST, rng=9, checkpoint_dir=run_dir, resume=True
+        )
+        for pair, result in full.results.items():
+            assert restored.results[pair].best_ratio == result.best_ratio
+            assert restored.results[pair].best_instance.task_graph == result.best_instance.task_graph
+            assert restored.results[pair].best_instance.network == result.best_instance.network
+
+
+# ---------------------------------------------------------------------- #
+# Per-restart seeding (PISA.run)
+# ---------------------------------------------------------------------- #
+class TestRestartSeeding:
+    def test_restart_results_are_order_independent(self):
+        """Restart i's outcome must not depend on how many restarts run."""
+        ratios_by_restarts = {}
+        for restarts in (1, 2, 3):
+            config = PISAConfig(
+                annealing=AnnealingConfig(max_iterations=25, alpha=0.9), restarts=restarts
+            )
+            result = PISA("HEFT", "CPoP", config=config).run(rng=42)
+            ratios_by_restarts[restarts] = result.restart_ratios
+        assert ratios_by_restarts[2][0] == ratios_by_restarts[1][0]
+        assert ratios_by_restarts[3][:2] == ratios_by_restarts[2]
+
+    def test_run_jobs_invariance(self):
+        serial = PISA("HEFT", "CPoP", config=FAST).run(rng=7)
+        parallel = PISA("HEFT", "CPoP", config=FAST).run(rng=7, jobs=2)
+        assert serial.restart_ratios == parallel.restart_ratios
+        assert serial.best_ratio == parallel.best_ratio
+
+    def test_generator_input_still_deterministic(self):
+        a = PISA("HEFT", "CPoP", config=FAST).run(np.random.default_rng(3))
+        b = PISA("HEFT", "CPoP", config=FAST).run(np.random.default_rng(3))
+        assert a.restart_ratios == b.restart_ratios
+
+
+# ---------------------------------------------------------------------- #
+# Family sampling on the runtime (Figs. 7/8)
+# ---------------------------------------------------------------------- #
+class TestFamilySampling:
+    def test_run_family_jobs_invariance(self):
+        from repro.experiments.fig7_fig8_families import fig7_instance, run_family
+
+        serial = run_family("fig7", fig7_instance, 12, rng=0, jobs=1)
+        parallel = run_family("fig7", fig7_instance, 12, rng=0, jobs=3)
+        for scheduler in serial.makespans:
+            assert np.array_equal(
+                serial.makespans[scheduler], parallel.makespans[scheduler]
+            )

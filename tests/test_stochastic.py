@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import InvalidInstanceError, Network, ProblemInstance, TaskGraph, get_scheduler
+from repro import InvalidInstanceError, get_scheduler
 from repro.stochastic import (
     ClippedGaussianRV,
     Deterministic,
