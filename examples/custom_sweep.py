@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Custom sweep: define an experiment as data, run it, resume it.
+
+The library's experiments are all declarative `SweepSpec`s executed by
+one runner.  This example builds a scenario the paper never ran — an
+adversarial search between MaxMin and WBA restricted to the montage
+workflow family — runs it with a checkpoint directory, then "kills" the
+run, resumes it, and shows the results are identical.  The same spec
+serialized to JSON works with the CLI:
+
+    python -m repro sweep run my-sweep.json --jobs 4 --run-dir runs/my-sweep
+
+Run:  python examples/custom_sweep.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.pisa import AnnealingConfig, PISAConfig
+from repro.sweeps import SourceSpec, SweepSpec, run_sweep
+
+SPEC = SweepSpec(
+    name="maxmin-vs-wba-on-montage",
+    mode="pisa",
+    pairs=(("MaxMin", "WBA"), ("WBA", "MaxMin")),
+    source=SourceSpec("workflow", {"workflow": "montage", "ccr": 2.0}),
+    config=PISAConfig(
+        annealing=AnnealingConfig(max_iterations=40, alpha=0.9), restarts=2
+    ),
+    seed=11,
+    description="does MaxMin ever beat WBA on montage-shaped instances?",
+)
+
+
+def main() -> None:
+    # The spec round-trips losslessly through JSON — this string is
+    # exactly what `repro sweep run` consumes.
+    print("spec as JSON:\n")
+    print(SPEC.to_json())
+    assert SweepSpec.from_json(SPEC.to_json()) == SPEC
+
+    with tempfile.TemporaryDirectory() as tmp:
+        run_dir = Path(tmp) / "run"
+        first = run_sweep(SPEC, jobs=2, run_dir=run_dir)
+        print(first.report, "\n")
+
+        # Simulate an interrupt: throw away all but one completed unit,
+        # then resume.  Only the missing units re-execute, and the matrix
+        # is bit-identical (each unit owns its own spawned RNG stream).
+        units = run_dir / "units.jsonl"
+        units.write_text(units.read_text().splitlines()[0] + "\n")
+        resumed = run_sweep(SPEC, jobs=2, run_dir=run_dir, resume=True)
+        for pair, result in first.pairwise.results.items():
+            assert resumed.pairwise.results[pair].restart_ratios == result.restart_ratios
+        print("resumed run matches the uninterrupted one, as promised")
+
+    worst = max(
+        first.pairwise.results.values(), key=lambda r: r.best_ratio
+    )
+    print(
+        f"\nworst case found: {worst.target} is {worst.best_ratio:.2f}x worse "
+        f"than {worst.baseline} on an adversarial montage instance"
+    )
+
+
+if __name__ == "__main__":
+    main()

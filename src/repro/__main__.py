@@ -12,6 +12,13 @@ pisa
     Run an adversarial search for one scheduler pair (Section VI).
 experiment
     Regenerate a paper table/figure by name (tables, fig1, ..., fig10_19).
+sweep
+    Declarative sweeps: ``init`` scaffolds a spec file, ``show`` dumps a
+    named paper sweep as JSON, ``run`` executes a spec with parallel
+    workers and resumable checkpoints.
+runs
+    Run-directory housekeeping: ``gc`` lists (default) or deletes
+    completed/stale checkpoint directories.
 
 Examples
 --------
@@ -19,13 +26,18 @@ Examples
     python -m repro schedule --scheduler HEFT --dataset chains --seed 1
     python -m repro benchmark --datasets chains,blast --schedulers HEFT,CPoP
     python -m repro pisa --target HEFT --baseline FastestNode --iterations 200
-    python -m repro experiment fig4
+    python -m repro experiment fig4 --jobs 8 --run-dir runs/fig4
+    python -m repro sweep init --out my-sweep.json
+    python -m repro sweep run my-sweep.json --jobs 8 --run-dir runs/my-sweep
+    python -m repro sweep show fig4
+    python -m repro runs gc runs/ --stale-hours 48 --delete
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.benchmarking import (
     benchmark_grid,
@@ -100,12 +112,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--run-dir",
         default=None,
         help="checkpoint run directory; completed work units stream to "
-        "<run-dir>/units.jsonl (fig4, fig10_19)",
+        "<run-dir>/units.jsonl (fig4, fig7_fig8, fig10_19)",
     )
     p.add_argument(
         "--resume",
         action="store_true",
         help="skip work units already recorded in --run-dir",
+    )
+
+    p = sub.add_parser("sweep", help="define and run declarative sweeps")
+    sweep_sub = p.add_subparsers(dest="sweep_command", required=True)
+
+    q = sweep_sub.add_parser("run", help="execute a sweep spec file")
+    q.add_argument("spec", help="path to a spec JSON file (see `sweep init`)")
+    q.add_argument("--jobs", type=int, default=1, help="worker processes")
+    q.add_argument(
+        "--run-dir",
+        default=None,
+        help="checkpoint run directory (the spec becomes its manifest)",
+    )
+    q.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip work units already recorded in --run-dir",
+    )
+
+    q = sweep_sub.add_parser(
+        "show", help="print a named paper sweep as a spec (no name: list them)"
+    )
+    q.add_argument("name", nargs="?", default=None, help="named sweep (e.g. fig4)")
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--full", action="store_true", help="paper-scale protocol")
+
+    q = sweep_sub.add_parser("init", help="scaffold a sweep spec file to edit")
+    q.add_argument("--out", default="sweep.json", help="where to write the spec")
+    q.add_argument("--name", default="my-sweep", help="sweep name to scaffold")
+    q.add_argument(
+        "--mode", choices=["pisa", "benchmark"], default="pisa", help="sweep mode"
+    )
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--force", action="store_true", help="overwrite an existing file")
+
+    p = sub.add_parser("runs", help="checkpoint run-directory housekeeping")
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+    q = runs_sub.add_parser(
+        "gc", help="list (default) or delete completed/stale run directories"
+    )
+    q.add_argument("root", help="directory tree to scan for run directories")
+    q.add_argument(
+        "--stale-hours",
+        type=float,
+        default=None,
+        help="also collect incomplete runs idle longer than this many hours",
+    )
+    q.add_argument(
+        "--keep-completed",
+        action="store_true",
+        help="do not collect completed runs (only --stale-hours candidates)",
+    )
+    q.add_argument(
+        "--delete",
+        action="store_true",
+        help="actually remove the collectable directories (default: dry run)",
     )
     return parser
 
@@ -194,6 +262,8 @@ def _cmd_experiment(args) -> int:
         tables,
     )
 
+    from repro.runtime.checkpoint import CheckpointError
+
     if args.name == "tables":
         print(tables.run())
         return 0
@@ -205,12 +275,16 @@ def _cmd_experiment(args) -> int:
             rng=args.seed,
             full=args.full,
             jobs=args.jobs,
-            checkpoint_dir=args.run_dir,
+            run_dir=args.run_dir,
             resume=args.resume,
         ).report,
         "fig5_fig6": lambda: fig5_fig6_case_study.run(rng=args.seed, full=args.full).report,
         "fig7_fig8": lambda: fig7_fig8_families.run(
-            rng=args.seed, full=args.full, jobs=args.jobs
+            rng=args.seed,
+            full=args.full,
+            jobs=args.jobs,
+            run_dir=args.run_dir,
+            resume=args.resume,
         ).report,
         "fig9": lambda: fig9_structures.run(rng=args.seed).report,
         "fig10_19": lambda: fig10_19_app_specific.run(
@@ -221,8 +295,146 @@ def _cmd_experiment(args) -> int:
             resume=args.resume,
         ).report,
     }
-    print(drivers[args.name]())
+    try:
+        print(drivers[args.name]())
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.runtime.checkpoint import CheckpointError
+    from repro.sweeps import (
+        SpecError,
+        SweepSpec,
+        list_named_specs,
+        named_spec,
+        render_report,
+        run_sweep,
+    )
+
+    if args.sweep_command == "show":
+        if args.name is None:
+            print("named sweeps:")
+            for name in list_named_specs():
+                print(f"  {name}")
+            return 0
+        try:
+            spec = named_spec(args.name, seed=args.seed, full=args.full or None)
+        except SpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(spec.to_json(), end="")
+        return 0
+
+    if args.sweep_command == "init":
+        out = Path(args.out)
+        if out.exists() and not args.force:
+            print(
+                f"error: {out} already exists; pass --force to overwrite it",
+                file=sys.stderr,
+            )
+            return 2
+        spec = _scaffold_spec(args.name, args.mode, args.seed)
+        try:
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(spec.to_json())
+        except OSError as exc:
+            print(f"error: cannot write {out}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {out}")
+        print("edit schedulers/source/config, then run it with:")
+        print(f"  python -m repro sweep run {out} --jobs 4 --run-dir runs/{spec.name}")
+        return 0
+
+    # sweep run
+    try:
+        spec = SweepSpec.load(args.spec)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    progress = None
+    if spec.mode == "pisa":
+        # Progress streams in completion order (nondeterministic under
+        # jobs>1), so it goes to stderr; stdout carries only the report.
+        def progress(t, b, r):
+            print(f"  {t} vs {b}: {r:.2f}", file=sys.stderr, flush=True)
+    try:
+        result = run_sweep(
+            spec,
+            jobs=args.jobs,
+            run_dir=args.run_dir,
+            resume=args.resume,
+            progress=progress,
+        )
+    except (SpecError, CheckpointError) as exc:
+        # CheckpointError covers the run-dir refusals (existing run dir
+        # without --resume, manifest mismatch on --resume); anything else
+        # is a real failure and keeps its traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(result))
+    return 0
+
+
+def _scaffold_spec(name: str, mode: str, seed: int):
+    from repro.pisa import AnnealingConfig, PISAConfig
+    from repro.sweeps import SourceSpec, SweepSpec
+
+    description = (
+        "scaffolded by `repro sweep init` — edit schedulers (see `repro list`), "
+        "the instance source (chains | workflow | dataset | family), and the "
+        "annealing config, then `repro sweep run` it"
+    )
+    if mode == "benchmark":
+        return SweepSpec(
+            name=name,
+            mode="benchmark",
+            schedulers=("HEFT", "CPoP", "FastestNode"),
+            source=SourceSpec("dataset", {"dataset": "chains"}),
+            num_instances=10,
+            sampling="sequential",
+            seed=seed,
+            description=description,
+        )
+    return SweepSpec(
+        name=name,
+        mode="pisa",
+        schedulers=("HEFT", "CPoP", "FastestNode"),
+        source=SourceSpec("chains"),
+        config=PISAConfig(
+            annealing=AnnealingConfig(t_max=10.0, t_min=0.1, max_iterations=60, alpha=0.93),
+            restarts=2,
+        ),
+        seed=seed,
+        description=description,
+    )
+
+
+def _cmd_runs(args) -> int:
+    from repro.runtime.gc import gc_runs
+
+    stale_seconds = args.stale_hours * 3600.0 if args.stale_hours is not None else None
+    collect, keep = gc_runs(
+        args.root,
+        completed=not args.keep_completed,
+        stale_seconds=stale_seconds,
+        delete=args.delete,
+    )
+    verb = "removed" if args.delete else "would remove"
+    failed = [s for s in keep if s.delete_failed]
+    for status in collect:
+        print(f"{verb}: {status.describe()}")
+    for status in keep:
+        label = "FAILED to remove" if status.delete_failed else "kept"
+        print(f"{label}: {status.describe()}")
+    if not collect and not keep:
+        print(f"no run directories found under {args.root}")
+    elif not args.delete and collect:
+        print(f"(dry run — pass --delete to remove {len(collect)} director"
+              f"{'y' if len(collect) == 1 else 'ies'})")
+    return 1 if failed else 0
 
 
 _COMMANDS = {
@@ -231,6 +443,8 @@ _COMMANDS = {
     "benchmark": _cmd_benchmark,
     "pisa": _cmd_pisa,
     "experiment": _cmd_experiment,
+    "sweep": _cmd_sweep,
+    "runs": _cmd_runs,
 }
 
 

@@ -15,7 +15,14 @@ from repro.benchmarking.metrics import RatioSummary, makespan_ratio, summarize_r
 from repro.core.scheduler import Scheduler, get_scheduler
 from repro.datasets.base import Dataset
 
-__all__ = ["InstanceResult", "BenchmarkResult", "benchmark_dataset", "benchmark_grid", "GridResult"]
+__all__ = [
+    "InstanceResult",
+    "instance_result",
+    "BenchmarkResult",
+    "benchmark_dataset",
+    "benchmark_grid",
+    "GridResult",
+]
 
 
 @dataclass(frozen=True)
@@ -57,6 +64,21 @@ def _resolve(schedulers: Iterable[Scheduler | str]) -> list[Scheduler]:
     return [get_scheduler(s) if isinstance(s, str) else s for s in schedulers]
 
 
+def instance_result(instance_name: str, makespans: dict[str, float]) -> InstanceResult:
+    """Aggregate one instance's makespans into ratios vs the best-of-all.
+
+    The single definition of the paper's per-instance benchmark statistic,
+    shared by :func:`benchmark_dataset` and the benchmark-mode sweeps
+    (:mod:`repro.sweeps.runner`) so the two paths cannot diverge.
+    """
+    best = min(makespans.values())
+    return InstanceResult(
+        instance_name=instance_name,
+        makespans=makespans,
+        ratios={name: makespan_ratio(ms, best) for name, ms in makespans.items()},
+    )
+
+
 def benchmark_dataset(
     schedulers: Iterable[Scheduler | str],
     dataset: Dataset,
@@ -73,13 +95,7 @@ def benchmark_dataset(
     result = BenchmarkResult(dataset_name=dataset.name, schedulers=names)
     for i, instance in enumerate(dataset):
         makespans = {s.name: s.schedule(instance).makespan for s in resolved}
-        best = min(makespans.values())
-        ratios = {name: makespan_ratio(ms, best) for name, ms in makespans.items()}
-        entry = InstanceResult(
-            instance_name=instance.name or f"{dataset.name}[{i}]",
-            makespans=makespans,
-            ratios=ratios,
-        )
+        entry = instance_result(instance.name or f"{dataset.name}[{i}]", makespans)
         result.per_instance.append(entry)
         if progress is not None:
             progress(i, entry)

@@ -47,6 +47,13 @@ from repro.datasets.traces import (
     synthetic_trace,
 )
 from repro.datasets import workflows
+from repro.datasets.families import (
+    fig7_instance,
+    fig8_instance,
+    get_family,
+    list_families,
+    register_family,
+)
 from repro.datasets.workflows import get_recipe, list_recipes, workflow_dataset
 
 #: Table II's 16 dataset names, in the row order of Fig. 2 (alphabetical).
@@ -95,6 +102,11 @@ __all__ = [
     "TraceRecord",
     "chameleon_network",
     "synthetic_trace",
+    "register_family",
+    "get_family",
+    "list_families",
+    "fig7_instance",
+    "fig8_instance",
     "workflows",
     "get_recipe",
     "list_recipes",

@@ -7,9 +7,14 @@ whose remaining rows are the pairwise PISA matrix restricted to the
 application's search space — schedulers {CPoP, FastestNode, HEFT, MaxMin,
 MinMin, WBA}.
 
-Figs. 10/11 are srasearch and blast; Figs. 12-19 (appendix) cover the
-remaining workflows.  The driver regenerates any subset; the default
-scale runs two workflows x two CCRs with a shortened annealing schedule.
+Each panel is a pair of declarative sweeps — a benchmark-mode sweep over
+the in-family dataset and a PISA-mode sweep in the restricted space
+(:func:`repro.sweeps.fig10_19_bench_spec` /
+:func:`~repro.sweeps.fig10_19_pisa_spec`) — executed by
+:func:`repro.sweeps.run_sweep`.  Figs. 10/11 are srasearch and blast;
+Figs. 12-19 (appendix) cover the remaining workflows.  The driver
+regenerates any subset; the default scale runs two workflows x two CCRs
+with a shortened annealing schedule.
 """
 
 from __future__ import annotations
@@ -17,13 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.benchmarking.harness import BenchmarkResult, benchmark_dataset
+from repro.benchmarking.harness import BenchmarkResult
 from repro.benchmarking.heatmap import format_gradient, render_matrix
-from repro.experiments.config import pick, pisa_config
-from repro.pisa.app_specific import PAPER_CCRS, AppSpecificSpace, app_specific_pairwise
+from repro.experiments.config import pick, resolve_run_dir
+from repro.pisa.app_specific import PAPER_CCRS
 from repro.pisa.pisa import PISAConfig, PairwiseResult
-from repro.schedulers import APP_SPECIFIC_SCHEDULERS
-from repro.utils.rng import as_generator, derive_seed
+from repro.sweeps import fig10_19_bench_spec, fig10_19_pisa_spec, run_sweep
 
 __all__ = ["Panel", "run_panel", "Fig1019Result", "run"]
 
@@ -66,28 +70,38 @@ def run_panel(
     full: bool | None = None,
     progress=None,
     jobs: int = 1,
-    checkpoint_dir=None,
+    run_dir=None,
     resume: bool = False,
+    checkpoint_dir=None,
 ) -> Panel:
-    """One Figs. 10-19 panel."""
-    schedulers = list(schedulers) if schedulers is not None else list(APP_SPECIFIC_SCHEDULERS)
-    config = config or pisa_config(full)
-    space = AppSpecificSpace(workflow, ccr=ccr, trace_seed=derive_seed(rng, workflow, "trace"))
-    dataset = space.dataset(bench_instances, rng=as_generator(derive_seed(rng, workflow, ccr, "bench")))
-    benchmark = benchmark_dataset(schedulers, dataset)
-    # The derived seed stays an int so the checkpoint manifest records it
-    # and a resumed run is validated against it.
-    pisa = app_specific_pairwise(
-        space,
-        schedulers,
-        config=config,
-        rng=derive_seed(rng, workflow, ccr, "pisa"),
-        progress=progress,
+    """One Figs. 10-19 panel.
+
+    With a ``run_dir``, the panel's two sweeps checkpoint to
+    ``run_dir/bench`` and ``run_dir/pisa``.  ``checkpoint_dir`` is a
+    deprecated alias for ``run_dir``.
+    """
+    run_dir = resolve_run_dir(run_dir, checkpoint_dir, "fig10_19_app_specific.run_panel")
+    bench_spec = fig10_19_bench_spec(
+        workflow, ccr, schedulers=schedulers, bench_instances=bench_instances, seed=rng
+    )
+    pisa_spec = fig10_19_pisa_spec(
+        workflow, ccr, schedulers=schedulers, config=config, seed=rng, full=full
+    )
+    run_dir = Path(run_dir) if run_dir is not None else None
+    bench = run_sweep(
+        bench_spec,
         jobs=jobs,
-        checkpoint_dir=checkpoint_dir,
+        run_dir=run_dir / "bench" if run_dir is not None else None,
         resume=resume,
     )
-    return Panel(workflow=workflow, ccr=ccr, benchmark=benchmark, pisa=pisa)
+    pisa = run_sweep(
+        pisa_spec,
+        jobs=jobs,
+        run_dir=run_dir / "pisa" if run_dir is not None else None,
+        resume=resume,
+        progress=progress,
+    )
+    return Panel(workflow=workflow, ccr=ccr, benchmark=bench.benchmark, pisa=pisa.pairwise)
 
 
 @dataclass
@@ -116,7 +130,7 @@ def run(
     Defaults: srasearch + blast (the two panels in the paper body) at
     CCRs {0.2, 1.0}; full scale runs all nine workflows at all five CCRs
     (the appendix).  With a ``run_dir``, every panel checkpoints its
-    (pair, restart) units to ``run_dir/<workflow>_ccr<ccr>`` so the
+    work units to ``run_dir/<workflow>_ccr<ccr>/{bench,pisa}`` so the
     whole multi-panel sweep is resumable.
     """
     if workflows is None:
@@ -140,9 +154,9 @@ def run(
     result = Fig1019Result()
     for workflow in workflows:
         for ccr in ccrs:
-            checkpoint_dir = None
+            panel_dir = None
             if run_dir is not None:
-                checkpoint_dir = Path(run_dir) / f"{workflow}_ccr{ccr}"
+                panel_dir = Path(run_dir) / f"{workflow}_ccr{ccr}"
             result.panels.append(
                 run_panel(
                     workflow,
@@ -153,7 +167,7 @@ def run(
                     full=full,
                     progress=progress,
                     jobs=jobs,
-                    checkpoint_dir=checkpoint_dir,
+                    run_dir=panel_dir,
                     resume=resume,
                 )
             )

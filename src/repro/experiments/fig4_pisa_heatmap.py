@@ -7,16 +7,24 @@ paper).  The extra "Worst" row shows, per target, the maximum over all
 baselines — the paper's headline lower bounds ("for every scheduler, an
 instance exists on which it is at least 2x worse than some other
 scheduler; for 10 of 15, at least 5x").
+
+The experiment is the named sweep spec :func:`repro.sweeps.fig4_spec`
+executed by :func:`repro.sweeps.run_sweep`; this module only renders the
+matrix.  ``repro sweep show fig4`` dumps the same definition as JSON.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.benchmarking.heatmap import render_matrix
-from repro.experiments.config import pisa_config
-from repro.pisa.pisa import PairwiseResult, PISAConfig, pairwise_comparison
-from repro.schedulers import PAPER_SCHEDULERS
+from repro.experiments.config import resolve_run_dir
+from repro.pisa.pisa import PairwiseResult, PISAConfig
+from repro.sweeps import fig4_spec, run_sweep
+from repro.utils.rng import as_generator
+
 __all__ = ["Fig4Result", "run"]
 
 
@@ -36,43 +44,46 @@ def run(
     full: bool | None = None,
     progress=None,
     jobs: int = 1,
-    checkpoint_dir=None,
+    run_dir=None,
     resume: bool = False,
+    checkpoint_dir=None,
 ) -> Fig4Result:
     """Regenerate the Fig. 4 matrix (reduced annealing schedule by default).
 
     ``jobs`` fans the (pair, restart) work units over worker processes;
-    ``checkpoint_dir``/``resume`` stream completed units to a run
-    directory so an interrupted sweep continues where it stopped (see
-    :func:`repro.pisa.pisa.pairwise_comparison`).
+    ``run_dir``/``resume`` stream completed units to a run directory so
+    an interrupted sweep continues where it stopped (see
+    :func:`repro.sweeps.run_sweep`).  ``checkpoint_dir`` is a deprecated
+    alias for ``run_dir``.
     """
-    schedulers = list(schedulers) if schedulers is not None else list(PAPER_SCHEDULERS)
-    config = config or pisa_config(full)
-    # Pass the seed through un-coerced: integer seeds are recorded in the
-    # checkpoint manifest, so a resumed run can be validated against it.
-    pairwise = pairwise_comparison(
-        schedulers,
-        config=config,
-        rng=rng,
-        progress=progress,
-        jobs=jobs,
-        checkpoint_dir=checkpoint_dir,
-        resume=resume,
+    run_dir = resolve_run_dir(run_dir, checkpoint_dir, "fig4_pisa_heatmap.run")
+    # Generator rngs and None (fresh OS entropy, interactive use) ride
+    # through as a runner override; integer seeds live in the spec so the
+    # run-dir manifest records them.
+    if rng is None or isinstance(rng, np.random.Generator):
+        seed, rng_override = 0, as_generator(rng)
+    else:
+        seed, rng_override = rng, None
+    spec = fig4_spec(schedulers=schedulers, config=config, seed=seed, full=full)
+    result = run_sweep(
+        spec, jobs=jobs, run_dir=run_dir, resume=resume, rng=rng_override, progress=progress
     )
+    pairwise = result.pairwise
 
     # Row = base scheduler, column = target scheduler, matching Fig. 4.
+    matrix_schedulers = pairwise.schedulers
     values = {
-        (baseline, target): result.best_ratio
-        for (target, baseline), result in pairwise.results.items()
+        (baseline, target): res.best_ratio
+        for (target, baseline), res in pairwise.results.items()
     }
     worst = pairwise.worst_case_row()
-    rows = ["Worst"] + schedulers
+    rows = ["Worst"] + matrix_schedulers
     for target, ratio in worst.items():
         values[("Worst", target)] = ratio
     report = render_matrix(
         values,
         row_labels=rows,
-        col_labels=schedulers,
+        col_labels=matrix_schedulers,
         title="Fig. 4 — PISA pairwise makespan ratios (row = base, column = target)",
         row_header="base",
     )

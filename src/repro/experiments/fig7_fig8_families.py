@@ -1,93 +1,38 @@
 """Figs. 7 & 8: hand-crafted instance families generalizing the case study.
 
-Section VI-B distills the PISA findings into two parametric families:
+Section VI-B distills the PISA findings into two parametric families
+(registered as the ``fig7``/``fig8`` instance families in
+:mod:`repro.datasets.families`):
 
-* **Fig. 7** (HEFT loses): a 4-task fork-join A -> {B, C} -> D where one
-  branch has a very expensive *initial* communication.  Tasks A, D cost 1;
-  B, C ~ clipped N(10, 10/3, min 0); dependencies A->B, B->D, C->D cost 1
-  and A->C ~ clipped N(100, 100/3, min 0), on a homogeneous network.
-  (The figure labels A->C as the expensive edge; the body text says C->D —
-  we follow the figure, which matches the stated intuition of a high
-  *initial* communication cost.  EXPERIMENTS.md records the discrepancy.)
-* **Fig. 8** (CPoP loses): a wide fork-join A -> B..J -> K (9 inner tasks)
-  with cheap fork edges ~N(1, 1/3) and expensive join edges ~N(10, 10/3),
-  on a 4-node network whose fastest node (speed 3, others ~N(1, 1/3)) has
-  a *weak* link ~N(1, 1/3) to the second-fastest node while all other
-  links are strong ~N(10, 5/3).
+* **Fig. 7** (HEFT loses): a 4-task fork-join with one very expensive
+  initial communication edge on a homogeneous network.
+* **Fig. 8** (CPoP loses): a wide fork-join on a 4-node network whose
+  fastest node has a weak link to the second-fastest.
 
 Each family is sampled 1000 times (paper scale) and the HEFT/CPoP
 makespan distributions are compared — Fig. 7 should show HEFT markedly
-worse, Fig. 8 CPoP markedly worse.
+worse, Fig. 8 CPoP markedly worse.  The two samples are benchmark-mode
+sweeps (:func:`repro.sweeps.fig7_spec` / :func:`~repro.sweeps.fig8_spec`)
+executed by :func:`repro.sweeps.run_sweep`; with a ``run_dir`` each
+family checkpoints its per-instance units to ``run_dir/<family>`` so an
+interrupted run resumes instead of restarting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.benchmarking.report import boxplot_row, format_table
-from repro.core.instance import ProblemInstance
-from repro.core.network import Network
-from repro.core.scheduler import get_scheduler
-from repro.core.task_graph import TaskGraph
+from repro.datasets.families import fig7_instance, fig8_instance  # noqa: F401 (re-export)
 from repro.experiments.config import pick
-from repro.runtime.executor import run_units
-from repro.runtime.units import WorkUnit
-from repro.utils.distributions import clipped_gaussian
-from repro.utils.rng import as_generator, spawn
+from repro.runtime.checkpoint import RunCheckpoint
+from repro.sweeps import fig7_spec, fig8_spec, run_sweep, sample_units
+from repro.utils.rng import as_generator
 
 __all__ = ["fig7_instance", "fig8_instance", "FamilyResult", "run_family", "run"]
-
-#: Tiny positive floor for sampled node speeds (clip floor is nominally 0).
-_MIN_SPEED = 1e-6
-
-
-def fig7_instance(rng=None) -> ProblemInstance:
-    """One sample of the Fig. 7 family (HEFT-adversarial fork-join)."""
-    gen = as_generator(rng)
-    b = clipped_gaussian(gen, 10.0, 10.0 / 3.0, low=0.0)
-    c = clipped_gaussian(gen, 10.0, 10.0 / 3.0, low=0.0)
-    ac = clipped_gaussian(gen, 100.0, 100.0 / 3.0, low=0.0)
-    tg = TaskGraph.from_dicts(
-        {"A": 1.0, "B": b, "C": c, "D": 1.0},
-        {("A", "B"): 1.0, ("A", "C"): ac, ("B", "D"): 1.0, ("C", "D"): 1.0},
-    )
-    net = Network.homogeneous(3, speed=1.0, strength=1.0)
-    return ProblemInstance(net, tg, name="fig7")
-
-
-def fig8_instance(rng=None, num_inner: int = 9) -> ProblemInstance:
-    """One sample of the Fig. 8 family (CPoP-adversarial wide fork-join)."""
-    gen = as_generator(rng)
-    tg = TaskGraph()
-    tg.add_task("A", clipped_gaussian(gen, 1.0, 1.0 / 3.0, low=0.0))
-    inner = [chr(ord("B") + i) for i in range(num_inner)]  # B..J for 9
-    for name in inner:
-        tg.add_task(name, clipped_gaussian(gen, 1.0, 1.0 / 3.0, low=0.0))
-    tg.add_task("K", clipped_gaussian(gen, 1.0, 1.0 / 3.0, low=0.0))
-    for name in inner:
-        tg.add_dependency("A", name, clipped_gaussian(gen, 1.0, 1.0 / 3.0, low=0.0))
-        tg.add_dependency(name, "K", clipped_gaussian(gen, 10.0, 10.0 / 3.0, low=0.0))
-
-    # 4 nodes: v1 fastest (speed 3); weak v1-v2 link; all other links strong.
-    speeds = {"v1": 3.0}
-    for i in (2, 3, 4):
-        speeds[f"v{i}"] = max(clipped_gaussian(gen, 1.0, 1.0 / 3.0, low=0.0), _MIN_SPEED)
-    net = Network()
-    for name, speed in speeds.items():
-        net.add_node(name, speed)
-    ordered = sorted(speeds, key=lambda v: -speeds[v])
-    fast_pair = {ordered[0], ordered[1]}
-    names = list(speeds)
-    for i, u in enumerate(names):
-        for v in names[i + 1 :]:
-            if {u, v} == fast_pair:
-                strength = clipped_gaussian(gen, 1.0, 1.0 / 3.0, low=0.0)
-            else:
-                strength = clipped_gaussian(gen, 10.0, 5.0 / 3.0, low=0.0)
-            net.set_strength(u, v, strength)
-    return ProblemInstance(net, tg, name="fig8")
 
 
 @dataclass
@@ -102,16 +47,6 @@ class FamilyResult:
         return float(np.median(self.makespans[scheduler]))
 
 
-def _sample_family_unit(unit: WorkUnit) -> dict[str, float]:
-    """Worker: sample one family instance, schedule it with every scheduler."""
-    instance_factory, scheduler_names = unit.payload
-    instance = instance_factory(unit.rng)
-    return {
-        name: get_scheduler(name).schedule(instance).makespan
-        for name in scheduler_names
-    }
-
-
 def run_family(
     name: str,
     instance_factory,
@@ -119,22 +54,28 @@ def run_family(
     rng,
     schedulers: tuple[str, ...] = ("CPoP", "HEFT"),
     jobs: int = 1,
+    checkpoint: RunCheckpoint | None = None,
 ) -> FamilyResult:
     """Sample a family and collect per-scheduler makespans.
 
     Each sample is one work unit on its own spawned RNG stream, so the
-    distributions are identical at any ``jobs``.
+    distributions are identical at any ``jobs`` (and across an
+    interrupt/resume boundary when a ``checkpoint`` is given).
     """
-    units = [
-        WorkUnit(key=f"{name}[{i}]", payload=(instance_factory, tuple(schedulers)), rng=gen)
-        for i, gen in enumerate(spawn(rng, num_instances))
-    ]
-    results = run_units(units, _sample_family_unit, jobs=jobs)
-    makespans = {
-        s: [results[f"{name}[{i}]"][s] for i in range(num_instances)] for s in schedulers
-    }
+    rows = sample_units(
+        name,
+        schedulers,
+        factory=instance_factory,
+        num_instances=num_instances,
+        rng=rng,
+        jobs=jobs,
+        checkpoint=checkpoint,
+    )
     return FamilyResult(
-        name=name, makespans={s: np.asarray(v) for s, v in makespans.items()}
+        name=name,
+        makespans={
+            s: np.asarray([row["makespans"][s] for row in rows]) for s in schedulers
+        },
     )
 
 
@@ -150,11 +91,26 @@ def run(
     rng: int = 0,
     full: bool | None = None,
     jobs: int = 1,
+    run_dir=None,
+    resume: bool = False,
 ) -> Fig78Result:
+    """Regenerate Figs. 7/8.
+
+    With a ``run_dir``, each family's per-instance units checkpoint to
+    ``run_dir/fig7`` and ``run_dir/fig8``; ``resume=True`` skips units
+    already recorded there.
+    """
     n = num_instances if num_instances is not None else pick(100, 1000, full)
+    # One generator threads both families (fig8's streams follow fig7's in
+    # the spawn order), preserving the historical RNG streams.
     gen = as_generator(rng)
-    fig7 = run_family("fig7", fig7_instance, n, gen, jobs=jobs)
-    fig8 = run_family("fig8", fig8_instance, n, gen, jobs=jobs)
+    seed = rng if isinstance(rng, (int, np.integer)) else 0
+    results = {}
+    for spec in (fig7_spec(num_instances=n, seed=seed), fig8_spec(num_instances=n, seed=seed)):
+        family_dir = Path(run_dir) / spec.name if run_dir is not None else None
+        sweep = run_sweep(spec, jobs=jobs, run_dir=family_dir, resume=resume, rng=gen)
+        results[spec.name] = FamilyResult(name=spec.name, makespans=sweep.makespans)
+    fig7, fig8 = results["fig7"], results["fig8"]
 
     lines = [f"Figs. 7/8 — HEFT vs CPoP on crafted instance families ({n} samples each)", ""]
     rows = []

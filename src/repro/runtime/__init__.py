@@ -12,10 +12,12 @@ for the work-unit / checkpoint model.
 
 from repro.runtime.checkpoint import RunCheckpoint
 from repro.runtime.executor import default_jobs, run_units
+from repro.runtime.gc import RunStatus, gc_runs, scan_runs
 from repro.runtime.pairwise import (
     PairwiseUnitResult,
     decode_unit_result,
     encode_unit_result,
+    run_pair_sweep,
     run_pairwise,
     run_pairwise_unit,
     run_pisa_restarts,
@@ -29,10 +31,14 @@ __all__ = [
     "run_units",
     "default_jobs",
     "run_pairwise",
+    "run_pair_sweep",
     "run_pairwise_unit",
     "run_pisa_restarts",
     "PairwiseUnitResult",
     "encode_unit_result",
     "decode_unit_result",
     "unit_key",
+    "RunStatus",
+    "scan_runs",
+    "gc_runs",
 ]

@@ -28,7 +28,15 @@ from collections.abc import Callable
 from pathlib import Path
 from typing import Any
 
-__all__ = ["RunCheckpoint"]
+__all__ = ["CheckpointError", "RunCheckpoint"]
+
+
+class CheckpointError(ValueError):
+    """A run directory refused an operation (manifest mismatch, missing
+    ``resume=True`` over completed units).  Subclasses :class:`ValueError`
+    for backward compatibility; callers that want to treat checkpoint
+    refusals as user errors (the CLI) can catch this specifically without
+    swallowing unrelated ``ValueError``\\ s from experiment code."""
 
 
 class RunCheckpoint:
@@ -71,18 +79,18 @@ class RunCheckpoint:
             if self.manifest_path.exists():
                 stored = json.loads(self.manifest_path.read_text())
                 if stored != manifest:
-                    raise ValueError(
+                    raise CheckpointError(
                         f"cannot resume from {self.run_dir}: checkpoint manifest does not "
                         f"match this run (stored {stored!r}, expected {manifest!r})"
                     )
                 return
             if self.units_path.exists() and self.units_path.stat().st_size > 0:
-                raise ValueError(
+                raise CheckpointError(
                     f"cannot resume from {self.run_dir}: units.jsonl exists but "
                     "manifest.json is missing"
                 )
         elif self.units_path.exists() and self.units_path.stat().st_size > 0:
-            raise ValueError(
+            raise CheckpointError(
                 f"run directory {self.run_dir} already holds completed units; "
                 "pass resume=True (--resume) to continue it, or point the run "
                 "at a fresh directory"

@@ -1,0 +1,219 @@
+"""Garbage collection for checkpoint run directories.
+
+Long sweeps leave run directories behind (``manifest.json`` +
+``units.jsonl``); completed ones are dead weight once their results are
+consumed, and interrupted ones go stale when nobody resumes them.  This
+module scans a directory tree for run directories, classifies them, and
+(optionally) removes the collectable ones.  The CLI front end is
+``repro runs gc`` — dry-run by default, ``--delete`` to actually remove.
+
+A directory is a *run directory* iff it contains a ``manifest.json``
+that parses to an object with a string ``"kind"`` field (every runtime
+manifest has one), or an unreadable ``manifest.json`` next to a
+``units.jsonl`` (a damaged run).  A bare ``manifest.json`` of some other
+tool (a browser extension, a web app) matches neither rule, so ``gc``
+never classifies — let alone deletes — unrelated directories.  The unit
+count recorded by the runtime manifests (``"units"``) is compared with
+the completed records in ``units.jsonl`` to decide completeness;
+manifests lacking a unit count are never treated as complete (only as
+stale).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.runtime.checkpoint import RunCheckpoint
+
+__all__ = ["RunStatus", "scan_runs", "collectable", "gc_runs"]
+
+
+@dataclass
+class RunStatus:
+    """One run directory's identity and progress."""
+
+    path: Path
+    kind: str | None  # manifest "kind" ("sweep", "pairwise", ...)
+    name: str | None  # sweep spec name, when the manifest is a spec
+    total_units: int | None  # expected units, when the manifest records it
+    completed_units: int  # lines in units.jsonl
+    age_seconds: float  # since the run directory last changed
+    delete_failed: bool = False  # rmtree was attempted but the dir survived
+
+    @property
+    def complete(self) -> bool:
+        return self.total_units is not None and self.completed_units >= self.total_units
+
+    def describe(self) -> str:
+        label = self.name or self.kind or "run"
+        if self.total_units is not None:
+            progress = f"{self.completed_units}/{self.total_units} units"
+            state = "complete" if self.complete else "incomplete"
+        else:
+            progress = f"{self.completed_units} units"
+            state = "unknown total"
+        hours = self.age_seconds / 3600.0
+        return f"{self.path} [{label}] {state}, {progress}, idle {hours:.1f}h"
+
+
+def _status(run_dir: Path, now: float) -> RunStatus | None:
+    """Inspect one run directory; None if it vanished or is not ours.
+
+    ``None`` for directories whose ``manifest.json`` does not look like a
+    runtime manifest (no string ``"kind"``) and that have no
+    ``units.jsonl`` — some other tool's manifest, never to be touched.
+    """
+    manifest_path = run_dir / RunCheckpoint.MANIFEST_NAME
+    units_path = run_dir / RunCheckpoint.UNITS_NAME
+    kind = name = None
+    total = None
+    try:
+        text = manifest_path.read_text()
+        mtimes = [manifest_path.stat().st_mtime]
+        manifest = None
+        try:
+            manifest = json.loads(text)
+        except json.JSONDecodeError:
+            pass  # damaged run; units.jsonl decides below whether it is ours
+    except OSError:
+        # Vanished mid-scan, or unreadable: only a units.jsonl sibling
+        # proves this was a run directory (the documented damaged-run rule).
+        if not units_path.exists():
+            return None
+        manifest = None
+        try:
+            mtimes = [manifest_path.stat().st_mtime]
+        except OSError:
+            mtimes = [units_path.stat().st_mtime]
+    if isinstance(manifest, dict):
+        kind = manifest.get("kind")
+        units = manifest.get("units")
+        total = units if isinstance(units, int) else None
+        spec = manifest.get("spec")
+        if isinstance(spec, dict) and isinstance(spec.get("name"), str):
+            name = spec["name"]
+    if not isinstance(kind, str):
+        if not units_path.exists():
+            return None  # not a runtime run directory
+        kind = None  # damaged run: units.jsonl proves it is ours
+    completed = 0
+    try:
+        # Count the records the checkpoint layer would actually resume
+        # from: parseable lines with a unit key.  A torn final line (the
+        # interrupted-write case completed() tolerates) must not count,
+        # or an interrupted run is misclassified complete and collected.
+        keys = set()
+        for line in units_path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "key" in record:
+                keys.add(record["key"])
+        completed = len(keys)
+        mtimes.append(units_path.stat().st_mtime)
+    except OSError:
+        pass  # no units.jsonl yet (or it vanished): zero completed units
+    return RunStatus(
+        path=run_dir,
+        kind=kind,
+        name=name,
+        total_units=total,
+        completed_units=completed,
+        age_seconds=max(now - max(mtimes), 0.0),
+    )
+
+
+def scan_runs(root: str | Path, now: float | None = None) -> list[RunStatus]:
+    """All run directories under ``root`` (``root`` itself included)."""
+    root = Path(root)
+    now = time.time() if now is None else now
+    if not root.exists():
+        return []
+    out = []
+    candidates = [root] if (root / RunCheckpoint.MANIFEST_NAME).is_file() else []
+    candidates += [
+        p.parent for p in sorted(root.rglob(RunCheckpoint.MANIFEST_NAME)) if p.is_file()
+    ]
+    seen = set()
+    for run_dir in candidates:
+        if run_dir in seen:
+            continue
+        seen.add(run_dir)
+        status = _status(run_dir, now)
+        if status is not None:
+            out.append(status)
+    return out
+
+
+def collectable(
+    status: RunStatus, *, completed: bool = True, stale_seconds: float | None = None
+) -> bool:
+    """Whether ``status`` should be garbage-collected.
+
+    ``completed`` collects finished runs; ``stale_seconds`` additionally
+    collects *incomplete* runs idle longer than the threshold (``None``
+    never collects incomplete runs — resuming them is the point of the
+    checkpoint layer).
+    """
+    if status.complete:
+        return completed
+    return stale_seconds is not None and status.age_seconds > stale_seconds
+
+
+def gc_runs(
+    root: str | Path,
+    *,
+    completed: bool = True,
+    stale_seconds: float | None = None,
+    delete: bool = False,
+    now: float | None = None,
+) -> tuple[list[RunStatus], list[RunStatus]]:
+    """Scan ``root`` and return ``(collect, keep)`` run lists.
+
+    With ``delete=True`` the collectable run directories are removed
+    (``shutil.rmtree``); the default is a dry run that only reports.
+    A collectable run directory nested inside another collectable one is
+    reported but not removed separately (its parent's removal covers it),
+    and a collectable directory that *contains* a kept run is kept too —
+    removing it would destroy the nested resumable checkpoint.
+    """
+    statuses = scan_runs(root, now=now)
+    collect = [
+        s for s in statuses
+        if collectable(s, completed=completed, stale_seconds=stale_seconds)
+    ]
+    keep = [s for s in statuses if s not in collect]
+    # A kept run nested under a collectable one pins its ancestors.
+    pinned = [
+        s for s in collect
+        if any(s.path in kept.path.parents for kept in keep)
+    ]
+    collect = [s for s in collect if s not in pinned]
+    keep += pinned
+    if delete:
+        removed_roots: list[Path] = []
+        # Shallowest first, so a parent's rmtree covers its nested runs.
+        for status in sorted(collect, key=lambda s: len(s.path.parts)):
+            if any(root_path in status.path.parents for root_path in removed_roots):
+                continue
+            shutil.rmtree(status.path, ignore_errors=True)
+            removed_roots.append(status.path)
+        # Report honestly: a directory that survived rmtree (permissions,
+        # read-only mount) was not removed, whatever we intended.  Failed
+        # removals move to ``keep`` flagged ``delete_failed`` so callers
+        # can distinguish them from deliberately kept runs.
+        failed = [s for s in collect if s.path.exists()]
+        if failed:
+            collect = [s for s in collect if s not in failed]
+            for status in failed:
+                status.delete_failed = True
+            keep += failed
+    return collect, keep

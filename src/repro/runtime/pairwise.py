@@ -40,6 +40,7 @@ __all__ = [
     "run_pairwise_unit",
     "run_pisa_restarts",
     "run_pairwise",
+    "run_pair_sweep",
     "unit_key",
 ]
 
@@ -114,7 +115,67 @@ def decode_unit_result(payload: dict) -> PairwiseUnitResult:
 
 
 # ---------------------------------------------------------------------- #
-# The sweep
+# The sweep core: (pair, restart) units over the two-level spawn tree
+# ---------------------------------------------------------------------- #
+def run_pair_sweep(
+    pairs: list[tuple[str, str, PISA]],
+    restarts: int,
+    rng: int | np.random.Generator | None = None,
+    *,
+    schedulers: list[str],
+    jobs: int = 1,
+    checkpoint: RunCheckpoint | None = None,
+    progress: Callable[[str, str, float], None] | None = None,
+) -> PairwiseResult:
+    """Execute configured ``(target, baseline, PISA)`` pairs as a unit sweep.
+
+    This is the shared core behind :func:`run_pairwise` (scheduler-set
+    sweeps) and :func:`repro.sweeps.run_sweep` (declarative specs): it
+    owns the two-level spawn tree, the unit keys, and the aggregation
+    into a :class:`~repro.pisa.pisa.PairwiseResult` — so every entry
+    point produces bit-identical matrices for the same pair list and
+    seed.  The caller owns checkpoint initialization (the manifest is
+    what distinguishes the entry points).
+    """
+    gen = as_generator(rng)
+    units: list[WorkUnit] = []
+    key_to_pair: dict[str, tuple[str, str]] = {}
+    for (target, baseline, pisa), pair_gen in zip(pairs, spawn(gen, len(pairs))):
+        for restart, restart_gen in enumerate(spawn(pair_gen, restarts)):
+            key = unit_key(target, baseline, restart)
+            units.append(WorkUnit(key=key, payload=(pisa, restart), rng=restart_gen))
+            key_to_pair[key] = (target, baseline)
+
+    on_result = None
+    if progress is not None:
+        collected: dict[tuple[str, str], dict[int, AnnealingResult]] = {
+            (t, b): {} for t, b, _ in pairs
+        }
+
+        def on_result(unit: WorkUnit, result: PairwiseUnitResult, cached: bool) -> None:
+            pair = key_to_pair[unit.key]
+            collected[pair][result.restart] = result.annealing
+            if len(collected[pair]) == restarts:
+                best = max(collected[pair][r].best_energy for r in range(restarts))
+                progress(pair[0], pair[1], best)
+
+    unit_results = run_units(
+        units, run_pairwise_unit, jobs=jobs, checkpoint=checkpoint, on_result=on_result
+    )
+
+    out = PairwiseResult(schedulers=list(schedulers))
+    for target, baseline, pisa in pairs:
+        pair_restarts = [
+            unit_results[unit_key(target, baseline, r)].annealing for r in range(restarts)
+        ]
+        out.results[(target, baseline)] = PISAResult.from_restarts(
+            pisa.target.name, pisa.baseline.name, pair_restarts
+        )
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# The all-ordered-pairs sweep over a scheduler set
 # ---------------------------------------------------------------------- #
 def run_pairwise(
     schedulers: list[str],
@@ -157,14 +218,6 @@ def run_pairwise(
                 )
             )
 
-    units: list[WorkUnit] = []
-    key_to_pair: dict[str, tuple[str, str]] = {}
-    for (target, baseline, pisa), pair_gen in zip(pairs, spawn(gen, len(pairs))):
-        for restart, restart_gen in enumerate(spawn(pair_gen, config.restarts)):
-            key = unit_key(target, baseline, restart)
-            units.append(WorkUnit(key=key, payload=(pisa, restart), rng=restart_gen))
-            key_to_pair[key] = (target, baseline)
-
     checkpoint = None
     if checkpoint_dir is not None:
         checkpoint = RunCheckpoint(
@@ -176,35 +229,16 @@ def run_pairwise(
             "restarts": config.restarts,
             "annealing": asdict(config.annealing),
             "seed": seed,
-            "units": len(units),
+            "units": len(pairs) * config.restarts,
         }
         checkpoint.initialize(manifest, resume=resume)
 
-    on_result = None
-    if progress is not None:
-        collected: dict[tuple[str, str], dict[int, AnnealingResult]] = {
-            (t, b): {} for t, b, _ in pairs
-        }
-
-        def on_result(unit: WorkUnit, result: PairwiseUnitResult, cached: bool) -> None:
-            pair = key_to_pair[unit.key]
-            collected[pair][result.restart] = result.annealing
-            if len(collected[pair]) == config.restarts:
-                restarts = [collected[pair][r] for r in range(config.restarts)]
-                best = max(r.best_energy for r in restarts)
-                progress(pair[0], pair[1], best)
-
-    unit_results = run_units(
-        units, run_pairwise_unit, jobs=jobs, checkpoint=checkpoint, on_result=on_result
+    return run_pair_sweep(
+        pairs,
+        config.restarts,
+        gen,
+        schedulers=[str(s) for s in schedulers],
+        jobs=jobs,
+        checkpoint=checkpoint,
+        progress=progress,
     )
-
-    out = PairwiseResult(schedulers=list(schedulers))
-    for target, baseline, pisa in pairs:
-        restarts = [
-            unit_results[unit_key(target, baseline, r)].annealing
-            for r in range(config.restarts)
-        ]
-        out.results[(target, baseline)] = PISAResult.from_restarts(
-            pisa.target.name, pisa.baseline.name, restarts
-        )
-    return out

@@ -139,17 +139,23 @@ class SMTScheduler(Scheduler):
             if not ready:
                 sched = builder.schedule()
                 return sched if sched.makespan <= bound * (1 + 1e-12) else None
-            task = max(ready, key=lambda t: (tail[t], str(t)))
-            for node in sorted(nodes, key=lambda v: (builder.eft(task, v), str(v))):
-                finish = builder.eft(task, node)
-                if math.isinf(finish):
-                    continue
-                remaining_after = tail[task] - instance.task_graph.cost(task) / smax
-                if finish + remaining_after > bound * (1 + 1e-12):
-                    continue
-                result = dfs_clone(committed + [(task, node)])
-                if result is not None:
-                    return result
+            # Branch over every (ready task, node) placement.  Restricting
+            # the branching to one priority-chosen task would be incomplete:
+            # reproducing an arbitrary schedule by appending tasks requires
+            # committing them in that schedule's start-time order, and the
+            # optimal order need not follow any fixed priority.  Trying the
+            # longest-tail tasks first just finds certificates sooner.
+            for task in sorted(ready, key=lambda t: (-tail[t], str(t))):
+                for node in sorted(nodes, key=lambda v: (builder.eft(task, v), str(v))):
+                    finish = builder.eft(task, node)
+                    if math.isinf(finish):
+                        continue
+                    remaining_after = tail[task] - instance.task_graph.cost(task) / smax
+                    if finish + remaining_after > bound * (1 + 1e-12):
+                        continue
+                    result = dfs_clone(committed + [(task, node)])
+                    if result is not None:
+                        return result
             return None
 
         return dfs_clone([])

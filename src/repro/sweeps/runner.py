@@ -1,0 +1,320 @@
+"""``run_sweep``: the single execution entry point for declarative sweeps.
+
+Every sweep — paper figure or user-authored ``spec.json`` — goes through
+:func:`run_sweep`.  It resolves the spec's instance source, decomposes
+the sweep into :class:`~repro.runtime.units.WorkUnit`\\ s on the existing
+executor/checkpoint layer, and aggregates:
+
+* PISA mode: one unit per (target, baseline, restart), the Fig. 4
+  decomposition, returning a
+  :class:`~repro.pisa.pisa.PairwiseResult`;
+* benchmark mode: one unit per sampled instance, each scheduled with
+  every scheduler, returning a
+  :class:`~repro.benchmarking.harness.BenchmarkResult` plus raw
+  makespan distributions.
+
+With ``run_dir``, the *spec itself* is the checkpoint manifest: the run
+directory records exactly which experiment it holds, resuming validates
+the stored spec against the one being run, and completed units stream to
+``units.jsonl`` so interrupted sweeps continue instead of restarting.
+Results are bit-identical at any ``jobs`` value and across
+interrupt/resume boundaries (every unit owns a deterministically spawned
+RNG stream).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.benchmarking.harness import BenchmarkResult, instance_result
+from repro.benchmarking.heatmap import format_gradient, render_matrix
+from repro.core.scheduler import get_scheduler, list_schedulers
+from repro.pisa.pisa import PISA, PairwiseResult
+from repro.runtime.checkpoint import RunCheckpoint
+from repro.runtime.executor import run_units
+from repro.runtime.pairwise import decode_unit_result, encode_unit_result, run_pair_sweep
+from repro.runtime.units import WorkUnit
+from repro.sweeps.sources import resolve_source
+from repro.sweeps.spec import SpecError, SweepSpec
+from repro.utils.rng import as_generator, spawn
+
+__all__ = ["SweepResult", "run_sweep", "sample_units", "render_report"]
+
+#: Manifest discriminator for spec-backed run directories.
+MANIFEST_KIND = "sweep"
+
+
+@dataclass
+class SweepResult:
+    """What a sweep produced, by mode."""
+
+    spec: SweepSpec
+    pairwise: PairwiseResult | None = None  # PISA mode
+    benchmark: BenchmarkResult | None = None  # benchmark mode: ratios vs best
+    makespans: dict[str, np.ndarray] | None = None  # benchmark mode: raw distributions
+
+    @property
+    def report(self) -> str:
+        return render_report(self)
+
+
+def _rng_fingerprint(gen: np.random.Generator) -> str:
+    """A stable hash of a generator's exact position in its stream.
+
+    Covers both the bit-generator state and the seed sequence's spawn
+    state — ``spawn`` advances only the latter, and a sweep consumes the
+    generator purely by spawning, so ``n_children_spawned`` is what
+    distinguishes e.g. the fig7 and fig8 positions of one threaded
+    generator.
+    """
+    seed_seq = getattr(gen.bit_generator, "seed_seq", None)
+    payload = {
+        "state": gen.bit_generator.state,
+        "seed_seq": getattr(seed_seq, "state", None),
+    }
+    state = json.dumps(
+        payload,
+        sort_keys=True,
+        default=lambda o: o.tolist() if hasattr(o, "tolist") else str(o),
+    )
+    return hashlib.sha256(state.encode()).hexdigest()[:16]
+
+
+def _validate_schedulers(spec: SweepSpec) -> None:
+    registered = set(list_schedulers())
+    unknown = [s for s in spec.scheduler_names() if s not in registered]
+    if unknown:
+        raise SpecError(
+            f"schedulers: unknown scheduler(s) {', '.join(map(repr, unknown))}; "
+            f"registered: {', '.join(sorted(registered))}"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Benchmark-mode units
+# ---------------------------------------------------------------------- #
+def sample_unit(unit: WorkUnit) -> dict:
+    """Worker: materialize one instance and schedule it with every scheduler."""
+    payload_kind, obj, scheduler_names = unit.payload
+    instance = obj(unit.rng) if payload_kind == "factory" else obj
+    return {
+        "instance": instance.name,
+        "makespans": {
+            name: get_scheduler(name).schedule(instance).makespan
+            for name in scheduler_names
+        },
+    }
+
+
+def sample_units(
+    name: str,
+    schedulers: tuple[str, ...] | list[str],
+    *,
+    factory: Callable | None = None,
+    instances: list | None = None,
+    num_instances: int | None = None,
+    rng=None,
+    jobs: int = 1,
+    checkpoint: RunCheckpoint | None = None,
+) -> list[dict]:
+    """Run one benchmark-mode fan-out and return per-instance rows in order.
+
+    Exactly one of ``factory`` (per-unit spawned RNG streams — the
+    Figs. 7/8 protocol) or ``instances`` (pre-sampled, e.g. sequentially
+    drawn datasets) must be given.  Each row is ``{"instance": name,
+    "makespans": {scheduler: makespan}}``.
+    """
+    if (factory is None) == (instances is None):
+        raise ValueError("exactly one of factory/instances is required")
+    names = tuple(schedulers)
+    if factory is not None:
+        if num_instances is None:
+            raise ValueError("num_instances is required with a factory")
+        units = [
+            WorkUnit(key=f"{name}[{i}]", payload=("factory", factory, names), rng=gen)
+            for i, gen in enumerate(spawn(rng, num_instances))
+        ]
+    else:
+        num_instances = len(instances)
+        units = [
+            WorkUnit(key=f"{name}[{i}]", payload=("instance", instance, names))
+            for i, instance in enumerate(instances)
+        ]
+    results = run_units(units, sample_unit, jobs=jobs, checkpoint=checkpoint)
+    return [results[f"{name}[{i}]"] for i in range(num_instances)]
+
+
+def _aggregate_benchmark(spec: SweepSpec, rows: list[dict]) -> tuple[BenchmarkResult, dict]:
+    """Per-instance ratios vs the best-of-all baseline + raw distributions."""
+    schedulers = list(spec.schedulers)
+    benchmark = BenchmarkResult(dataset_name=spec.name, schedulers=schedulers)
+    for i, row in enumerate(rows):
+        makespans = {s: row["makespans"][s] for s in schedulers}
+        benchmark.per_instance.append(
+            instance_result(row["instance"] or f"{spec.name}[{i}]", makespans)
+        )
+    makespans = {
+        s: np.asarray([row["makespans"][s] for row in rows]) for s in schedulers
+    }
+    return benchmark, makespans
+
+
+# ---------------------------------------------------------------------- #
+# The runner
+# ---------------------------------------------------------------------- #
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    jobs: int = 1,
+    run_dir: str | Path | None = None,
+    resume: bool = False,
+    rng: int | np.random.Generator | None = None,
+    progress: Callable[[str, str, float], None] | None = None,
+) -> SweepResult:
+    """Execute ``spec`` and return its :class:`SweepResult`.
+
+    Parameters
+    ----------
+    spec:
+        The declarative sweep definition.
+    jobs:
+        Worker processes for the unit fan-out (results are identical at
+        any value).
+    run_dir:
+        Checkpoint directory; the spec is written as ``manifest.json``
+        and completed units stream to ``units.jsonl``.
+    resume:
+        Skip units already recorded in ``run_dir`` (requires the stored
+        spec to match ``spec`` exactly).
+    rng:
+        Override the sweep's RNG root.  ``None`` (the default) seeds
+        from ``spec.seed``; experiment drivers thread a shared generator
+        through consecutive sweeps to preserve historical streams.
+    progress:
+        PISA mode: ``(target, baseline, best_ratio)`` per completed pair.
+    """
+    _validate_schedulers(spec)
+    resolved = resolve_source(spec.source)
+    gen = as_generator(spec.seed if rng is None else rng)
+
+    def _manifest(units: int) -> dict:
+        manifest = {"kind": MANIFEST_KIND, "spec": spec.to_dict(), "units": units}
+        if rng is not None:
+            # The streams came from a caller-supplied rng, not from
+            # spec.seed — fingerprint the generator's pre-spawn state so a
+            # resume must present the *same* stream position.  `repro
+            # sweep run` on the stored spec (no override), or a resume
+            # with a differently-seeded generator, hits a manifest
+            # mismatch instead of silently mixing two RNG spawn trees.
+            manifest["external_rng"] = _rng_fingerprint(gen)
+        return manifest
+
+    if spec.mode == "pisa":
+        if resolved.factory is None:
+            raise SpecError(
+                f"source.kind: {spec.source.kind!r} cannot generate PISA initial "
+                "instances"
+            )
+        constraints = (
+            spec.constraints if spec.constraints is not None else resolved.default_constraints
+        )
+        pairs = [
+            (
+                target,
+                baseline,
+                PISA(
+                    target,
+                    baseline,
+                    perturbations=resolved.perturbations,
+                    config=spec.config,
+                    initial_factory=resolved.factory,
+                    constraints=constraints,
+                ),
+            )
+            for target, baseline in spec.resolved_pairs()
+        ]
+        checkpoint = None
+        if run_dir is not None:
+            checkpoint = RunCheckpoint(
+                run_dir, encode=encode_unit_result, decode=decode_unit_result
+            )
+            checkpoint.initialize(_manifest(len(pairs) * spec.config.restarts), resume=resume)
+        pairwise = run_pair_sweep(
+            pairs,
+            spec.config.restarts,
+            gen,
+            schedulers=spec.scheduler_names(),
+            jobs=jobs,
+            checkpoint=checkpoint,
+            progress=progress,
+        )
+        return SweepResult(spec=spec, pairwise=pairwise)
+
+    # benchmark mode
+    checkpoint = None
+    if run_dir is not None:
+        checkpoint = RunCheckpoint(run_dir)  # rows are already JSON-ready
+        checkpoint.initialize(_manifest(spec.num_instances), resume=resume)
+    if spec.sampling == "spawn":
+        rows = sample_units(
+            spec.name,
+            spec.schedulers,
+            factory=resolved.factory,
+            num_instances=spec.num_instances,
+            rng=gen,
+            jobs=jobs,
+            checkpoint=checkpoint,
+        )
+    else:
+        instances = resolved.sequential(spec.num_instances, gen)
+        rows = sample_units(
+            spec.name,
+            spec.schedulers,
+            instances=instances,
+            jobs=jobs,
+            checkpoint=checkpoint,
+        )
+    benchmark, makespans = _aggregate_benchmark(spec, rows)
+    return SweepResult(spec=spec, benchmark=benchmark, makespans=makespans)
+
+
+# ---------------------------------------------------------------------- #
+# Reporting
+# ---------------------------------------------------------------------- #
+def render_report(result: SweepResult) -> str:
+    """A human-readable summary of a sweep result (used by the CLI)."""
+    spec = result.spec
+    if result.pairwise is not None:
+        schedulers = result.pairwise.schedulers
+        values = {
+            (baseline, target): res.best_ratio
+            for (target, baseline), res in result.pairwise.results.items()
+        }
+        return render_matrix(
+            values,
+            row_labels=schedulers,
+            col_labels=schedulers,
+            title=(
+                f"sweep {spec.name!r} — PISA best makespan ratios "
+                f"(row = base, column = target)"
+            ),
+            row_header="base",
+        )
+    assert result.benchmark is not None
+    lines = [
+        f"sweep {spec.name!r} — benchmark over {len(result.benchmark.per_instance)} "
+        f"instances (ratios vs best-of-all; median~max)"
+    ]
+    for scheduler in result.benchmark.schedulers:
+        summary = result.benchmark.summary(scheduler)
+        mean = float(result.makespans[scheduler].mean())
+        lines.append(
+            f"  {scheduler}: {format_gradient(summary)}  (mean makespan {mean:.4f})"
+        )
+    return "\n".join(lines)

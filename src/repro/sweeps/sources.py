@@ -1,0 +1,152 @@
+"""Resolution of declarative instance sources into executable generators.
+
+A :class:`~repro.sweeps.spec.SourceSpec` is pure data; this module turns
+it into the callables a sweep actually runs:
+
+* a **factory** ``rng -> ProblemInstance`` for per-unit sampling (PISA
+  initial instances, benchmark ``sampling="spawn"``),
+* a **sequential sampler** ``(n, rng) -> [ProblemInstance]`` drawing
+  instances serially from one generator (benchmark
+  ``sampling="sequential"``, dataset sources),
+* the source's **perturbation set** (``None`` means PISA's Section VI
+  default operators; workflow sources return the trace-scaled
+  Section VII set).
+
+Resolution errors (unknown workflow/dataset/family names) are raised as
+:class:`~repro.sweeps.spec.SpecError` with the valid names listed, so a
+typo in a spec file fails before any work unit executes.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import DatasetError
+from repro.core.instance import ProblemInstance
+from repro.pisa.constraints import SearchConstraints
+from repro.pisa.initial import random_chain_instance
+from repro.pisa.perturbations import PerturbationSet
+from repro.sweeps.spec import SourceSpec, SpecError
+
+__all__ = ["ResolvedSource", "resolve_source"]
+
+
+@dataclass
+class ResolvedSource:
+    """A :class:`SourceSpec` turned into executable samplers."""
+
+    label: str
+    factory: Callable[[np.random.Generator], ProblemInstance] | None
+    sequential: Callable[[int, np.random.Generator], list[ProblemInstance]]
+    perturbations: PerturbationSet | None = None
+    #: Constraints to use when the spec leaves them on "auto".  Workflow
+    #: sources force empty constraints (Section VII): their link strengths
+    #: are pinned by the target CCR, and homogenizing them to 1 via the
+    #: Section VI rules would silently change the search space.
+    default_constraints: SearchConstraints | None = None
+
+
+def _generic_sequential(factory, label):
+    """Serial sampling fallback for factory-backed sources."""
+
+    def sample(n: int, gen: np.random.Generator) -> list[ProblemInstance]:
+        return [factory(gen).with_name(f"{label}[{i}]") for i in range(n)]
+
+    return sample
+
+
+def resolve_source(source: SourceSpec) -> ResolvedSource:
+    """Turn ``source`` into samplers; raises :class:`SpecError` on bad names."""
+    opts = source.options
+    if source.kind == "chains":
+        factory = functools.partial(
+            random_chain_instance,
+            min_nodes=opts["min_nodes"],
+            max_nodes=opts["max_nodes"],
+            min_tasks=opts["min_tasks"],
+            max_tasks=opts["max_tasks"],
+        )
+        return ResolvedSource(
+            label="chains",
+            factory=factory,
+            sequential=_generic_sequential(factory, "chains"),
+        )
+
+    if source.kind == "workflow":
+        from repro.datasets.workflows import list_recipes
+        from repro.pisa.app_specific import AppSpecificSpace
+
+        if opts["workflow"] not in list_recipes():
+            raise SpecError(
+                f"source.workflow: unknown workflow {opts['workflow']!r}; "
+                f"available: {', '.join(list_recipes())}"
+            )
+        space = AppSpecificSpace(
+            opts["workflow"],
+            ccr=opts["ccr"],
+            trace_seed=opts["trace_seed"],
+            min_nodes=opts["min_nodes"],
+            max_nodes=opts["max_nodes"],
+        )
+
+        def sequential(n: int, gen: np.random.Generator) -> list[ProblemInstance]:
+            return list(space.dataset(n, rng=gen))
+
+        return ResolvedSource(
+            label=f"{opts['workflow']}(ccr={opts['ccr']})",
+            factory=space.initial_instance,
+            sequential=sequential,
+            perturbations=space.perturbations(),
+            default_constraints=SearchConstraints(),
+        )
+
+    if source.kind == "dataset":
+        import inspect
+
+        from repro.datasets import generate_dataset, get_dataset_generator, list_datasets
+
+        if opts["dataset"] not in list_datasets():
+            raise SpecError(
+                f"source.dataset: unknown dataset {opts['dataset']!r}; "
+                f"available: {', '.join(list_datasets())}"
+            )
+        params = dict(opts["params"] or {})
+        # Reject unacceptable parameter names up front, by signature — a
+        # TypeError raised later, inside the generator's sampling code,
+        # must surface with its real traceback, not as a spec error.
+        try:
+            inspect.signature(get_dataset_generator(opts["dataset"])).bind_partial(**params)
+        except TypeError as exc:
+            raise SpecError(
+                f"source.params: dataset {opts['dataset']!r} rejected the "
+                f"parameters {sorted(params)}: {exc}"
+            ) from None
+
+        def sequential(n: int, gen: np.random.Generator) -> list[ProblemInstance]:
+            return list(
+                generate_dataset(opts["dataset"], num_instances=n, rng=gen, **params)
+            )
+
+        return ResolvedSource(label=opts["dataset"], factory=None, sequential=sequential)
+
+    if source.kind == "family":
+        from repro.datasets.families import get_family, list_families
+
+        try:
+            factory = get_family(opts["family"])
+        except DatasetError:
+            raise SpecError(
+                f"source.family: unknown instance family {opts['family']!r}; "
+                f"available: {', '.join(list_families()) or '(none registered)'}"
+            ) from None
+        return ResolvedSource(
+            label=opts["family"],
+            factory=factory,
+            sequential=_generic_sequential(factory, opts["family"]),
+        )
+
+    raise SpecError(f"source.kind: unknown instance source {source.kind!r}")

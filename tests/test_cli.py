@@ -16,6 +16,53 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
 
+    def test_sweep_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_sweep_run_requires_spec_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "run"])
+
+    def test_sweep_run_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "run", "s.json", "--jobs", "4", "--run-dir", "runs/x", "--resume"]
+        )
+        assert args.command == "sweep" and args.sweep_command == "run"
+        assert args.spec == "s.json"
+        assert args.jobs == 4 and args.run_dir == "runs/x" and args.resume
+
+    def test_sweep_show_name_is_optional(self):
+        args = build_parser().parse_args(["sweep", "show"])
+        assert args.sweep_command == "show" and args.name is None
+        args = build_parser().parse_args(["sweep", "show", "fig4", "--seed", "7"])
+        assert args.name == "fig4" and args.seed == 7
+
+    def test_sweep_init_defaults(self):
+        args = build_parser().parse_args(["sweep", "init"])
+        assert args.out == "sweep.json" and args.mode == "pisa" and not args.force
+
+    def test_sweep_init_rejects_bad_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "init", "--mode", "fuzz"])
+
+    def test_runs_gc_requires_root(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["runs", "gc"])
+
+    def test_runs_gc_flags(self):
+        args = build_parser().parse_args(
+            ["runs", "gc", "runs/", "--stale-hours", "48", "--delete", "--keep-completed"]
+        )
+        assert args.runs_command == "gc" and args.root == "runs/"
+        assert args.stale_hours == 48.0 and args.delete and args.keep_completed
+
+    def test_experiment_run_dir_flags(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig7_fig8", "--jobs", "2", "--run-dir", "r", "--resume"]
+        )
+        assert args.run_dir == "r" and args.resume and args.jobs == 2
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -98,3 +145,92 @@ class TestCommands:
     def test_experiment_fig9(self, capsys):
         assert main(["experiment", "fig9"]) == 0
         assert "srasearch" in capsys.readouterr().out
+
+
+class TestSweepCommands:
+    def test_show_lists_names_without_argument(self, capsys):
+        assert main(["sweep", "show"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "fig7" in out
+
+    def test_show_dumps_valid_spec_json(self, capsys):
+        from repro.sweeps import SweepSpec
+
+        assert main(["sweep", "show", "fig4", "--seed", "3"]) == 0
+        spec = SweepSpec.from_json(capsys.readouterr().out)
+        assert spec.name == "fig4" and spec.seed == 3
+
+    def test_show_unknown_name_fails(self, capsys):
+        assert main(["sweep", "show", "fig99"]) == 2
+        assert "unknown named sweep" in capsys.readouterr().err
+
+    def test_init_scaffolds_a_runnable_spec(self, tmp_path, capsys):
+        from repro.sweeps import SweepSpec
+
+        out = tmp_path / "spec.json"
+        assert main(["sweep", "init", "--out", str(out), "--name", "probe"]) == 0
+        spec = SweepSpec.load(out)
+        assert spec.name == "probe" and spec.mode == "pisa"
+        # Refuses to clobber without --force.
+        assert main(["sweep", "init", "--out", str(out)]) == 2
+        assert "--force" in capsys.readouterr().err
+        assert main(["sweep", "init", "--out", str(out), "--force"]) == 0
+
+    def test_init_creates_missing_directories(self, tmp_path):
+        from repro.sweeps import SweepSpec
+
+        out = tmp_path / "specs" / "nested" / "s.json"
+        assert main(["sweep", "init", "--out", str(out)]) == 0
+        assert SweepSpec.load(out).name == "my-sweep"
+
+    def test_init_benchmark_mode(self, tmp_path):
+        from repro.sweeps import SweepSpec
+
+        out = tmp_path / "b.json"
+        assert main(["sweep", "init", "--out", str(out), "--mode", "benchmark"]) == 0
+        assert SweepSpec.load(out).mode == "benchmark"
+
+    def test_run_executes_a_spec_file(self, tmp_path, capsys):
+        from repro.pisa import AnnealingConfig, PISAConfig
+        from repro.sweeps import SweepSpec
+
+        spec = SweepSpec(
+            name="cli-probe",
+            schedulers=("HEFT", "CPoP"),
+            config=PISAConfig(
+                annealing=AnnealingConfig(max_iterations=10, alpha=0.8), restarts=1
+            ),
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        assert main(["sweep", "run", str(path), "--run-dir", str(tmp_path / "run")]) == 0
+        out = capsys.readouterr().out
+        assert "cli-probe" in out and "HEFT" in out
+        assert (tmp_path / "run" / "units.jsonl").exists()
+
+    def test_run_refuses_existing_run_dir_without_resume(self, tmp_path, capsys):
+        from repro.pisa import AnnealingConfig, PISAConfig
+        from repro.sweeps import SweepSpec
+
+        spec = SweepSpec(
+            name="twice",
+            schedulers=("HEFT", "CPoP"),
+            config=PISAConfig(
+                annealing=AnnealingConfig(max_iterations=10, alpha=0.8), restarts=1
+            ),
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        run_dir = str(tmp_path / "run")
+        assert main(["sweep", "run", str(path), "--run-dir", run_dir]) == 0
+        capsys.readouterr()
+        # Forgot --resume: a clean CLI error, not a traceback.
+        assert main(["sweep", "run", str(path), "--run-dir", run_dir]) == 2
+        assert "resume" in capsys.readouterr().err
+
+    def test_run_reports_spec_errors(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x", "mode": "quantum"}')
+        assert main(["sweep", "run", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "mode" in err and str(path) in err

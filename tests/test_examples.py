@@ -43,6 +43,7 @@ def test_examples_exist():
         "adversarial_analysis.py",
         "hybrid_portfolio.py",
         "stochastic_robustness.py",
+        "custom_sweep.py",
     }
     assert expected <= {p.name for p in EXAMPLES.glob("*.py")}
 
@@ -57,6 +58,12 @@ def test_iot_edge_runs():
     out = _run("iot_edge.py")
     assert "=== etl" in out
     assert "FastestNode" in out
+
+
+def test_custom_sweep_runs():
+    out = _run("custom_sweep.py")
+    assert "resumed run matches" in out
+    assert "worst case found" in out
 
 
 @pytest.mark.slow

@@ -120,6 +120,36 @@ class TestFig4:
         assert "Worst" in result.report
         assert result.worst_case("HEFT") >= 1.0 or result.worst_case("HEFT") > 0
 
+    def test_generator_and_numpy_integer_rngs_still_accepted(self):
+        import numpy as np
+
+        by_int = fig4_pisa_heatmap.run(schedulers=["HEFT", "CPoP"], config=MICRO, rng=3)
+        by_np = fig4_pisa_heatmap.run(
+            schedulers=["HEFT", "CPoP"], config=MICRO, rng=np.int64(3)
+        )
+        by_gen = fig4_pisa_heatmap.run(
+            schedulers=["HEFT", "CPoP"], config=MICRO, rng=np.random.default_rng(3)
+        )
+        assert by_np.report == by_int.report == by_gen.report
+        # rng=None (fresh OS entropy) still runs, as it always did.
+        assert fig4_pisa_heatmap.run(
+            schedulers=["HEFT", "CPoP"], config=MICRO, rng=None
+        ).report
+
+    def test_checkpoint_dir_is_deprecated_alias_for_run_dir(self, tmp_path):
+        with pytest.warns(DeprecationWarning, match="run_dir"):
+            old = fig4_pisa_heatmap.run(
+                schedulers=["HEFT", "CPoP"],
+                config=MICRO,
+                rng=0,
+                checkpoint_dir=tmp_path / "old",
+            )
+        assert (tmp_path / "old" / "units.jsonl").exists()
+        new = fig4_pisa_heatmap.run(
+            schedulers=["HEFT", "CPoP"], config=MICRO, rng=0, run_dir=tmp_path / "new"
+        )
+        assert old.report == new.report
+
 
 class TestFig5Fig6:
     def test_micro_case_study(self):
@@ -154,6 +184,19 @@ class TestFig7Fig8:
         # Fastest node exists with speed exactly 3.
         speeds = sorted((inst.network.speed(v) for v in inst.network.nodes), reverse=True)
         assert speeds[0] == 3.0
+
+    def test_interrupted_run_resumes_identically(self, tmp_path):
+        import numpy as np
+
+        full = fig7_fig8_families.run(num_instances=8, rng=1, run_dir=tmp_path)
+        units = tmp_path / "fig7" / "units.jsonl"
+        units.write_text(units.read_text().splitlines()[0] + "\n")  # simulate a kill
+        resumed = fig7_fig8_families.run(
+            num_instances=8, rng=1, run_dir=tmp_path, resume=True
+        )
+        for fam in ("fig7", "fig8"):
+            for s, values in getattr(full, fam).makespans.items():
+                assert np.array_equal(values, getattr(resumed, fam).makespans[s])
 
 
 class TestFig9:
@@ -190,3 +233,18 @@ class TestFig1019:
         )
         assert len(result.panels) == 1
         assert result.report
+
+    def test_panel_checkpoint_dir_deprecated_and_layout(self, tmp_path):
+        with pytest.warns(DeprecationWarning, match="run_dir"):
+            fig10_19_app_specific.run_panel(
+                "blast",
+                1.0,
+                schedulers=["HEFT", "FastestNode"],
+                bench_instances=2,
+                config=MICRO,
+                rng=0,
+                checkpoint_dir=tmp_path,
+            )
+        # The panel checkpoints both halves under the one run directory.
+        assert (tmp_path / "bench" / "units.jsonl").exists()
+        assert (tmp_path / "pisa" / "units.jsonl").exists()
