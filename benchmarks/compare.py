@@ -1,0 +1,166 @@
+"""Benchmark regression gate: diff fresh timings against a baseline.
+
+The scheduled CI benchmark job writes ``benchmarks/_reports/runtime.json``
+(and a pytest-benchmark ``bench-results.json``); this script compares a
+fresh report against the committed ``benchmarks/_reports/baseline.json``
+and fails (exit code 1) when a tracked metric regressed beyond the
+tolerance — the first concrete step of the ROADMAP's "CI perf trend
+tracking".
+
+What is compared
+----------------
+* ``<section>.speedup`` entries of ``runtime.json``-shaped files:
+  dimensionless ratios (compiled-vs-reference, parallel-vs-serial), so
+  they transfer across machines.  Higher is better; a fresh value below
+  ``baseline * (1 - tolerance)`` fails.
+* With ``--seconds``, ``*_seconds`` entries are compared too (lower is
+  better).  Off by default: absolute wall-clock only means something
+  when baseline and fresh ran on the same class of machine.
+
+Sections whose ratio depends on the machine shape rather than the code
+(e.g. ``parallel_pairwise`` on a single-core runner) can be excluded
+with ``--ignore``.
+
+Usage
+-----
+    python benchmarks/compare.py \
+        --baseline benchmarks/_reports/baseline.json \
+        --current benchmarks/_reports/runtime.json \
+        --tolerance 0.35 --ignore parallel_pairwise
+
+Refresh the baseline after an intentional performance change:
+
+    cp benchmarks/_reports/runtime.json benchmarks/_reports/baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["collect_metrics", "compare", "main"]
+
+
+def collect_metrics(report: dict, include_seconds: bool = False) -> dict[str, tuple[float, str]]:
+    """Flatten a runtime.json-shaped report into ``{metric: (value, sense)}``.
+
+    ``sense`` is ``"higher"`` (speedups) or ``"lower"`` (seconds).
+    """
+    metrics: dict[str, tuple[float, str]] = {}
+    for section, payload in report.items():
+        if not isinstance(payload, dict):
+            continue
+        for key, value in payload.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            if key == "speedup":
+                metrics[f"{section}.{key}"] = (float(value), "higher")
+            elif include_seconds and key.endswith("_seconds"):
+                metrics[f"{section}.{key}"] = (float(value), "lower")
+    return metrics
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    tolerance: float,
+    ignore: frozenset[str] = frozenset(),
+    include_seconds: bool = False,
+) -> list[str]:
+    """Return a list of human-readable regression messages (empty = pass)."""
+    base_metrics = collect_metrics(baseline, include_seconds)
+    cur_metrics = collect_metrics(current, include_seconds)
+    failures: list[str] = []
+    for name, (base_value, sense) in sorted(base_metrics.items()):
+        section = name.split(".", 1)[0]
+        if section in ignore:
+            continue
+        if name not in cur_metrics:
+            failures.append(f"{name}: present in baseline but missing from current report")
+            continue
+        value = cur_metrics[name][0]
+        if sense == "higher":
+            floor = base_value * (1.0 - tolerance)
+            ok = value >= floor
+            bound = f">= {floor:.3f}"
+        else:
+            ceiling = base_value * (1.0 + tolerance)
+            ok = value <= ceiling
+            bound = f"<= {ceiling:.3f}"
+        status = "ok" if ok else "REGRESSION"
+        print(f"{name}: baseline {base_value:.3f}, current {value:.3f} ({bound}) {status}")
+        if not ok:
+            failures.append(
+                f"{name}: {value:.3f} regressed past tolerance "
+                f"(baseline {base_value:.3f}, allowed {bound})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).resolve().parent / "_reports" / "baseline.json",
+        help="committed baseline report (default: benchmarks/_reports/baseline.json)",
+    )
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=Path(__file__).resolve().parent / "_reports" / "runtime.json",
+        help="fresh report to gate (default: benchmarks/_reports/runtime.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.35,
+        help="allowed relative regression before failing (default: 0.35)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="SECTION",
+        help="report section(s) to skip (repeatable)",
+    )
+    parser.add_argument(
+        "--seconds",
+        action="store_true",
+        help="also gate absolute *_seconds timings (same-machine baselines only)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    try:
+        baseline = json.loads(args.baseline.read_text())
+    except OSError as exc:
+        print(f"cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        current = json.loads(args.current.read_text())
+    except OSError as exc:
+        print(f"cannot read current report {args.current}: {exc}", file=sys.stderr)
+        return 2
+
+    failures = compare(
+        baseline,
+        current,
+        tolerance=args.tolerance,
+        ignore=frozenset(args.ignore),
+        include_seconds=args.seconds,
+    )
+    if failures:
+        print(f"\n{len(failures)} benchmark regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbenchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,14 @@ class ProblemInstance:
     task_graph: TaskGraph
     name: str = field(default="", compare=False)
 
+    def __getstate__(self) -> dict:
+        # The compiled-kernel cache (repro.core.compiled) is a derived,
+        # per-process artifact; recompiling on the far side is cheaper
+        # than shipping numpy tables through pickle.
+        state = dict(self.__dict__)
+        state.pop("_compiled_cache", None)
+        return state
+
     def copy(self, name: str | None = None) -> "ProblemInstance":
         """Deep-copy the instance (PISA perturbations mutate copies)."""
         return ProblemInstance(

@@ -41,6 +41,16 @@ class Network:
 
     def __init__(self) -> None:
         self._graph = nx.Graph()
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumped by every structural or weight change.
+
+        :func:`repro.core.compiled.compile_instance` keys its per-instance
+        compilation cache on this, so stale timing tables are impossible.
+        """
+        return self._version
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -51,6 +61,7 @@ class Network:
         if math.isnan(speed) or speed <= 0:
             raise InvalidInstanceError(f"speed of node {node!r} must be positive, got {speed}")
         self._graph.add_node(node, weight=speed)
+        self._version += 1
 
     def set_strength(self, u: Node, v: Node, strength: float) -> None:
         """Set the communication strength of link ``{u, v}`` (>= 0, may be inf)."""
@@ -64,6 +75,7 @@ class Network:
         if u == v:
             raise InvalidInstanceError("self-link strengths are fixed at infinity")
         self._graph.add_edge(u, v, weight=strength)
+        self._version += 1
 
     @classmethod
     def from_speeds(
@@ -146,6 +158,7 @@ class Network:
         if node not in self._graph:
             raise InvalidInstanceError(f"unknown node {node!r}")
         self._graph.nodes[node]["weight"] = speed
+        self._version += 1
 
     @property
     def fastest_node(self) -> Node:

@@ -18,6 +18,7 @@ The makespan is ``max (r + c(t)/s(v))`` over all scheduled tasks.
 from __future__ import annotations
 
 import math
+from bisect import insort
 from collections.abc import Hashable, Iterator
 from dataclasses import dataclass
 
@@ -69,9 +70,7 @@ class Schedule:
                 f"end time of {task!r} precedes its start ({end} < {start})"
             )
         entry = ScheduledTask(start=float(start), end=float(end), task=task, node=node)
-        lst = self._by_node.setdefault(node, [])
-        lst.append(entry)
-        lst.sort()
+        insort(self._by_node.setdefault(node, []), entry)
         self._by_task[task] = entry
         return entry
 

@@ -15,14 +15,27 @@ Conventions
 * Start times may therefore be infinite.  An infinite makespan simply means
   "this scheduler routed positive data over a dead link"; makespan ratios
   treat it as an arbitrarily-bad outcome (the ``> 1000`` cells of Fig. 4).
+
+The builder runs on the array-compiled instance kernel
+(:mod:`repro.core.compiled`): timing tables are integer-indexed numpy
+arrays compiled once per instance and shared by every builder over it,
+and the batch queries (:meth:`ScheduleBuilder.est_all` /
+:meth:`~ScheduleBuilder.eft_all`) score **all** nodes of a task in one
+vectorized sweep.  Results are bit-identical to the scalar dict-based
+builder this replaced (frozen as
+:class:`repro.core.reference.ReferenceScheduleBuilder` and pinned by
+``tests/test_compiled.py``).
 """
 
 from __future__ import annotations
 
 import math
-from bisect import insort
+from bisect import bisect_left, insort
 from collections.abc import Hashable, Iterable
 
+import numpy as np
+
+from repro.core.compiled import compile_instance
 from repro.core.exceptions import SchedulingError
 from repro.core.instance import ProblemInstance
 from repro.core.schedule import Schedule, ScheduledTask
@@ -115,87 +128,71 @@ class ScheduleBuilder:
         False, tasks are appended after the node's last committed task
         (the non-insertion policy of MCT, ETF, FCP, ...).
 
-    Schedulers re-query the same (task, node) timings many times per
-    build (ETF re-scores every ready task every round), so the builder
-    snapshots the instance's weights at construction and memoizes
-    ``exec``/``comm``/data-ready lookups.  The instance must therefore not
-    be mutated while a builder is live — PISA's perturbations already
-    operate on copies, and schedulers build-and-discard.
+    The builder's timing tables come from the shared
+    :class:`~repro.core.compiled.CompiledInstance` kernel: one compilation
+    per instance, reused across builders (PISA's energy schedules every
+    candidate twice; a whole genetic population's elites re-schedule every
+    generation).  The instance must therefore not be mutated while a
+    builder is live — PISA's perturbations already operate on copies, and
+    schedulers build-and-discard.  (Mutation *between* builds is safe: the
+    compile cache is keyed on the graphs' mutation counters.)
+
+    Batch queries — :meth:`est_all`, :meth:`eft_all`,
+    :meth:`node_available_all` — return float64 arrays aligned with
+    ``instance.network.nodes`` and are bit-identical, element for element,
+    to the corresponding scalar query.
     """
 
     def __init__(self, instance: ProblemInstance, insertion: bool = True) -> None:
-        instance.validate()
+        compiled = compile_instance(instance)  # validates on first compile
         self.instance = instance
         self.insertion = insertion
-        task_graph = instance.task_graph
-        network = instance.network
-        self._tasks: tuple[Task, ...] = task_graph.tasks
-        self._nodes: tuple[Node, ...] = network.nodes
+        self.compiled = compiled
+        self._tasks: tuple[Task, ...] = compiled.tasks
+        self._nodes: tuple[Node, ...] = compiled.nodes
+        self._task_id = compiled.task_id
+        self._node_id = compiled.node_id
+        self._exec_list = compiled.exec_list
         self._entries: dict[Node, list[ScheduledTask]] = {v: [] for v in self._nodes}
         self._placed: dict[Task, ScheduledTask] = {}
-        self._preds: dict[Task, tuple[Task, ...]] = {
-            t: task_graph.predecessors(t) for t in self._tasks
-        }
-        self._succs: dict[Task, tuple[Task, ...]] = {
-            t: task_graph.successors(t) for t in self._tasks
-        }
         self._remaining_preds: dict[Task, int] = {
-            t: len(self._preds[t]) for t in self._tasks
+            t: len(ps) for t, ps in zip(self._tasks, compiled.pred_ids)
         }
-        # Weight snapshots + memo tables for the hot timing queries.
-        self._cost: dict[Task, float] = {t: task_graph.cost(t) for t in self._tasks}
-        self._speed: dict[Node, float] = {v: network.speed(v) for v in self._nodes}
-        self._data: dict[tuple[Task, Task], float] = {
-            (u, v): size for u, v, size in task_graph.iter_dependencies()
-        }
-        self._strength: dict[tuple[Node, Node], float] = {}
-        for u, v in network.links:
-            s = network.strength(u, v)
-            self._strength[(u, v)] = s
-            self._strength[(v, u)] = s
-        self._exec_cache: dict[tuple[Task, Node], float] = {}
-        self._comm_cache: dict[tuple[Task, Task, Node, Node], float] = {}
-        self._drt_cache: dict[tuple[Task, Node], float] = {}
+        #: Sorted task ids of the current ready set (insertion order ==
+        #: id order, so the incremental list reproduces the full rescan).
+        self._ready_ids: list[int] = [
+            tid for tid, ps in enumerate(compiled.pred_ids) if not ps
+        ]
+        #: entry ids of placed tasks, by task id (None while unplaced).
+        self._placed_vid: list[int | None] = [None] * len(self._tasks)
+        #: Finish time of the last committed task per node id.
+        self._avail = np.zeros(len(self._nodes))
+        #: Memoized data-ready rows, by task id (immutable once computed).
+        self._drt_rows: dict[int, np.ndarray] = {}
+        self._makespan = 0.0
 
     # ------------------------------------------------------------------ #
     # Memoized timing primitives (semantics of exec_time / comm_time)
     # ------------------------------------------------------------------ #
     def _exec_time(self, task: Task, node: Node) -> float:
-        key = (task, node)
-        cached = self._exec_cache.get(key)
-        if cached is not None:
-            return cached
-        try:
-            value = self._cost[task] / self._speed[node]
-        except KeyError:
-            # Unknown task/node: defer to the uncached path for its error.
-            value = exec_time(self.instance, task, node)
-        self._exec_cache[key] = value
-        return value
+        tid = self._task_id.get(task)
+        vid = self._node_id.get(node)
+        if tid is None or vid is None:
+            # Unknown task/node: defer to the reference path for its error.
+            return exec_time(self.instance, task, node)
+        return self._exec_list[tid][vid]
 
     def _comm_time(self, src_task: Task, dst_task: Task, src_node: Node, dst_node: Node) -> float:
-        key = (src_task, dst_task, src_node, dst_node)
-        cached = self._comm_cache.get(key)
-        if cached is not None:
-            return cached
-        if src_node == dst_node:
-            value = 0.0
-        else:
-            data = self._data.get((src_task, dst_task))
-            strength = self._strength.get((src_node, dst_node))
-            if data is None or strength is None:
-                # Unknown dependency/link: defer for the proper error.
-                value = comm_time(self.instance, src_task, dst_task, src_node, dst_node)
-            elif data == 0.0:
-                value = 0.0
-            elif strength == 0.0:
-                value = math.inf
-            elif math.isinf(strength):
-                value = 0.0
-            else:
-                value = data / strength
-        self._comm_cache[key] = value
-        return value
+        try:
+            return self.compiled.comm(
+                self._task_id[src_task],
+                self._task_id[dst_task],
+                self._node_id[src_node],
+                self._node_id[dst_node],
+            )
+        except KeyError:
+            # Unknown dependency/link: defer for the proper error.
+            return comm_time(self.instance, src_task, dst_task, src_node, dst_node)
 
     # ------------------------------------------------------------------ #
     # State
@@ -215,13 +212,11 @@ class ScheduleBuilder:
         """Unscheduled tasks whose predecessors are all scheduled.
 
         Order matches task-graph insertion order, so iteration is
-        deterministic.
+        deterministic.  Maintained incrementally by :meth:`commit` (no
+        full rescan per round).
         """
-        return [
-            t
-            for t in self._tasks
-            if t not in self._placed and self._remaining_preds[t] == 0
-        ]
+        tasks = self._tasks
+        return [tasks[tid] for tid in self._ready_ids]
 
     def placement(self, task: Task) -> ScheduledTask:
         """The committed entry for ``task`` (raises if not yet committed)."""
@@ -235,23 +230,108 @@ class ScheduleBuilder:
         entries = self._entries[node]
         return entries[-1].end if entries else 0.0
 
+    def node_available_all(self) -> np.ndarray:
+        """Per-node finish times of the last committed tasks.
+
+        Aligned with ``instance.network.nodes``.  A live, read-only view:
+        it reflects subsequent commits, so callers must not mutate it.
+        """
+        return self._avail
+
+    @property
+    def node_str_order(self) -> np.ndarray:
+        """Rank of each node index under ``str(node)`` ordering.
+
+        For vectorizing ``min(nodes, key=lambda v: (score(v), str(v)))``
+        via :func:`repro.core.compiled.argmin_ranked`.
+        """
+        return self.compiled.node_str_order
+
     # ------------------------------------------------------------------ #
     # Timing queries
     # ------------------------------------------------------------------ #
+    def _drt_row(self, tid: int) -> np.ndarray:
+        """Data-ready times of task ``tid`` on every node (memoized).
+
+        The sequential ``max`` fold over predecessors is replicated with
+        element-wise ``np.maximum`` in the same order, so every entry is
+        bit-identical to the scalar reference.  Computable (and therefore
+        cached) only once all predecessors are committed; committed
+        placements are immutable, so the row never goes stale.
+        """
+        row = self._drt_rows.get(tid)
+        if row is not None:
+            return row
+        compiled = self.compiled
+        if compiled.exec_has_nan:
+            # NaN finish times (validate()-legal inf cost / inf speed)
+            # interact with np.maximum differently from the scalar max
+            # fold (which ignores a NaN that arrives after a larger
+            # value); replicate the scalar fold exactly.
+            row = self._drt_row_degenerate(tid)
+            self._drt_rows[tid] = row
+            return row
+        row = np.zeros(len(self._nodes))
+        placed_vid = self._placed_vid
+        row_has_zero = compiled.strength_row_has_zero
+        strength = compiled.strength
+        for pid, data in compiled.pred_edges[tid]:
+            src_vid = placed_vid[pid]
+            if src_vid is None:
+                raise SchedulingError(
+                    f"cannot evaluate task {self._tasks[tid]!r}: "
+                    f"predecessor {self._tasks[pid]!r} unscheduled"
+                )
+            end = self._placed[self._tasks[pid]].end
+            if data == 0.0:
+                np.maximum(row, end, out=row)
+            elif not (row_has_zero[src_vid] or math.isinf(data)):
+                # Hot path: finite data over live links divides clean
+                # (x / inf == 0 covers the diagonal and infinite links).
+                np.maximum(row, end + data / strength[src_vid], out=row)
+            else:
+                # Dead links / infinite data: the convention corner cases
+                # live in one place, CompiledInstance.comm_row.
+                np.maximum(row, end + compiled.comm_row(data, src_vid), out=row)
+        self._drt_rows[tid] = row
+        return row
+
+    def _drt_row_degenerate(self, tid: int) -> np.ndarray:
+        """Per-node scalar data-ready fold for NaN-degenerate instances."""
+        compiled = self.compiled
+        placed_vid = self._placed_vid
+        edges = []
+        for pid, data in compiled.pred_edges[tid]:
+            src_vid = placed_vid[pid]
+            if src_vid is None:
+                raise SchedulingError(
+                    f"cannot evaluate task {self._tasks[tid]!r}: "
+                    f"predecessor {self._tasks[pid]!r} unscheduled"
+                )
+            edges.append((pid, src_vid, self._placed[self._tasks[pid]].end))
+        row = np.empty(len(self._nodes))
+        for vid in range(len(self._nodes)):
+            ready = 0.0
+            for pid, src_vid, end in edges:
+                ready = max(ready, end + compiled.comm(pid, tid, src_vid, vid))
+            row[vid] = ready
+        return row
+
     def data_ready_time(self, task: Task, node: Node) -> float:
         """Earliest time all inputs of ``task`` are available at ``node``.
 
         Max over scheduled predecessors of (finish + communication); all
-        predecessors must already be committed.  Committed placements are
-        immutable, so once computable the value is memoized.
+        predecessors must already be committed.
         """
-        key = (task, node)
-        cached = self._drt_cache.get(key)
-        if cached is not None:
-            return cached
-        preds = self._preds.get(task)
-        if preds is None:
-            preds = self.instance.task_graph.predecessors(task)  # unknown task: error
+        tid = self._task_id.get(task)
+        vid = self._node_id.get(node)
+        if tid is None or vid is None:
+            return self._data_ready_time_fallback(task, node)
+        return float(self._drt_row(tid)[vid])
+
+    def _data_ready_time_fallback(self, task: Task, node: Node) -> float:
+        """Unknown task/node: the scalar reference path, for its errors."""
+        preds = self.instance.task_graph.predecessors(task)  # unknown task: error
         ready = 0.0
         for pred in preds:
             entry = self._placed.get(pred)
@@ -261,7 +341,6 @@ class ScheduleBuilder:
                 )
             arrival = entry.end + self._comm_time(pred, task, entry.node, node)
             ready = max(ready, arrival)
-        self._drt_cache[key] = ready
         return ready
 
     def enabling_parent(self, task: Task, node: Node) -> Task | None:
@@ -270,9 +349,12 @@ class ScheduleBuilder:
         Returns None for source tasks.
         """
         best: tuple[float, Task] | None = None
-        preds = self._preds.get(task)
-        if preds is None:
-            preds = self.instance.task_graph.predecessors(task)  # unknown task: error
+        tid = self._task_id.get(task)
+        preds = (
+            self.compiled.preds[tid]
+            if tid is not None
+            else self.instance.task_graph.predecessors(task)  # unknown task: error
+        )
         for pred in preds:
             entry = self._placed.get(pred)
             if entry is None:
@@ -297,9 +379,81 @@ class ScheduleBuilder:
             return math.inf
         return start + self._exec_time(task, node)
 
+    def est_all(self, task: Task) -> np.ndarray:
+        """Earliest starts of ``task`` on every node, in one sweep.
+
+        Aligned with ``instance.network.nodes``; each element equals
+        ``est(task, node)`` bit-for-bit.
+        """
+        tid = self._task_id.get(task)
+        if tid is None:
+            raise SchedulingError(f"unknown task {task!r}")
+        if self.compiled.exec_has_nan:
+            # Scalar fallback: NaN durations/availabilities break the
+            # vectorized maximum's equivalence with Python's max.
+            return np.array([self.est(task, v) for v in self._nodes])
+        row = self._drt_row(tid)
+        if not self.insertion:
+            # Non-insertion earliest slot is max(ready, last end) — one
+            # vectorized maximum (infinite ready times stay infinite).
+            return np.maximum(row, self._avail)
+        # Insertion gap scans are per-node Python; tolist() unboxes the
+        # ready times once instead of paying np.float64 boxing per index.
+        exec_row = self._exec_list[tid]
+        ready_list = row.tolist()
+        entries_map = self._entries
+        out = np.empty(len(self._nodes))
+        for vid, node in enumerate(self._nodes):
+            ready = ready_list[vid]
+            if not entries_map[node]:
+                out[vid] = ready
+            else:
+                out[vid] = self._earliest_slot(node, ready, exec_row[vid])
+        return out
+
+    def eft_all(self, task: Task) -> np.ndarray:
+        """Earliest finishes of ``task`` on every node, in one sweep."""
+        tid = self._task_id.get(task)
+        if tid is None:
+            raise SchedulingError(f"unknown task {task!r}")
+        if self.compiled.exec_has_nan:
+            # Scalar fallback: eft() short-circuits an infinite start to
+            # inf before adding the (possibly NaN) execution time.
+            return np.array([self.eft(task, v) for v in self._nodes])
+        # est + exec element-wise: an infinite start stays infinite, and
+        # finite sums are the identical IEEE addition of the scalar path.
+        return self.est_all(task) + self.compiled.exec_tbl[tid]
+
+    def est_all_many(self, tasks: list[Task]) -> np.ndarray:
+        """Earliest starts of several tasks on every node: one (R, |V|) sweep.
+
+        Row ``i`` equals ``est_all(tasks[i])`` bit-for-bit.  The whole
+        ready set of a list scheduler's round is scored with two
+        vectorized operations (non-insertion policy; the insertion
+        policy's gap scans stay per-task).
+        """
+        if self.insertion or self.compiled.exec_has_nan:
+            return np.array([self.est_all(task) for task in tasks])
+        task_id = self._task_id
+        stack = np.array([self._drt_row(task_id[task]) for task in tasks])
+        np.maximum(stack, self._avail, out=stack)
+        return stack
+
+    def eft_all_many(self, tasks: list[Task]) -> np.ndarray:
+        """Earliest finishes of several tasks on every node, one sweep."""
+        if self.compiled.exec_has_nan:
+            return np.array([self.eft_all(task) for task in tasks])
+        stack = self.est_all_many(tasks)
+        stack += self.compiled.exec_tbl[[self._task_id[task] for task in tasks]]
+        return stack
+
     def best_node_by_eft(self, task: Task, nodes: Iterable[Node] | None = None) -> Node:
         """Node minimizing EFT for ``task`` (first wins on ties)."""
-        candidates = list(nodes) if nodes is not None else list(self._nodes)
+        if nodes is None:
+            # Batched sweep; argmin keeps the first minimum, matching
+            # the scalar min() over nodes in insertion order.
+            return self._nodes[int(self.eft_all(task).argmin())]
+        candidates = list(nodes)
         if not candidates:
             raise SchedulingError("no candidate nodes")
         return min(candidates, key=lambda v: (self.eft(task, v),))
@@ -360,16 +514,32 @@ class ScheduleBuilder:
                     )
         end = start + duration if not math.isinf(start) else math.inf
         entry = ScheduledTask(start=float(start), end=float(end), task=task, node=node)
-        insort(self._entries[node], entry)
+        entries = self._entries[node]
+        insort(entries, entry)
         self._placed[task] = entry
-        for succ in self._succs[task]:
-            self._remaining_preds[succ] -= 1
+        tid = self._task_id[task]
+        vid = self._node_id[node]
+        self._placed_vid[tid] = vid
+        self._avail[vid] = entries[-1].end
+        # Running maximum, seeded (not folded from 0.0) by the first
+        # entry so a NaN end poisons it exactly like max() over the ends.
+        if len(self._placed) == 1 or entry.end > self._makespan:
+            self._makespan = entry.end
+        # Incremental ready set: drop the committed task, add successors
+        # whose last predecessor this was (sorted insert keeps id order).
+        del self._ready_ids[bisect_left(self._ready_ids, tid)]
+        remaining = self._remaining_preds
+        for sid in self.compiled.succ_ids[tid]:
+            succ = self._tasks[sid]
+            left = remaining[succ] - 1
+            remaining[succ] = left
+            if left == 0:
+                insort(self._ready_ids, sid)
         return entry
 
     def makespan(self) -> float:
-        """Makespan of the committed entries so far."""
-        ends = [e.end for e in self._placed.values()]
-        return max(ends) if ends else 0.0
+        """Makespan of the committed entries so far (running maximum)."""
+        return self._makespan
 
     def schedule(self) -> Schedule:
         """Materialize the final :class:`Schedule`; all tasks must be committed."""

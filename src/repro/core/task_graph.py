@@ -48,9 +48,19 @@ class TaskGraph:
 
     def __init__(self, graph: nx.DiGraph | None = None) -> None:
         self._graph = nx.DiGraph()
+        self._version = 0
         if graph is not None:
             self._graph = graph.copy()
             self.validate()
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumped by every structural or weight change.
+
+        :func:`repro.core.compiled.compile_instance` keys its per-instance
+        compilation cache on this, so stale timing tables are impossible.
+        """
+        return self._version
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -59,6 +69,7 @@ class TaskGraph:
         """Add a task with compute cost ``c(t) = cost`` (must be >= 0)."""
         self._check_weight(cost, f"cost of task {task!r}")
         self._graph.add_node(task, weight=float(cost))
+        self._version += 1
 
     def add_dependency(self, src: Task, dst: Task, data_size: float) -> None:
         """Add dependency ``src -> dst`` with data size ``c(src, dst)``.
@@ -79,12 +90,14 @@ class TaskGraph:
             raise InvalidInstanceError(
                 f"dependency {src!r}->{dst!r} would create a cycle"
             )
+        self._version += 1
 
     def remove_dependency(self, src: Task, dst: Task) -> None:
         """Remove the dependency ``src -> dst`` (used by PISA's perturbations)."""
         if not self._graph.has_edge(src, dst):
             raise InvalidInstanceError(f"no dependency {src!r}->{dst!r} to remove")
         self._graph.remove_edge(src, dst)
+        self._version += 1
 
     @classmethod
     def from_dicts(
@@ -142,12 +155,14 @@ class TaskGraph:
         if task not in self._graph:
             raise InvalidInstanceError(f"unknown task {task!r}")
         self._graph.nodes[task]["weight"] = float(cost)
+        self._version += 1
 
     def set_data_size(self, src: Task, dst: Task, data_size: float) -> None:
         self._check_weight(data_size, f"data size of dependency {src!r}->{dst!r}")
         if not self._graph.has_edge(src, dst):
             raise InvalidInstanceError(f"unknown dependency {src!r}->{dst!r}")
         self._graph.edges[src, dst]["weight"] = float(data_size)
+        self._version += 1
 
     def predecessors(self, task: Task) -> tuple[Task, ...]:
         """Tasks whose output ``task`` requires."""

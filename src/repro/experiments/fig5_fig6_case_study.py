@@ -89,12 +89,15 @@ def _describe(result: PISAResult) -> list[str]:
 
 def _default_config(full: bool | None) -> PISAConfig:
     """The case study is only two pairs, so even the reduced scale can
-    afford a meatier schedule than the 210-pair Fig. 4 default."""
+    afford a meatier schedule than the 210-pair Fig. 4 default.  This is
+    the trajectory experiment, so it opts into the full per-iteration
+    annealing history (work units default to history-off)."""
     if is_full_scale(full):
-        return PISAConfig(annealing=AnnealingConfig(), restarts=5)
+        return PISAConfig(annealing=AnnealingConfig(), restarts=5, keep_history=True)
     return PISAConfig(
         annealing=AnnealingConfig(t_max=10.0, t_min=0.1, max_iterations=250, alpha=0.98),
         restarts=3,
+        keep_history=True,
     )
 
 

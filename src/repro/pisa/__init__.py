@@ -34,6 +34,7 @@ from repro.pisa.constraints import (
 from repro.pisa.initial import random_chain_instance
 from repro.pisa.pisa import PISA, PISAConfig, PISAResult, PairwiseResult, pairwise_comparison
 from repro.pisa.app_specific import PAPER_CCRS, AppSpecificSpace, app_specific_pairwise
+from repro.pisa.batch import batch_energy
 from repro.pisa.genetic import GeneticConfig, GeneticInstanceFinder, GeneticResult
 from repro.pisa.archive import AdversarialArchive, AdversarialEntry
 
@@ -65,6 +66,7 @@ __all__ = [
     "PAPER_CCRS",
     "AppSpecificSpace",
     "app_specific_pairwise",
+    "batch_energy",
     "GeneticConfig",
     "GeneticInstanceFinder",
     "GeneticResult",

@@ -26,6 +26,7 @@ import numpy as np
 from repro.benchmarking.metrics import makespan_ratio
 from repro.core.instance import ProblemInstance
 from repro.core.scheduler import Scheduler, get_scheduler
+from repro.pisa.batch import batch_energy
 from repro.pisa.constraints import (
     SearchConstraints,
     apply_initial_constraints,
@@ -128,7 +129,7 @@ class GeneticInstanceFinder:
         for _ in range(cfg.population_size - 1):
             population.append(self.perturbations.perturb(seed_instance, gen))
 
-        fitness = [self.energy(ind) for ind in population]
+        fitness = batch_energy(self.target, self.baseline, population).tolist()
         best_ever_idx = max(range(cfg.population_size), key=lambda i: fitness[i])
         best_instance = population[best_ever_idx]
         best_ratio = fitness[best_ever_idx]
@@ -152,7 +153,10 @@ class GeneticInstanceFinder:
                     child = self.perturbations.perturb(child, gen)
                 next_population.append(child)
             population = next_population
-            fitness = [self.energy(ind) for ind in population]
+            # Batched per-generation evaluation: one compile per individual
+            # shared by the target and baseline schedules (elites carry
+            # their compilation across generations).
+            fitness = batch_energy(self.target, self.baseline, population).tolist()
             gen_best_idx = max(range(cfg.population_size), key=lambda i: fitness[i])
             if fitness[gen_best_idx] > best_ratio:
                 best_ratio = fitness[gen_best_idx]

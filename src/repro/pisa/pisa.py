@@ -39,10 +39,18 @@ __all__ = ["PISAConfig", "PISAResult", "PISA", "pairwise_comparison", "PairwiseR
 
 @dataclass(frozen=True)
 class PISAConfig:
-    """PISA run parameters (defaults are the paper's, Section VI)."""
+    """PISA run parameters (defaults are the paper's, Section VI).
+
+    ``keep_history`` opts a run into per-iteration
+    :class:`~repro.pisa.annealing.AnnealingStep` records (459 allocations
+    per restart at the paper's schedule).  The ratios are unaffected, so
+    runtime work units default to history-off; the Fig. 5/6 trajectory
+    analyses (and ``SweepSpec`` runs that request it) switch it on.
+    """
 
     annealing: AnnealingConfig = field(default_factory=AnnealingConfig)
     restarts: int = 5
+    keep_history: bool = False
 
     def __post_init__(self) -> None:
         if self.restarts < 1:
@@ -130,7 +138,12 @@ class PISA:
 
     # ------------------------------------------------------------------ #
     def energy(self, instance: ProblemInstance) -> float:
-        """Makespan ratio of target over baseline on ``instance``."""
+        """Makespan ratio of target over baseline on ``instance``.
+
+        Both schedules run over the instance's shared
+        :class:`~repro.core.compiled.CompiledInstance` kernel — the
+        candidate is compiled once and scheduled twice.
+        """
         target_ms = self.target.schedule(instance).makespan
         baseline_ms = self.baseline.schedule(instance).makespan
         return makespan_ratio(target_ms, baseline_ms)
@@ -147,6 +160,7 @@ class PISA:
             energy=self.energy,
             perturb=self.perturbations.perturb,
             config=self.config.annealing,
+            keep_history=self.config.keep_history,
         )
         initial = apply_initial_constraints(self.initial_factory(gen), self.constraints)
         return annealer.run(initial, rng=gen)

@@ -13,8 +13,10 @@ ratios at any ``jobs`` and across interrupt/resume boundaries.
 
 Checkpointed unit results keep the adversarial instance (via
 ``ProblemInstance.to_dict``) and the summary statistics of the annealing
-run; the per-iteration history is dropped from the JSONL record (resumed
-pairs have empty ``history`` lists).
+run.  Work units run history-off by default (``PISAConfig.keep_history``
+is False), so JSONL records are lean; runs that opt into full histories
+for the Fig. 5/6 trajectory analyses get them serialized and restored
+across resume boundaries too.
 """
 
 from __future__ import annotations
@@ -26,7 +28,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.instance import ProblemInstance
-from repro.pisa.annealing import AnnealingResult
+from repro.pisa.annealing import AnnealingResult, AnnealingStep
 from repro.pisa.constraints import SearchConstraints
 from repro.pisa.perturbations import PerturbationSet
 from repro.pisa.pisa import PISA, PairwiseResult, PISAConfig, PISAResult
@@ -86,9 +88,15 @@ def run_pisa_restarts(
 # Checkpoint encoding
 # ---------------------------------------------------------------------- #
 def encode_unit_result(result: PairwiseUnitResult) -> dict:
-    """JSON payload of a unit result (drops the per-iteration history)."""
+    """JSON payload of a unit result.
+
+    Work units run history-off by default, so most records stay lean;
+    when a run opts into ``keep_history`` (``PISAConfig.keep_history`` /
+    the spec's ``config.keep_history``) the per-iteration steps are
+    serialized too, so resumed trajectory runs keep their full fidelity.
+    """
     ann = result.annealing
-    return {
+    payload = {
         "target": result.target,
         "baseline": result.baseline,
         "restart": result.restart,
@@ -97,6 +105,9 @@ def encode_unit_result(result: PairwiseUnitResult) -> dict:
         "iterations": ann.iterations,
         "best_instance": ann.best_state.to_dict(),
     }
+    if ann.history:
+        payload["history"] = [asdict(step) for step in ann.history]
+    return payload
 
 
 def decode_unit_result(payload: dict) -> PairwiseUnitResult:
@@ -109,7 +120,7 @@ def decode_unit_result(payload: dict) -> PairwiseUnitResult:
             best_energy=payload["best_energy"],
             initial_energy=payload["initial_energy"],
             iterations=payload["iterations"],
-            history=[],
+            history=[AnnealingStep(**step) for step in payload.get("history", ())],
         ),
     )
 

@@ -35,11 +35,13 @@ from __future__ import annotations
 import math
 
 import networkx as nx
+import numpy as np
 
+from repro.core.compiled import argmin_ranked, compile_instance
 from repro.core.instance import ProblemInstance
 from repro.core.schedule import Schedule
 from repro.core.scheduler import Scheduler, SchedulerInfo, register_scheduler
-from repro.core.simulator import ScheduleBuilder, exec_time
+from repro.core.simulator import ScheduleBuilder
 
 __all__ = ["BILScheduler"]
 
@@ -60,65 +62,69 @@ class BILScheduler(Scheduler):
 
     def schedule(self, instance: ProblemInstance) -> Schedule:
         builder = ScheduleBuilder(instance, insertion=False)
+        compiled = compile_instance(instance)
         nodes = list(instance.network.nodes)
-        bil = self._static_bil(instance, nodes)
+        ranks = builder.node_str_order
+        bil = self._static_bil(instance)
         m = len(nodes)
         while True:
             ready = builder.ready_tasks()
             if not ready:
                 break
             k = len(ready)
-            bil_star: dict[object, dict[object, float]] = {}
-            for task in ready:
-                bil_star[task] = {}
-                for node in nodes:
-                    avail = max(builder.data_ready_time(task, node), builder.node_available(node))
-                    bil_star[task][node] = avail + bil[task][node]
+            # BIL*(t, v) = max(data-ready, available) + BIL(t, v): the max
+            # is exactly the non-insertion EST, one batched sweep per task.
+            bil_star = {task: builder.est_all(task) + bil[task] for task in ready}
             # Priority: the min(k, m)-th smallest BIL* of each task.
             idx = min(k, m) - 1
             priority = {
-                task: sorted(bil_star[task].values())[idx] for task in ready
+                task: float(np.sort(bil_star[task])[idx]) for task in ready
             }
             chosen = max(ready, key=lambda t: (priority[t], str(t)))
             # Node choice: minimize BIL** (== BIL* while tasks <= nodes).
+            # The scalar rule short-circuits an infinite BIL* to key inf
+            # before touching the penalty term; mask the same way so an
+            # infinite execution time (inf * penalty=0 is NaN) cannot
+            # leak into the comparison.
             penalty = max(k / m - 1.0, 0.0)
-
-            def node_key(v):
-                star = bil_star[chosen][v]
-                if math.isinf(star):
-                    return (math.inf, str(v))
-                return (star + exec_time(instance, chosen, v) * penalty, str(v))
-
-            builder.commit(chosen, min(nodes, key=node_key))
+            star_row = bil_star[chosen]
+            with np.errstate(invalid="ignore"):
+                key_row = star_row + compiled.exec_tbl[compiled.task_id[chosen]] * penalty
+            key_row[np.isinf(star_row)] = np.inf
+            builder.commit(chosen, nodes[argmin_ranked(key_row, ranks)])
         return builder.schedule()
 
     @staticmethod
-    def _static_bil(instance: ProblemInstance, nodes: list) -> dict:
-        """Bottom-up BIL(t, v) table."""
+    def _static_bil(instance: ProblemInstance) -> dict:
+        """Bottom-up BIL(t, v) table, one row (all nodes) per task.
+
+        The per-successor inner minimum over "move" targets is one matrix
+        sweep: ``(bil_row + data / strength).min(axis=1)``.  The infinite
+        diagonal of the strength matrix makes the stay-on-v term its own
+        zero-cost move candidate, so the explicit ``min(stay, move)`` of
+        the scalar formulation is subsumed (and kept for exactness).
+        """
         tg = instance.task_graph
-        net = instance.network
-        bil: dict[object, dict[object, float]] = {}
+        compiled = compile_instance(instance)
+        strength = compiled.strength
+        bil: dict[object, np.ndarray] = {}
         for task in reversed(list(nx.topological_sort(tg.graph))):
-            bil[task] = {}
-            for v in nodes:
-                succ_terms = []
-                for s in tg.successors(task):
-                    stay = bil[s][v]
-                    move = math.inf
-                    data = tg.data_size(task, s)
-                    for v2 in nodes:
-                        if v2 == v:
-                            continue
-                        strength = net.strength(v, v2)
-                        if strength == 0.0:
-                            comm = math.inf if data > 0 else 0.0
-                        elif math.isinf(strength):
-                            comm = 0.0
-                        else:
-                            comm = data / strength
-                        move = min(move, bil[s][v2] + comm)
-                    succ_terms.append(min(stay, move))
-                bil[task][v] = exec_time(instance, task, v) + (
-                    max(succ_terms) if succ_terms else 0.0
-                )
+            tid = compiled.task_id[task]
+            acc = None
+            for s in tg.successors(task):
+                stay_row = bil[s]
+                data = compiled.data[(tid, compiled.task_id[s])]
+                if data == 0.0:
+                    # Zero data moves for free: move = min(bil) everywhere.
+                    term = np.minimum(stay_row, stay_row.min())
+                else:
+                    with np.errstate(divide="ignore", invalid="ignore"):
+                        comm = data / strength
+                    if math.isinf(data):
+                        # inf/inf is NaN; infinite links transfer for free.
+                        comm[np.isinf(strength)] = 0.0
+                    term = np.minimum(stay_row, (stay_row[None, :] + comm).min(axis=1))
+                acc = term if acc is None else np.maximum(acc, term)
+            exec_row = compiled.exec_tbl[tid]
+            bil[task] = exec_row + acc if acc is not None else exec_row.copy()
         return bil

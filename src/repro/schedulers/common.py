@@ -14,8 +14,8 @@ from collections.abc import Hashable
 
 import networkx as nx
 
+from repro.core.compiled import compile_instance
 from repro.core.instance import ProblemInstance
-from repro.core.simulator import mean_comm_time, mean_exec_time
 
 __all__ = [
     "upward_rank",
@@ -26,6 +26,27 @@ __all__ = [
 ]
 
 Task = Hashable
+
+
+def _mean_exec(instance: ProblemInstance, task: Task) -> float:
+    """Compiled-cache route to :func:`repro.core.simulator.mean_exec_time`.
+
+    The compiled kernel memoizes the reference function per instance, so
+    rank computations stop paying O(|V|) per query.  (The reference
+    context in :mod:`repro.core.reference` patches this back to the
+    uncached function.)
+    """
+    return compile_instance(instance).mean_exec(task)
+
+
+def _mean_comm(instance: ProblemInstance, src: Task, dst: Task) -> float:
+    """Compiled-cache route to :func:`repro.core.simulator.mean_comm_time`."""
+    return compile_instance(instance).mean_comm(src, dst)
+
+
+def _topological_order(instance: ProblemInstance) -> list[Task]:
+    """Compiled-cache route to :meth:`TaskGraph.topological_order`."""
+    return compile_instance(instance).topological_order()
 
 
 def upward_rank(instance: ProblemInstance) -> dict[Task, float]:
@@ -40,10 +61,10 @@ def upward_rank(instance: ProblemInstance) -> dict[Task, float]:
     ranks: dict[Task, float] = {}
     for task in reversed(list(nx.topological_sort(graph))):
         succ_part = max(
-            (mean_comm_time(instance, task, s) + ranks[s] for s in graph.successors(task)),
+            (_mean_comm(instance, task, s) + ranks[s] for s in graph.successors(task)),
             default=0.0,
         )
-        ranks[task] = mean_exec_time(instance, task) + succ_part
+        ranks[task] = _mean_exec(instance, task) + succ_part
     return ranks
 
 
@@ -59,7 +80,7 @@ def downward_rank(instance: ProblemInstance) -> dict[Task, float]:
     for task in nx.topological_sort(graph):
         ranks[task] = max(
             (
-                ranks[p] + mean_exec_time(instance, p) + mean_comm_time(instance, p, task)
+                ranks[p] + _mean_exec(instance, p) + _mean_comm(instance, p, task)
                 for p in graph.predecessors(task)
             ),
             default=0.0,
@@ -77,7 +98,7 @@ def static_level(instance: ProblemInstance) -> dict[Task, float]:
     levels: dict[Task, float] = {}
     for task in reversed(list(nx.topological_sort(graph))):
         succ_part = max((levels[s] for s in graph.successors(task)), default=0.0)
-        levels[task] = mean_exec_time(instance, task) + succ_part
+        levels[task] = _mean_exec(instance, task) + succ_part
     return levels
 
 
@@ -89,7 +110,7 @@ def priority_order(instance: ProblemInstance, ranks: dict[Task, float]) -> list[
     weights (allowed by the paper's clipped Gaussians) create rank ties
     between a task and its descendant.
     """
-    topo_index = {t: i for i, t in enumerate(instance.task_graph.topological_order())}
+    topo_index = {t: i for i, t in enumerate(_topological_order(instance))}
     return sorted(instance.task_graph.tasks, key=lambda t: (-ranks[t], topo_index[t]))
 
 

@@ -3,6 +3,10 @@
 Duplex simply executes both heuristics and returns the schedule with the
 smaller makespan, so by construction its makespan equals
 ``min(MinMin, MaxMin)`` — an invariant our tests check exactly.
+
+Both passes run over the same :class:`repro.core.compiled.CompiledInstance`
+kernel (compile once, schedule twice), and each inherits MinMin/MaxMin's
+batched EFT sweeps.
 """
 
 from __future__ import annotations

@@ -23,19 +23,25 @@ from __future__ import annotations
 
 import heapq
 
+from repro.core.compiled import argmin_ranked, compile_instance
 from repro.core.instance import ProblemInstance
 from repro.core.schedule import Schedule
 from repro.core.scheduler import Scheduler, SchedulerInfo, register_scheduler
-from repro.core.simulator import ScheduleBuilder, mean_comm_time
+from repro.core.simulator import ScheduleBuilder
 from repro.schedulers.common import upward_rank
 
 __all__ = ["FCPScheduler", "candidate_nodes"]
 
 
 def candidate_nodes(builder: ScheduleBuilder, task) -> list:
-    """FCP/FLB's restricted candidate set: first-idle node + enabling node."""
+    """FCP/FLB's restricted candidate set: first-idle node + enabling node.
+
+    The first-idle node comes from one vectorized availability sweep; the
+    ranked argmin reproduces the ``(available, str(node))`` tie-break of
+    the scalar ``min()`` this replaced.
+    """
     nodes = builder.instance.network.nodes
-    first_idle = min(nodes, key=lambda v: (builder.node_available(v), str(v)))
+    first_idle = nodes[argmin_ranked(builder.node_available_all(), builder.node_str_order)]
     candidates = [first_idle]
     enabling = _enabling_node(builder, task)
     if enabling is not None and enabling != first_idle:
@@ -45,10 +51,11 @@ def candidate_nodes(builder: ScheduleBuilder, task) -> list:
 
 def _enabling_node(builder: ScheduleBuilder, task):
     """Node of the parent whose message (by average comm time) arrives last."""
+    compiled = compile_instance(builder.instance)
     best = None
     for pred in builder.instance.task_graph.predecessors(task):
         entry = builder.placement(pred)
-        arrival = entry.end + mean_comm_time(builder.instance, pred, task)
+        arrival = entry.end + compiled.mean_comm(pred, task)
         if best is None or arrival > best[0]:
             best = (arrival, entry.node)
     return best[1] if best else None

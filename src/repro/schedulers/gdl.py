@@ -23,12 +23,11 @@ formulation assumes a homogeneous interconnect when computing levels.
 
 from __future__ import annotations
 
-import math
-
+from repro.core.compiled import argmin_ranked, compile_instance
 from repro.core.instance import ProblemInstance
 from repro.core.schedule import Schedule
 from repro.core.scheduler import Scheduler, SchedulerInfo, register_scheduler
-from repro.core.simulator import ScheduleBuilder, exec_time, mean_exec_time
+from repro.core.simulator import ScheduleBuilder
 from repro.schedulers.common import static_level
 
 __all__ = ["GDLScheduler"]
@@ -50,23 +49,29 @@ class GDLScheduler(Scheduler):
 
     def schedule(self, instance: ProblemInstance) -> Schedule:
         builder = ScheduleBuilder(instance, insertion=False)
+        compiled = compile_instance(instance)
         levels = static_level(instance)
-        mean_w = {t: mean_exec_time(instance, t) for t in instance.task_graph.tasks}
+        mean_w = {t: compiled.mean_exec(t) for t in instance.task_graph.tasks}
         nodes = instance.network.nodes
+        ranks = builder.node_str_order
         while True:
             ready = builder.ready_tasks()
             if not ready:
                 break
             best: tuple[float, str, str, object, object] | None = None
             for task in ready:
-                for node in nodes:
-                    start = max(builder.data_ready_time(task, node), builder.node_available(node))
-                    delta = mean_w[task] - exec_time(instance, task, node)
-                    level = -math.inf if math.isinf(start) else levels[task] - start + delta
-                    # maximize level; break ties deterministically
-                    key = (-level, str(task), str(node), task, node)
-                    if best is None or key[:3] < best[:3]:
-                        best = key
+                # Non-insertion EST is exactly max(data-ready, available);
+                # one batched sweep replaces the per-node scalar loop.  An
+                # infinite start drives the level to -inf, as before.
+                start_row = builder.est_all(task)
+                delta_row = mean_w[task] - compiled.exec_tbl[compiled.task_id[task]]
+                neg_level = -((levels[task] - start_row) + delta_row)
+                # maximize level; break ties deterministically
+                vid = argmin_ranked(neg_level, ranks)
+                node = nodes[vid]
+                key = (float(neg_level[vid]), str(task), str(node), task, node)
+                if best is None or key[:3] < best[:3]:
+                    best = key
             assert best is not None
             builder.commit(best[3], best[4])
         return builder.schedule()

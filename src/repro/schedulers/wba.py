@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.core.instance import ProblemInstance
 from repro.core.schedule import Schedule
 from repro.core.scheduler import Scheduler, SchedulerInfo, register_scheduler
@@ -69,11 +71,18 @@ class WBAScheduler(Scheduler):
             if not ready:
                 break
             current = builder.makespan()
+            # One batched EFT sweep over the whole ready set; gathering
+            # columns in str order makes the row-wise argmin reproduce
+            # the (eft, str(node)) tie-break of the scalar min().
+            order = builder.node_str_order
+            rows = builder.eft_all_many(ready)[:, order]
+            positions = rows.argmin(axis=1)
+            vids = order[positions]
+            values = rows[np.arange(len(ready)), positions]
             options: list[tuple[float, object, object]] = []
-            for task in ready:
-                node = min(nodes, key=lambda v: (builder.eft(task, v), str(v)))
-                increase = max(builder.eft(task, node) - current, 0.0)
-                options.append((increase, task, node))
+            for task, value, vid in zip(ready, values.tolist(), vids.tolist()):
+                increase = max(value - current, 0.0)
+                options.append((increase, task, nodes[vid]))
             finite = [o for o in options if not math.isinf(o[0])]
             pool = finite if finite else options
             lo = min(o[0] for o in pool)

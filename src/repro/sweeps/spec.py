@@ -243,6 +243,7 @@ def _config_to_dict(config: PISAConfig) -> dict:
     ann = config.annealing
     return {
         "restarts": config.restarts,
+        "keep_history": config.keep_history,
         "annealing": {
             "t_max": ann.t_max,
             "t_min": ann.t_min,
@@ -258,8 +259,12 @@ def _config_from_dict(data: Any, path: str) -> PISAConfig:
         _fail(path, f"expected an object, got {_type_name(data)}")
     data = dict(data)
     restarts = _take(data, "restarts", path, types=int, default=PISAConfig().restarts)
+    # Full per-iteration annealing histories for the Fig. 5/6-style
+    # trajectory analyses; ratios are identical either way, so sweeps
+    # default to the lean history-off work units.
+    keep_history = _take(data, "keep_history", path, types=bool, default=False)
     ann_data = _take(data, "annealing", path, types=dict, default=None)
-    _reject_unknown(data, path, ("restarts", "annealing"))
+    _reject_unknown(data, path, ("restarts", "keep_history", "annealing"))
     if ann_data is None:
         annealing = AnnealingConfig()
     else:
@@ -291,7 +296,7 @@ def _config_from_dict(data: Any, path: str) -> PISAConfig:
         except ValueError as exc:
             _fail(ann_path, str(exc))
     try:
-        return PISAConfig(annealing=annealing, restarts=restarts)
+        return PISAConfig(annealing=annealing, restarts=restarts, keep_history=keep_history)
     except ValueError as exc:
         _fail(path, str(exc))
         raise AssertionError  # pragma: no cover - _fail always raises
@@ -342,7 +347,11 @@ class SweepSpec:
     source:
         The instance source (:class:`SourceSpec`).
     config:
-        PISA annealing + restart parameters (PISA mode).
+        PISA annealing + restart parameters (PISA mode).  Includes the
+        opt-in ``keep_history`` flag: sweeps default to lean history-off
+        work units, and trajectory analyses (Figs. 5/6) set
+        ``config.keep_history = true`` to record and checkpoint every
+        :class:`~repro.pisa.annealing.AnnealingStep`.
     constraints:
         ``None`` derives the Section VI homogeneity constraints from
         each pair's scheduler names ("auto"); an explicit

@@ -7,7 +7,9 @@ SMT schedulers (enumeration of linear extensions).
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Hashable, Iterator
+from itertools import count
 
 import networkx as nx
 
@@ -25,9 +27,29 @@ def topological_order(graph: nx.DiGraph) -> list[Hashable]:
     ``networkx.topological_sort`` is insertion-order dependent; schedulers
     such as MCT/OLB process tasks "in arbitrary order", and for
     reproducibility our arbitrary order is the lexicographically smallest
-    topological order.
+    topological order.  (Kahn's algorithm over a ``(str(node), counter)``
+    heap, exactly networkx's tie-breaking: nodes sharing a ``str()`` key
+    leave in heap-arrival order, and the nodes themselves are never
+    compared.  The result equals
+    ``nx.lexicographical_topological_sort(graph, key=str)`` at a fraction
+    of its overhead; it sits on the compiled scheduling hot path.)
     """
-    return list(nx.lexicographical_topological_sort(graph, key=str))
+    pred, succ = graph.pred, graph.succ
+    remaining = {n: len(pred[n]) for n in graph}
+    arrival = count()
+    heap = [(str(n), next(arrival), n) for n, d in remaining.items() if d == 0]
+    heapq.heapify(heap)
+    out: list[Hashable] = []
+    while heap:
+        _, _, node = heapq.heappop(heap)
+        out.append(node)
+        for succ_node in succ[node]:
+            remaining[succ_node] -= 1
+            if remaining[succ_node] == 0:
+                heapq.heappush(heap, (str(succ_node), next(arrival), succ_node))
+    if len(out) != len(remaining):
+        raise nx.NetworkXUnfeasible("Graph contains a cycle.")
+    return out
 
 
 def is_dag_after_edge(graph: nx.DiGraph, u: Hashable, v: Hashable) -> bool:

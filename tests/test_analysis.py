@@ -17,7 +17,13 @@ from repro.analysis import (
 )
 from repro.pisa import PISA, AnnealingConfig, PISAConfig, pairwise_comparison
 
-FAST = PISAConfig(annealing=AnnealingConfig(max_iterations=25, alpha=0.88), restarts=2)
+# Trajectory tests need per-iteration steps, so opt into keep_history
+# (runtime work units default to history-off).
+FAST = PISAConfig(
+    annealing=AnnealingConfig(max_iterations=25, alpha=0.88),
+    restarts=2,
+    keep_history=True,
+)
 
 
 class TestInstanceStats:

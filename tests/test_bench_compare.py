@@ -1,0 +1,117 @@
+"""The benchmark regression gate (``benchmarks/compare.py``)."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from benchmarks.compare import collect_metrics, compare
+
+COMPARE = Path(__file__).resolve().parent.parent / "benchmarks" / "compare.py"
+
+BASELINE = {
+    "annealing_energy": {"speedup": 2.5, "compiled_seconds": 0.2, "candidates": 81},
+    "parallel_pairwise": {"speedup": 3.0, "cpus": 4},
+}
+
+
+def test_collect_metrics_speedups_only_by_default():
+    metrics = collect_metrics(BASELINE)
+    assert metrics == {
+        "annealing_energy.speedup": (2.5, "higher"),
+        "parallel_pairwise.speedup": (3.0, "higher"),
+    }
+
+
+def test_collect_metrics_with_seconds():
+    metrics = collect_metrics(BASELINE, include_seconds=True)
+    assert metrics["annealing_energy.compiled_seconds"] == (0.2, "lower")
+
+
+def test_within_tolerance_passes():
+    current = {
+        "annealing_energy": {"speedup": 2.0},
+        "parallel_pairwise": {"speedup": 2.2},
+    }
+    assert compare(BASELINE, current, tolerance=0.35) == []
+
+
+def test_regression_fails_and_names_metric():
+    current = {
+        "annealing_energy": {"speedup": 1.0},
+        "parallel_pairwise": {"speedup": 3.0},
+    }
+    failures = compare(BASELINE, current, tolerance=0.35)
+    assert len(failures) == 1
+    assert "annealing_energy.speedup" in failures[0]
+
+
+def test_missing_metric_fails():
+    failures = compare(BASELINE, {"parallel_pairwise": {"speedup": 3.0}}, tolerance=0.35)
+    assert any("annealing_energy.speedup" in f for f in failures)
+
+
+def test_ignored_section_is_skipped():
+    current = {
+        "annealing_energy": {"speedup": 2.5},
+        "parallel_pairwise": {"speedup": 0.4},  # 1-CPU runner
+    }
+    assert compare(BASELINE, current, tolerance=0.35, ignore=frozenset(["parallel_pairwise"])) == []
+
+
+def test_seconds_gate_lower_is_better():
+    current = {"annealing_energy": {"speedup": 2.5, "compiled_seconds": 0.5}}
+    failures = compare(
+        {"annealing_energy": {"speedup": 2.5, "compiled_seconds": 0.2}},
+        current,
+        tolerance=0.35,
+        include_seconds=True,
+    )
+    assert any("compiled_seconds" in f for f in failures)
+
+
+def test_cli_end_to_end(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    current_path = tmp_path / "runtime.json"
+    baseline_path.write_text(json.dumps(BASELINE))
+
+    current_path.write_text(
+        json.dumps({"annealing_energy": {"speedup": 2.4}, "parallel_pairwise": {"speedup": 2.9}})
+    )
+    ok = subprocess.run(
+        [sys.executable, str(COMPARE), "--baseline", str(baseline_path),
+         "--current", str(current_path)],
+        capture_output=True, text=True,
+    )
+    assert ok.returncode == 0, ok.stderr
+
+    current_path.write_text(
+        json.dumps({"annealing_energy": {"speedup": 0.9}, "parallel_pairwise": {"speedup": 2.9}})
+    )
+    bad = subprocess.run(
+        [sys.executable, str(COMPARE), "--baseline", str(baseline_path),
+         "--current", str(current_path)],
+        capture_output=True, text=True,
+    )
+    assert bad.returncode == 1
+    assert "annealing_energy.speedup" in bad.stderr
+
+    missing = subprocess.run(
+        [sys.executable, str(COMPARE), "--baseline", str(tmp_path / "nope.json"),
+         "--current", str(current_path)],
+        capture_output=True, text=True,
+    )
+    assert missing.returncode == 2
+
+
+def test_committed_baseline_is_valid():
+    """The committed baseline must parse and carry the gated speedups."""
+    baseline = json.loads(
+        (COMPARE.parent / "_reports" / "baseline.json").read_text()
+    )
+    metrics = collect_metrics(baseline)
+    assert "annealing_energy.speedup" in metrics
+    assert metrics["annealing_energy.speedup"][0] >= 2.0  # the PR's acceptance bar
+    assert "builder_hot_path.speedup" in metrics

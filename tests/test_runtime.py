@@ -202,6 +202,18 @@ class TestPairwiseParallel:
         assert restored.annealing.initial_energy == result.annealing.initial_energy
         assert restored.annealing.best_state.task_graph == result.annealing.best_state.task_graph
         assert restored.annealing.best_state.network == result.annealing.best_state.network
+        # Default config runs history-off: nothing recorded, lean record.
+        assert result.annealing.history == [] and restored.annealing.history == []
+
+    def test_unit_result_roundtrip_keeps_opted_in_history(self):
+        from dataclasses import replace
+
+        pisa = PISA("HEFT", "CPoP", config=replace(FAST, keep_history=True))
+        unit = WorkUnit(key=unit_key("HEFT", "CPoP", 0), payload=(pisa, 0), rng=spawn(3, 1)[0])
+        result = run_pairwise_unit(unit)
+        assert len(result.annealing.history) == result.annealing.iterations > 0
+        restored = decode_unit_result(json.loads(json.dumps(encode_unit_result(result))))
+        assert restored.annealing.history == result.annealing.history
 
 
 class TestCheckpointResume:

@@ -118,6 +118,7 @@ def sweep_specs(draw) -> SweepSpec:
                 acceptance=draw(st.sampled_from(["paper", "metropolis"])),
             ),
             restarts=draw(st.integers(1, 5)),
+            keep_history=draw(st.booleans()),
         )
         constraints = draw(
             st.sampled_from(
@@ -162,6 +163,18 @@ class TestRoundTrip:
     def test_defaults_round_trip(self):
         spec = SweepSpec(name="s", schedulers=("HEFT", "CPoP"))
         assert SweepSpec.from_json(spec.to_json()) == spec
+
+    def test_keep_history_round_trips_and_defaults_off(self):
+        spec = SweepSpec(name="s", schedulers=("HEFT", "CPoP"))
+        assert spec.config.keep_history is False
+        trajectory = SweepSpec(
+            name="s",
+            schedulers=("HEFT", "CPoP"),
+            config=PISAConfig(keep_history=True),
+        )
+        restored = SweepSpec.from_json(trajectory.to_json())
+        assert restored.config.keep_history is True
+        assert restored == trajectory
 
     def test_load_reads_files(self, tmp_path):
         spec = SweepSpec(name="s", schedulers=("HEFT", "CPoP"))

@@ -110,6 +110,21 @@ class TestTopo:
     def test_topological_order_deterministic(self, diamond):
         assert topological_order(diamond) == ["s", "a", "b", "t"]
 
+    def test_topological_order_matches_networkx_lexicographic(self, diamond):
+        assert topological_order(diamond) == list(
+            nx.lexicographical_topological_sort(diamond, key=str)
+        )
+
+    def test_topological_order_str_key_ties(self):
+        # Nodes whose str() collide (and are mutually unorderable) must
+        # leave in insertion order, never be compared directly — the
+        # networkx tie-breaking semantics the fast path replicates.
+        g = nx.DiGraph()
+        g.add_node(1)
+        g.add_node("1")
+        g.add_edge(1, 2)
+        assert topological_order(g) == [1, "1", 2]
+
     def test_is_dag_after_edge(self, diamond):
         assert is_dag_after_edge(diamond, "a", "b")
         assert not is_dag_after_edge(diamond, "t", "s")  # would cycle
