@@ -15,10 +15,14 @@ experiment
 sweep
     Declarative sweeps: ``init`` scaffolds a spec file, ``show`` dumps a
     named paper sweep as JSON, ``run`` executes a spec with parallel
-    workers and resumable checkpoints.
+    workers and resumable checkpoints, ``work`` joins a shared run
+    directory as one distributed worker (any host that mounts the
+    directory can help drain it), ``status`` reports a run directory's
+    progress, shards, and leases.
 runs
     Run-directory housekeeping: ``gc`` lists (default) or deletes
-    completed/stale checkpoint directories.
+    completed/stale checkpoint directories (never ones with live worker
+    leases).
 
 Examples
 --------
@@ -29,6 +33,9 @@ Examples
     python -m repro experiment fig4 --jobs 8 --run-dir runs/fig4
     python -m repro sweep init --out my-sweep.json
     python -m repro sweep run my-sweep.json --jobs 8 --run-dir runs/my-sweep
+    python -m repro sweep work runs/my-sweep --spec my-sweep.json   # terminal/host 1
+    python -m repro sweep work runs/my-sweep                        # terminal/host 2..N
+    python -m repro sweep status runs/my-sweep
     python -m repro sweep show fig4
     python -m repro runs gc runs/ --stale-hours 48 --delete
 """
@@ -37,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from repro.benchmarking import (
@@ -136,6 +144,62 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip work units already recorded in --run-dir",
     )
+    q.add_argument(
+        "--backend",
+        choices=["local", "distributed"],
+        default="local",
+        help="distributed coordinates workers through lease files in "
+        "--run-dir, so `repro sweep work` processes on other hosts can "
+        "help drain the same sweep (results are bit-identical either way)",
+    )
+
+    q = sweep_sub.add_parser(
+        "work",
+        help="join a shared run directory as one distributed worker",
+    )
+    q.add_argument("run_dir", help="run directory shared between workers")
+    q.add_argument(
+        "--spec",
+        default=None,
+        help="spec file: initializes an uninitialized run directory "
+        "(validated against the manifest if one exists)",
+    )
+    q.add_argument(
+        "--worker-id",
+        default=None,
+        help="shard/lease identity (default: <host>-<pid>-<random>); must be "
+        "unique among concurrent workers",
+    )
+    q.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        help="lease seconds without a heartbeat before peers reclaim this "
+        "worker's units (default 120)",
+    )
+    q.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        help="lease heartbeat renewal interval in seconds (default ttl/4)",
+    )
+    q.add_argument(
+        "--poll",
+        type=float,
+        default=None,
+        help="seconds between checks while waiting on other workers' leases",
+    )
+    q.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="exit when nothing is claimable instead of waiting for the "
+        "whole run to complete",
+    )
+
+    q = sweep_sub.add_parser(
+        "status", help="report a run directory's progress, shards, and leases"
+    )
+    q.add_argument("run_dir", help="run directory to inspect")
 
     q = sweep_sub.add_parser(
         "show", help="print a named paper sweep as a spec (no name: list them)"
@@ -328,6 +392,12 @@ def _cmd_sweep(args) -> int:
         print(spec.to_json(), end="")
         return 0
 
+    if args.sweep_command == "work":
+        return _cmd_sweep_work(args)
+
+    if args.sweep_command == "status":
+        return _cmd_sweep_status(args)
+
     if args.sweep_command == "init":
         out = Path(args.out)
         if out.exists() and not args.force:
@@ -367,6 +437,7 @@ def _cmd_sweep(args) -> int:
             run_dir=args.run_dir,
             resume=args.resume,
             progress=progress,
+            backend=args.backend,
         )
     except (SpecError, CheckpointError) as exc:
         # CheckpointError covers the run-dir refusals (existing run dir
@@ -375,6 +446,114 @@ def _cmd_sweep(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(render_report(result))
+    return 0
+
+
+def _cmd_sweep_work(args) -> int:
+    from repro.runtime.checkpoint import CheckpointError
+    from repro.runtime.distributed import (
+        DEFAULT_LEASE_TTL,
+        inspect_run_dir,
+        worker_identity,
+    )
+    from repro.sweeps import SpecError, SweepSpec, work_run_dir
+
+    spec = None
+    if args.spec is not None:
+        try:
+            spec = SweepSpec.load(args.spec)
+        except SpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    # Validate timing flags up front: worker code raises plain ValueError
+    # for these, which the clean-error clause below deliberately does not
+    # catch (a ValueError from inside experiment code is a real failure
+    # that must keep its traceback).
+    for flag, value, minimum in (
+        ("--ttl", args.ttl, "positive"),
+        ("--heartbeat", args.heartbeat, "positive"),
+        ("--poll", args.poll, "non-negative"),
+    ):
+        if value is None:
+            continue
+        if value < 0 or (minimum == "positive" and value == 0):
+            print(f"error: {flag} must be {minimum}, got {value}", file=sys.stderr)
+            return 2
+    effective_ttl = args.ttl if args.ttl is not None else DEFAULT_LEASE_TTL
+    if args.heartbeat is not None and args.heartbeat >= effective_ttl:
+        print(
+            f"error: --heartbeat ({args.heartbeat}) must be smaller than the "
+            f"lease ttl ({effective_ttl}); peers would mistake the worker for "
+            "dead between renewals",
+            file=sys.stderr,
+        )
+        return 2
+    wid = args.worker_id if args.worker_id is not None else worker_identity()
+
+    def on_unit(key: str) -> None:
+        print(f"[{wid}] completed {key}", file=sys.stderr, flush=True)
+
+    try:
+        _, stats = work_run_dir(
+            args.run_dir,
+            spec=spec,
+            worker_id=wid,
+            lease_ttl=args.ttl,
+            heartbeat_interval=args.heartbeat,
+            poll_interval=args.poll,
+            wait=not args.no_wait,
+            on_unit=on_unit,
+        )
+    except (SpecError, CheckpointError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    status = inspect_run_dir(args.run_dir)
+    reclaimed = f", reclaimed {stats.reclaimed} stale lease(s)" if stats.reclaimed else ""
+    print(
+        f"worker {wid}: executed {stats.executed} unit(s){reclaimed}; "
+        f"run {'complete' if status.complete else 'incomplete'} "
+        f"({status.completed_units}/{status.total_units} units)"
+    )
+    if status.complete:
+        print(
+            "aggregate the merged result with: "
+            f"python -m repro sweep run <spec.json> --run-dir {args.run_dir} --resume"
+        )
+    return 0
+
+
+def _cmd_sweep_status(args) -> int:
+    from repro.runtime.distributed import inspect_run_dir
+
+    status = inspect_run_dir(args.run_dir)
+    if status.kind is None and not status.shard_counts:
+        print(f"error: {args.run_dir} is not a run directory", file=sys.stderr)
+        return 2
+    label = status.name or status.kind or "run"
+    total = "?" if status.total_units is None else status.total_units
+    state = "complete" if status.complete else "incomplete"
+    print(f"{status.run_dir} [{label}] {state}: {status.completed_units}/{total} units")
+    for file_name, count in sorted(status.shard_counts.items()):
+        print(f"  {file_name}: {count} unit(s)")
+    if status.duplicate_records:
+        print(
+            f"  {status.duplicate_records} duplicate record(s) across shards "
+            "(first writer wins on merge)"
+        )
+    now = time.time()
+    for lease in status.active_leases:
+        print(
+            f"  lease {lease.unit}: held by {lease.worker} "
+            f"(heartbeat {now - lease.heartbeat:.1f}s ago, ttl {lease.ttl:.0f}s)"
+        )
+    for lease in status.stale_leases:
+        print(
+            f"  stale lease {lease.unit}: worker {lease.worker} presumed dead "
+            f"(heartbeat {now - lease.heartbeat:.1f}s ago, ttl {lease.ttl:.0f}s); "
+            "reclaimable"
+        )
+    if status.torn_leases:
+        print(f"  {status.torn_leases} torn lease file(s)")
     return 0
 
 

@@ -10,13 +10,26 @@ sweeps resume instead of restarting.  See README.md in this directory
 for the work-unit / checkpoint model.
 """
 
-from repro.runtime.checkpoint import RunCheckpoint
+from repro.runtime.checkpoint import CheckpointError, RunCheckpoint
+from repro.runtime.distributed import (
+    DEFAULT_LEASE_TTL,
+    Lease,
+    LeaseDir,
+    RunDirStatus,
+    WorkerStats,
+    drain_units,
+    inspect_run_dir,
+    run_units_distributed,
+    worker_identity,
+)
 from repro.runtime.executor import default_jobs, run_units
 from repro.runtime.gc import RunStatus, gc_runs, scan_runs
 from repro.runtime.pairwise import (
     PairwiseUnitResult,
+    aggregate_pair_sweep,
     decode_unit_result,
     encode_unit_result,
+    pair_sweep_units,
     run_pair_sweep,
     run_pairwise,
     run_pairwise_unit,
@@ -28,10 +41,13 @@ from repro.runtime.units import WorkUnit
 __all__ = [
     "WorkUnit",
     "RunCheckpoint",
+    "CheckpointError",
     "run_units",
     "default_jobs",
     "run_pairwise",
     "run_pair_sweep",
+    "pair_sweep_units",
+    "aggregate_pair_sweep",
     "run_pairwise_unit",
     "run_pisa_restarts",
     "PairwiseUnitResult",
@@ -41,4 +57,13 @@ __all__ = [
     "RunStatus",
     "scan_runs",
     "gc_runs",
+    "DEFAULT_LEASE_TTL",
+    "Lease",
+    "LeaseDir",
+    "RunDirStatus",
+    "WorkerStats",
+    "drain_units",
+    "inspect_run_dir",
+    "run_units_distributed",
+    "worker_identity",
 ]

@@ -1,6 +1,6 @@
 """JSON-lines checkpointing for interruptible experiment runs.
 
-A *run directory* holds two files:
+A *run directory* holds an identity file plus one or more result files:
 
 ``manifest.json``
     The run's identity: what experiment, which schedulers/configs, how
@@ -10,8 +10,21 @@ A *run directory* holds two files:
 ``units.jsonl``
     One JSON object per *completed* work unit: ``{"key": ..., "result":
     ...}``.  Records are appended and flushed as units finish, so an
-    interrupted run loses at most the units that were in flight.  A torn
-    final line (the process died mid-write) is ignored on load.
+    interrupted run loses at most the units that were in flight.
+``units-<worker>.jsonl``
+    Per-worker result *shards* written by the distributed backend
+    (:mod:`repro.runtime.distributed`): each worker process appends to
+    its own shard, so concurrent writers on a shared filesystem never
+    interleave inside one file.  :meth:`RunCheckpoint.completed` merges
+    ``units.jsonl`` and every shard, deduplicating on unit key
+    (first-recorded wins; duplicates are logged, and are bit-identical
+    anyway because every unit owns a deterministic RNG stream).
+
+A killed writer can leave a *torn* final line (the process died
+mid-``write``).  Torn and otherwise unparseable lines are skipped — and
+logged — on load, and :meth:`RunCheckpoint.record` repairs a missing
+trailing newline before appending, so a resumed run never glues a fresh
+record onto a torn one (which would silently lose the fresh result).
 
 Results are encoded/decoded through caller-supplied functions so the
 executor stays agnostic of what a unit produces; PISA units, for
@@ -24,11 +37,29 @@ trip, trajectories do not).
 from __future__ import annotations
 
 import json
-from collections.abc import Callable
+import logging
+import os
+import re
+import secrets
+import shutil
+import time
+from collections.abc import Callable, Iterator
+from hashlib import sha1
 from pathlib import Path
 from typing import Any
 
-__all__ = ["CheckpointError", "RunCheckpoint"]
+__all__ = [
+    "CheckpointError",
+    "RunCheckpoint",
+    "iter_result_records",
+    "result_file_paths",
+    "safe_filename",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Glob matching per-worker result shards next to ``units.jsonl``.
+SHARD_GLOB = "units-*.jsonl"
 
 
 class CheckpointError(ValueError):
@@ -37,6 +68,79 @@ class CheckpointError(ValueError):
     for backward compatibility; callers that want to treat checkpoint
     refusals as user errors (the CLI) can catch this specifically without
     swallowing unrelated ``ValueError``\\ s from experiment code."""
+
+
+def _identity(value: Any) -> Any:
+    return value
+
+
+def safe_filename(text: str) -> str:
+    """A filesystem-safe, collision-free name for an arbitrary string.
+
+    Unit keys (``"HEFT|CPoP|r2"``) and worker ids become lease/shard file
+    names; anything outside ``[A-Za-z0-9._-]`` is replaced and a short
+    digest of the original keeps distinct inputs distinct.
+    """
+    safe = re.sub(r"[^A-Za-z0-9._-]", "_", text)[:80]
+    return f"{safe}-{sha1(text.encode()).hexdigest()[:8]}"
+
+
+def result_file_paths(run_dir: str | Path) -> list[Path]:
+    """Every result file of ``run_dir``: ``units.jsonl`` + sorted shards.
+
+    The order is the deduplication order of :meth:`RunCheckpoint.completed`
+    — deterministic, so "first writer wins" means the same record on every
+    read.
+    """
+    run_dir = Path(run_dir)
+    paths = []
+    units = run_dir / RunCheckpoint.UNITS_NAME
+    if units.is_file():
+        paths.append(units)
+    paths += sorted(p for p in run_dir.glob(SHARD_GLOB) if p.is_file())
+    return paths
+
+
+def iter_result_records(path: Path, *, log: bool = True) -> Iterator[dict]:
+    """Yield the well-formed ``{"key": ..., "result": ...}`` records of one
+    result file, tolerating what killed writers leave behind.
+
+    A torn final line (or mid-file garbage from a corrupted filesystem) is
+    skipped — with a warning when ``log`` is set — instead of raising
+    ``json.JSONDecodeError``: the unit it belonged to is simply not
+    completed and will be re-executed.
+    """
+    try:
+        # errors="replace": corrupted bytes become unparseable lines that
+        # fall into the skip-and-log path below instead of crashing resume.
+        text = path.read_text(errors="replace")
+    except OSError:
+        return
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if log:
+                logger.warning(
+                    "%s:%d: skipping unparseable checkpoint line "
+                    "(torn write from an interrupted run); the unit will be "
+                    "re-executed on resume",
+                    path,
+                    lineno,
+                )
+            continue
+        if not isinstance(record, dict) or "key" not in record or "result" not in record:
+            if log:
+                logger.warning(
+                    "%s:%d: skipping malformed checkpoint record (no unit key/result)",
+                    path,
+                    lineno,
+                )
+            continue
+        yield record
 
 
 class RunCheckpoint:
@@ -53,8 +157,10 @@ class RunCheckpoint:
     ) -> None:
         self.run_dir = Path(run_dir)
         self.run_dir.mkdir(parents=True, exist_ok=True)
-        self._encode = encode if encode is not None else (lambda result: result)
-        self._decode = decode if decode is not None else (lambda payload: payload)
+        # ``None`` stays ``None`` so checkpoints with module-level codecs
+        # (or none) pickle cleanly across process boundaries.
+        self._encode = encode
+        self._decode = decode
 
     @property
     def manifest_path(self) -> Path:
@@ -63,6 +169,23 @@ class RunCheckpoint:
     @property
     def units_path(self) -> Path:
         return self.run_dir / self.UNITS_NAME
+
+    def shard_path(self, worker_id: str) -> Path:
+        """The result shard a distributed worker appends to."""
+        return self.run_dir / f"units-{safe_filename(worker_id)}.jsonl"
+
+    def result_paths(self) -> list[Path]:
+        """Existing result files, in deduplication order."""
+        return result_file_paths(self.run_dir)
+
+    def _has_results(self) -> bool:
+        for path in self.result_paths():
+            try:
+                if path.stat().st_size > 0:
+                    return True
+            except OSError:
+                continue
+        return False
 
     # ------------------------------------------------------------------ #
     def initialize(self, manifest: dict, resume: bool = False) -> None:
@@ -74,29 +197,124 @@ class RunCheckpoint:
         units — hours of checkpointed work must never vanish because
         ``resume`` was forgotten; pass ``resume=True`` or use a new
         directory.
+
+        ``resume=True`` over an *uninitialized* directory initializes it,
+        which makes initialization idempotent: any number of distributed
+        workers can race to attach to one run directory — the manifest is
+        published with an atomic exclusive link, exactly one racer wins,
+        and the losers validate the winner's (identical) manifest.  The
+        attach path never deletes anything: by the time a loser notices
+        it lost, the winner may already hold leases and shard records.
         """
         if resume:
-            if self.manifest_path.exists():
-                stored = json.loads(self.manifest_path.read_text())
-                if stored != manifest:
-                    raise CheckpointError(
-                        f"cannot resume from {self.run_dir}: checkpoint manifest does not "
-                        f"match this run (stored {stored!r}, expected {manifest!r})"
-                    )
+            if self._validate_stored(manifest):
                 return
-            if self.units_path.exists() and self.units_path.stat().st_size > 0:
+            if self._has_results():
+                # Results without a manifest is a damaged run — unless a
+                # concurrent winner published the manifest after our first
+                # look; re-check before refusing.
+                if self._validate_stored(manifest):
+                    return
                 raise CheckpointError(
-                    f"cannot resume from {self.run_dir}: units.jsonl exists but "
+                    f"cannot resume from {self.run_dir}: unit results exist but "
                     "manifest.json is missing"
                 )
-        elif self.units_path.exists() and self.units_path.stat().st_size > 0:
+            if not self._publish_manifest(manifest):
+                # Lost the initialization race: validate the winner's.
+                if not self._validate_stored(manifest):
+                    raise CheckpointError(
+                        f"cannot resume from {self.run_dir}: manifest appeared and "
+                        "vanished mid-initialization"
+                    )
+            return
+        if self._has_results():
             raise CheckpointError(
                 f"run directory {self.run_dir} already holds completed units; "
                 "pass resume=True (--resume) to continue it, or point the run "
                 "at a fresh directory"
             )
-        self.manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        holder = self._live_lease_holder()
+        if holder is not None:
+            raise CheckpointError(
+                f"run directory {self.run_dir} has a live worker lease (held by "
+                f"{holder!r}); a fresh run over it would let that worker record "
+                "results for a different experiment — stop the worker or use "
+                "another directory"
+            )
+        self._write_manifest(manifest)
         self.units_path.write_text("")
+        # A fresh run over a previously-abandoned directory must not
+        # inherit its (empty — the refusal above covers non-empty) shards
+        # or its dead lease files.
+        for shard in self.run_dir.glob(SHARD_GLOB):
+            try:
+                shard.unlink()
+            except OSError:
+                pass
+        leases = self.run_dir / "leases"
+        if leases.is_dir():
+            shutil.rmtree(leases, ignore_errors=True)
+
+    def _live_lease_holder(self) -> str | None:
+        """Worker id of a seemingly-live lease in this directory, if any.
+
+        Imported lazily: :mod:`repro.runtime.distributed` depends on this
+        module, so the dependency must not be circular at import time.
+        """
+        from repro.runtime.distributed import LeaseDir, lease_seems_live
+
+        now = time.time()
+        for path, lease in LeaseDir(self.run_dir).leases():
+            if lease_seems_live(lease, path, now):
+                return lease.worker if lease is not None else "<torn lease>"
+        return None
+
+    def _validate_stored(self, manifest: dict) -> bool:
+        """True if a stored manifest exists and matches; raises on mismatch."""
+        if not self.manifest_path.exists():
+            return False
+        stored = self.manifest()
+        if stored != manifest:
+            raise CheckpointError(
+                f"cannot resume from {self.run_dir}: checkpoint manifest does not "
+                f"match this run (stored {stored!r}, expected {manifest!r})"
+            )
+        return True
+
+    def _manifest_tmp_path(self) -> Path:
+        # pid alone is not unique across hosts sharing the directory; a
+        # random suffix keeps two same-pid workers from tearing each
+        # other's temp file mid-publish.
+        suffix = f"{os.getpid()}.{secrets.token_hex(4)}"
+        return self.manifest_path.with_name(f"{self.MANIFEST_NAME}.tmp.{suffix}")
+
+    def _write_manifest(self, manifest: dict) -> None:
+        # Atomic replace: a concurrent worker reading the manifest must
+        # never observe a torn half-written file.
+        tmp = self._manifest_tmp_path()
+        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, self.manifest_path)
+
+    def _publish_manifest(self, manifest: dict) -> bool:
+        """Atomically create the manifest; False if another racer won.
+
+        ``os.link`` is the portable exclusive-publish primitive (atomic on
+        POSIX and, unlike ``O_EXCL`` + write, never exposes a torn file):
+        the content is fully written to a temp file first and the link
+        either appears whole or not at all.
+        """
+        tmp = self._manifest_tmp_path()
+        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        try:
+            os.link(tmp, self.manifest_path)
+            return True
+        except FileExistsError:
+            return False
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
     def manifest(self) -> dict | None:
         """The stored manifest, or None for an uninitialized directory."""
@@ -106,25 +324,54 @@ class RunCheckpoint:
 
     # ------------------------------------------------------------------ #
     def completed(self) -> dict[str, Any]:
-        """Decoded results of every completed unit, keyed by unit key."""
-        if not self.units_path.exists():
-            return {}
+        """Decoded results of every completed unit, keyed by unit key.
+
+        Merges ``units.jsonl`` with every per-worker shard.  A unit
+        recorded more than once (a worker presumed dead that woke up after
+        its lease was reclaimed) keeps its first-recorded result — the
+        duplicate is logged, and is bit-identical anyway because units own
+        deterministic RNG streams.
+        """
+        decode = self._decode if self._decode is not None else _identity
         out: dict[str, Any] = {}
-        for line in self.units_path.read_text().splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn final line from an interrupted write
-            out[record["key"]] = self._decode(record["result"])
+        for path in self.result_paths():
+            for record in iter_result_records(path):
+                key = record["key"]
+                if key in out:
+                    logger.warning(
+                        "%s: duplicate record for unit %r ignored (first writer wins)",
+                        path,
+                        key,
+                    )
+                    continue
+                out[key] = decode(record["result"])
         return out
 
-    def record(self, key: str, result: Any) -> None:
+    def record(self, key: str, result: Any, shard: str | None = None) -> None:
         """Append one completed unit; flushed immediately so an interrupt
-        after this call never loses the unit."""
-        line = json.dumps({"key": key, "result": self._encode(result)})
-        with self.units_path.open("a") as fh:
-            fh.write(line + "\n")
+        after this call never loses the unit.
+
+        With ``shard``, the record goes to that worker's ``units-*.jsonl``
+        shard instead of ``units.jsonl`` (the distributed backend's
+        one-writer-per-file rule).  If a previously killed writer left the
+        file without a trailing newline, a repair newline is inserted first
+        — appending straight after torn bytes would corrupt *this* record
+        too, silently losing a successfully executed unit.
+        """
+        encode = self._encode if self._encode is not None else _identity
+        path = self.units_path if shard is None else self.shard_path(shard)
+        line = json.dumps({"key": key, "result": encode(result)})
+        with path.open("ab") as fh:
+            if fh.tell() > 0 and not _ends_with_newline(path):
+                fh.write(b"\n")
+            fh.write(line.encode() + b"\n")
             fh.flush()
+
+
+def _ends_with_newline(path: Path) -> bool:
+    try:
+        with path.open("rb") as fh:
+            fh.seek(-1, os.SEEK_END)
+            return fh.read(1) == b"\n"
+    except OSError:
+        return True

@@ -31,7 +31,23 @@ from typing import Any
 from repro.runtime.checkpoint import RunCheckpoint
 from repro.runtime.units import WorkUnit
 
-__all__ = ["run_units", "default_jobs"]
+__all__ = ["run_units", "default_jobs", "reject_distributed_options"]
+
+
+def reject_distributed_options(options: dict[str, Any]) -> None:
+    """Refuse distributed-only tuning under the local backend.
+
+    Shared by :func:`run_units` and :func:`repro.sweeps.run_sweep` so the
+    two entry points cannot drift: a user who sets lease timing expects
+    the distributed backend, and silently dropping the options would hide
+    the mistake.
+    """
+    for option, value in options.items():
+        if value is not None:
+            raise ValueError(
+                f"{option} is a distributed-backend option and has no effect with "
+                "backend='local'"
+            )
 
 
 def default_jobs() -> int:
@@ -40,7 +56,15 @@ def default_jobs() -> int:
 
 
 def _mp_context():
-    """Prefer fork (cheap, inherits sys.path); fall back to spawn."""
+    """Prefer fork (cheap, inherits sys.path); fall back to spawn.
+
+    ``REPRO_MP_START_METHOD`` overrides the choice — remote hosts won't
+    always fork, and the test suite uses this to run the jobs-invariance
+    and resume properties under spawn as well.
+    """
+    override = os.environ.get("REPRO_MP_START_METHOD")
+    if override:
+        return multiprocessing.get_context(override)
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
@@ -68,6 +92,11 @@ def run_units(
     jobs: int = 1,
     checkpoint: RunCheckpoint | None = None,
     on_result: Callable[[WorkUnit, Any, bool], None] | None = None,
+    backend: str = "local",
+    worker_id: str | None = None,
+    lease_ttl: float | None = None,
+    heartbeat_interval: float | None = None,
+    poll_interval: float | None = None,
 ) -> dict[str, Any]:
     """Execute ``units`` and return ``{unit.key: result}``.
 
@@ -86,11 +115,51 @@ def run_units(
     on_result:
         Streaming callback ``(unit, result, cached)`` invoked once per
         unit — with ``cached=True`` for units restored from the
-        checkpoint, in unit order before any execution starts.
+        checkpoint, in unit order before any execution starts.  (The
+        distributed backend invokes it only after the whole run
+        completes, with ``cached=True`` for units executed by peers.)
+    backend:
+        ``"local"`` (this process plus an optional process pool) or
+        ``"distributed"`` (lease-coordinated workers over the shared run
+        directory — see :mod:`repro.runtime.distributed`; requires
+        ``checkpoint``).
+    worker_id, lease_ttl, heartbeat_interval, poll_interval:
+        Distributed-backend tuning (worker shard identity, lease TTL in
+        seconds, heartbeat renewal interval, wait-poll interval);
+        rejected under the local backend rather than silently ignored.
     """
     units = list(units)
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if backend not in ("local", "distributed"):
+        raise ValueError(f"backend must be 'local' or 'distributed', got {backend!r}")
+    if backend == "distributed":
+        if checkpoint is None:
+            raise ValueError(
+                "backend='distributed' requires a checkpoint run directory "
+                "(the shared filesystem is the coordination medium)"
+            )
+        from repro.runtime.distributed import run_units_distributed
+
+        return run_units_distributed(
+            units,
+            worker,
+            checkpoint,
+            jobs=jobs,
+            worker_id=worker_id,
+            lease_ttl=lease_ttl,
+            heartbeat_interval=heartbeat_interval,
+            poll_interval=poll_interval,
+            on_result=on_result,
+        )
+    reject_distributed_options(
+        {
+            "worker_id": worker_id,
+            "lease_ttl": lease_ttl,
+            "heartbeat_interval": heartbeat_interval,
+            "poll_interval": poll_interval,
+        }
+    )
     keys = [u.key for u in units]
     if len(set(keys)) != len(keys):
         raise ValueError("work-unit keys must be unique within a run")

@@ -9,25 +9,33 @@ module scans a directory tree for run directories, classifies them, and
 
 A directory is a *run directory* iff it contains a ``manifest.json``
 that parses to an object with a string ``"kind"`` field (every runtime
-manifest has one), or an unreadable ``manifest.json`` next to a
-``units.jsonl`` (a damaged run).  A bare ``manifest.json`` of some other
-tool (a browser extension, a web app) matches neither rule, so ``gc``
-never classifies — let alone deletes — unrelated directories.  The unit
-count recorded by the runtime manifests (``"units"``) is compared with
-the completed records in ``units.jsonl`` to decide completeness;
-manifests lacking a unit count are never treated as complete (only as
-stale).
+manifest has one), or an unreadable ``manifest.json`` next to unit
+results (``units.jsonl`` or ``units-*.jsonl`` shards — a damaged run).
+A bare ``manifest.json`` of some other tool (a browser extension, a web
+app) matches neither rule, so ``gc`` never classifies — let alone
+deletes — unrelated directories.  The unit count recorded by the runtime
+manifests (``"units"``) is compared with the distinct completed records
+across ``units.jsonl`` *and* every distributed worker shard to decide
+completeness; manifests lacking a unit count are never treated as
+complete (only as stale).
+
+gc is **lease-aware**: a run directory whose ``leases/`` holds a live
+lease (heartbeat younger than the lease's TTL) has a worker actively
+executing units in it, possibly on another host — such directories are
+never collected, whatever their age or completeness looks like from
+here.  Expired leases (a crashed worker's leftovers) do not protect a
+directory, but they do count toward its idle age.
 """
 
 from __future__ import annotations
 
-import json
 import shutil
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.runtime.checkpoint import RunCheckpoint
+from repro.runtime.checkpoint import RunCheckpoint, result_file_paths
+from repro.runtime.distributed import LEASES_DIR, inspect_run_dir
 
 __all__ = ["RunStatus", "scan_runs", "collectable", "gc_runs"]
 
@@ -40,8 +48,10 @@ class RunStatus:
     kind: str | None  # manifest "kind" ("sweep", "pairwise", ...)
     name: str | None  # sweep spec name, when the manifest is a spec
     total_units: int | None  # expected units, when the manifest records it
-    completed_units: int  # lines in units.jsonl
+    completed_units: int  # distinct unit keys across units.jsonl + shards
     age_seconds: float  # since the run directory last changed
+    active_leases: int = 0  # live distributed workers (fresh heartbeats)
+    stale_leases: int = 0  # expired/torn leases from dead workers
     delete_failed: bool = False  # rmtree was attempted but the dir survived
 
     @property
@@ -57,77 +67,49 @@ class RunStatus:
             progress = f"{self.completed_units} units"
             state = "unknown total"
         hours = self.age_seconds / 3600.0
-        return f"{self.path} [{label}] {state}, {progress}, idle {hours:.1f}h"
+        out = f"{self.path} [{label}] {state}, {progress}, idle {hours:.1f}h"
+        if self.active_leases:
+            out += f", {self.active_leases} live worker lease(s)"
+        return out
 
 
 def _status(run_dir: Path, now: float) -> RunStatus | None:
     """Inspect one run directory; None if it vanished or is not ours.
 
     ``None`` for directories whose ``manifest.json`` does not look like a
-    runtime manifest (no string ``"kind"``) and that have no
-    ``units.jsonl`` — some other tool's manifest, never to be touched.
+    runtime manifest (no string ``"kind"``) and that have no unit
+    results — some other tool's manifest, never to be touched.
+
+    The inspection itself (manifest identity, deduplicated completed
+    count across shards, lease liveness) is
+    :func:`repro.runtime.distributed.inspect_run_dir` — the same snapshot
+    ``repro sweep status`` renders, so the two tools cannot drift apart.
+    gc adds only the is-this-ours gate and the idle-age computation.
     """
-    manifest_path = run_dir / RunCheckpoint.MANIFEST_NAME
-    units_path = run_dir / RunCheckpoint.UNITS_NAME
-    kind = name = None
-    total = None
-    try:
-        text = manifest_path.read_text()
-        mtimes = [manifest_path.stat().st_mtime]
-        manifest = None
+    snapshot = inspect_run_dir(run_dir, now=now)
+    result_paths = result_file_paths(run_dir)
+    if snapshot.kind is None and not result_paths:
+        # No runtime manifest and no unit results: some other tool's
+        # directory (or vanished mid-scan) — never to be touched.
+        return None
+    mtimes = []
+    lease_paths = sorted((run_dir / LEASES_DIR).glob("*.json"))
+    for path in [run_dir / RunCheckpoint.MANIFEST_NAME, *result_paths, *lease_paths]:
         try:
-            manifest = json.loads(text)
-        except json.JSONDecodeError:
-            pass  # damaged run; units.jsonl decides below whether it is ours
-    except OSError:
-        # Vanished mid-scan, or unreadable: only a units.jsonl sibling
-        # proves this was a run directory (the documented damaged-run rule).
-        if not units_path.exists():
-            return None
-        manifest = None
-        try:
-            mtimes = [manifest_path.stat().st_mtime]
+            mtimes.append(path.stat().st_mtime)
         except OSError:
-            mtimes = [units_path.stat().st_mtime]
-    if isinstance(manifest, dict):
-        kind = manifest.get("kind")
-        units = manifest.get("units")
-        total = units if isinstance(units, int) else None
-        spec = manifest.get("spec")
-        if isinstance(spec, dict) and isinstance(spec.get("name"), str):
-            name = spec["name"]
-    if not isinstance(kind, str):
-        if not units_path.exists():
-            return None  # not a runtime run directory
-        kind = None  # damaged run: units.jsonl proves it is ours
-    completed = 0
-    try:
-        # Count the records the checkpoint layer would actually resume
-        # from: parseable lines with a unit key.  A torn final line (the
-        # interrupted-write case completed() tolerates) must not count,
-        # or an interrupted run is misclassified complete and collected.
-        keys = set()
-        for line in units_path.read_text().splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if isinstance(record, dict) and "key" in record:
-                keys.add(record["key"])
-        completed = len(keys)
-        mtimes.append(units_path.stat().st_mtime)
-    except OSError:
-        pass  # no units.jsonl yet (or it vanished): zero completed units
+            pass
+    if not mtimes:
+        return None  # everything vanished mid-scan
     return RunStatus(
         path=run_dir,
-        kind=kind,
-        name=name,
-        total_units=total,
-        completed_units=completed,
+        kind=snapshot.kind,
+        name=snapshot.name,
+        total_units=snapshot.total_units,
+        completed_units=snapshot.completed_units,
         age_seconds=max(now - max(mtimes), 0.0),
+        active_leases=snapshot.live_lease_count,
+        stale_leases=len(snapshot.stale_leases) + (snapshot.torn_leases - snapshot.torn_live),
     )
 
 
@@ -161,8 +143,12 @@ def collectable(
     ``completed`` collects finished runs; ``stale_seconds`` additionally
     collects *incomplete* runs idle longer than the threshold (``None``
     never collects incomplete runs — resuming them is the point of the
-    checkpoint layer).
+    checkpoint layer).  A run with a live worker lease is never
+    collectable: some worker — possibly on another host — is executing
+    units in it right now.
     """
+    if status.active_leases > 0:
+        return False
     if status.complete:
         return completed
     return stale_seconds is not None and status.age_seconds > stale_seconds

@@ -43,6 +43,8 @@ __all__ = [
     "run_pisa_restarts",
     "run_pairwise",
     "run_pair_sweep",
+    "pair_sweep_units",
+    "aggregate_pair_sweep",
     "unit_key",
 ]
 
@@ -128,6 +130,46 @@ def decode_unit_result(payload: dict) -> PairwiseUnitResult:
 # ---------------------------------------------------------------------- #
 # The sweep core: (pair, restart) units over the two-level spawn tree
 # ---------------------------------------------------------------------- #
+def pair_sweep_units(
+    pairs: list[tuple[str, str, PISA]],
+    restarts: int,
+    rng: int | np.random.Generator | None = None,
+) -> list[WorkUnit]:
+    """The (pair, restart) unit list of a pairwise sweep, streams spawned.
+
+    This function *is* the seeding contract: every entry point — the
+    local executor, the declarative spec runner, and distributed workers
+    reconstructing the sweep from a run manifest on another host — builds
+    units through it, so the same pair list and seed always yield the
+    same per-unit RNG streams (and therefore bit-identical results).
+    """
+    gen = as_generator(rng)
+    units: list[WorkUnit] = []
+    for (target, baseline, pisa), pair_gen in zip(pairs, spawn(gen, len(pairs))):
+        for restart, restart_gen in enumerate(spawn(pair_gen, restarts)):
+            key = unit_key(target, baseline, restart)
+            units.append(WorkUnit(key=key, payload=(pisa, restart), rng=restart_gen))
+    return units
+
+
+def aggregate_pair_sweep(
+    pairs: list[tuple[str, str, PISA]],
+    restarts: int,
+    unit_results: dict[str, PairwiseUnitResult],
+    schedulers: list[str],
+) -> PairwiseResult:
+    """Fold completed unit results back into a :class:`PairwiseResult`."""
+    out = PairwiseResult(schedulers=list(schedulers))
+    for target, baseline, pisa in pairs:
+        pair_restarts = [
+            unit_results[unit_key(target, baseline, r)].annealing for r in range(restarts)
+        ]
+        out.results[(target, baseline)] = PISAResult.from_restarts(
+            pisa.target.name, pisa.baseline.name, pair_restarts
+        )
+    return out
+
+
 def run_pair_sweep(
     pairs: list[tuple[str, str, PISA]],
     restarts: int,
@@ -148,14 +190,12 @@ def run_pair_sweep(
     seed.  The caller owns checkpoint initialization (the manifest is
     what distinguishes the entry points).
     """
-    gen = as_generator(rng)
-    units: list[WorkUnit] = []
-    key_to_pair: dict[str, tuple[str, str]] = {}
-    for (target, baseline, pisa), pair_gen in zip(pairs, spawn(gen, len(pairs))):
-        for restart, restart_gen in enumerate(spawn(pair_gen, restarts)):
-            key = unit_key(target, baseline, restart)
-            units.append(WorkUnit(key=key, payload=(pisa, restart), rng=restart_gen))
-            key_to_pair[key] = (target, baseline)
+    units = pair_sweep_units(pairs, restarts, rng)
+    key_to_pair = {
+        unit_key(target, baseline, restart): (target, baseline)
+        for target, baseline, _ in pairs
+        for restart in range(restarts)
+    }
 
     on_result = None
     if progress is not None:
@@ -173,16 +213,7 @@ def run_pair_sweep(
     unit_results = run_units(
         units, run_pairwise_unit, jobs=jobs, checkpoint=checkpoint, on_result=on_result
     )
-
-    out = PairwiseResult(schedulers=list(schedulers))
-    for target, baseline, pisa in pairs:
-        pair_restarts = [
-            unit_results[unit_key(target, baseline, r)].annealing for r in range(restarts)
-        ]
-        out.results[(target, baseline)] = PISAResult.from_restarts(
-            pisa.target.name, pisa.baseline.name, pair_restarts
-        )
-    return out
+    return aggregate_pair_sweep(pairs, restarts, unit_results, schedulers)
 
 
 # ---------------------------------------------------------------------- #

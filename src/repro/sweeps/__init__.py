@@ -27,7 +27,16 @@ from repro.sweeps.presets import (
     list_named_specs,
     named_spec,
 )
-from repro.sweeps.runner import SweepResult, render_report, run_sweep, sample_units
+from repro.sweeps.runner import (
+    SweepPlan,
+    SweepResult,
+    load_run_plan,
+    plan_sweep,
+    render_report,
+    run_sweep,
+    sample_units,
+    work_run_dir,
+)
 from repro.sweeps.sources import ResolvedSource, resolve_source
 from repro.sweeps.spec import SPEC_VERSION, SourceSpec, SpecError, SweepSpec
 
@@ -38,6 +47,10 @@ __all__ = [
     "SpecError",
     "run_sweep",
     "SweepResult",
+    "SweepPlan",
+    "plan_sweep",
+    "load_run_plan",
+    "work_run_dir",
     "render_report",
     "sample_units",
     "resolve_source",

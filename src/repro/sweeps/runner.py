@@ -29,6 +29,7 @@ import json
 from collections.abc import Callable
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -36,15 +37,32 @@ from repro.benchmarking.harness import BenchmarkResult, instance_result
 from repro.benchmarking.heatmap import format_gradient, render_matrix
 from repro.core.scheduler import get_scheduler, list_schedulers
 from repro.pisa.pisa import PISA, PairwiseResult
-from repro.runtime.checkpoint import RunCheckpoint
-from repro.runtime.executor import run_units
-from repro.runtime.pairwise import decode_unit_result, encode_unit_result, run_pair_sweep
+from repro.runtime.checkpoint import CheckpointError, RunCheckpoint
+from repro.runtime.distributed import WorkerStats, drain_units
+from repro.runtime.executor import reject_distributed_options, run_units
+from repro.runtime.pairwise import (
+    aggregate_pair_sweep,
+    decode_unit_result,
+    encode_unit_result,
+    pair_sweep_units,
+    run_pair_sweep,
+    run_pairwise_unit,
+)
 from repro.runtime.units import WorkUnit
-from repro.sweeps.sources import resolve_source
+from repro.sweeps.sources import ResolvedSource, resolve_source
 from repro.sweeps.spec import SpecError, SweepSpec
 from repro.utils.rng import as_generator, spawn
 
-__all__ = ["SweepResult", "run_sweep", "sample_units", "render_report"]
+__all__ = [
+    "SweepResult",
+    "SweepPlan",
+    "run_sweep",
+    "sample_units",
+    "render_report",
+    "plan_sweep",
+    "load_run_plan",
+    "work_run_dir",
+]
 
 #: Manifest discriminator for spec-backed run directories.
 MANIFEST_KIND = "sweep"
@@ -112,6 +130,26 @@ def sample_unit(unit: WorkUnit) -> dict:
     }
 
 
+def _spawn_sample_units(
+    name: str, names: tuple[str, ...], factory: Callable, num_instances: int, rng
+) -> list[WorkUnit]:
+    """Benchmark units with per-unit spawned streams (the Figs. 7/8 protocol)."""
+    return [
+        WorkUnit(key=f"{name}[{i}]", payload=("factory", factory, names), rng=gen)
+        for i, gen in enumerate(spawn(rng, num_instances))
+    ]
+
+
+def _instance_sample_units(
+    name: str, names: tuple[str, ...], instances: list
+) -> list[WorkUnit]:
+    """Benchmark units over pre-sampled (sequentially drawn) instances."""
+    return [
+        WorkUnit(key=f"{name}[{i}]", payload=("instance", instance, names))
+        for i, instance in enumerate(instances)
+    ]
+
+
 def sample_units(
     name: str,
     schedulers: tuple[str, ...] | list[str],
@@ -136,16 +174,10 @@ def sample_units(
     if factory is not None:
         if num_instances is None:
             raise ValueError("num_instances is required with a factory")
-        units = [
-            WorkUnit(key=f"{name}[{i}]", payload=("factory", factory, names), rng=gen)
-            for i, gen in enumerate(spawn(rng, num_instances))
-        ]
+        units = _spawn_sample_units(name, names, factory, num_instances, rng)
     else:
         num_instances = len(instances)
-        units = [
-            WorkUnit(key=f"{name}[{i}]", payload=("instance", instance, names))
-            for i, instance in enumerate(instances)
-        ]
+        units = _instance_sample_units(name, names, instances)
     results = run_units(units, sample_unit, jobs=jobs, checkpoint=checkpoint)
     return [results[f"{name}[{i}]"] for i in range(num_instances)]
 
@@ -166,6 +198,111 @@ def _aggregate_benchmark(spec: SweepSpec, rows: list[dict]) -> tuple[BenchmarkRe
 
 
 # ---------------------------------------------------------------------- #
+# Planning: spec -> units + worker + codecs (the distributable form)
+# ---------------------------------------------------------------------- #
+@dataclass
+class SweepPlan:
+    """A sweep decomposed into executable work units.
+
+    This is the distributable form of a spec: any process that can load
+    the spec — in particular a ``repro sweep work`` worker on another
+    host reading a shared run directory's manifest — reconstructs the
+    *same* plan (same unit keys, same spawned RNG streams, same worker
+    function), which is what makes multi-host results bit-identical to
+    ``run_sweep(spec, jobs=1)``.
+    """
+
+    spec: SweepSpec
+    units: list[WorkUnit]
+    worker: Callable[[WorkUnit], Any]
+    encode: Callable | None
+    decode: Callable | None
+    pairs: list[tuple[str, str, PISA]] | None = None  # PISA mode only
+
+    def manifest(self) -> dict:
+        return {"kind": MANIFEST_KIND, "spec": self.spec.to_dict(), "units": len(self.units)}
+
+
+def _pisa_pairs(spec: SweepSpec, resolved: ResolvedSource) -> list[tuple[str, str, PISA]]:
+    if resolved.factory is None:
+        raise SpecError(
+            f"source.kind: {spec.source.kind!r} cannot generate PISA initial "
+            "instances"
+        )
+    constraints = (
+        spec.constraints if spec.constraints is not None else resolved.default_constraints
+    )
+    return [
+        (
+            target,
+            baseline,
+            PISA(
+                target,
+                baseline,
+                perturbations=resolved.perturbations,
+                config=spec.config,
+                initial_factory=resolved.factory,
+                constraints=constraints,
+            ),
+        )
+        for target, baseline in spec.resolved_pairs()
+    ]
+
+
+def plan_sweep(
+    spec: SweepSpec, rng: int | np.random.Generator | None = None
+) -> SweepPlan:
+    """Decompose ``spec`` into its work units, deterministically.
+
+    With ``rng=None`` (the only form distributed workers use) every
+    stream derives from ``spec.seed``, so independently planning the same
+    spec on any host yields identical units.
+    """
+    _validate_schedulers(spec)
+    resolved = resolve_source(spec.source)
+    gen = as_generator(spec.seed if rng is None else rng)
+    if spec.mode == "pisa":
+        pairs = _pisa_pairs(spec, resolved)
+        units = pair_sweep_units(pairs, spec.config.restarts, gen)
+        return SweepPlan(
+            spec=spec,
+            units=units,
+            worker=run_pairwise_unit,
+            encode=encode_unit_result,
+            decode=decode_unit_result,
+            pairs=pairs,
+        )
+    names = tuple(spec.schedulers)
+    if spec.sampling == "spawn":
+        units = _spawn_sample_units(
+            spec.name, names, resolved.factory, spec.num_instances, gen
+        )
+    else:
+        instances = resolved.sequential(spec.num_instances, gen)
+        units = _instance_sample_units(spec.name, names, instances)
+    return SweepPlan(spec=spec, units=units, worker=sample_unit, encode=None, decode=None)
+
+
+def _aggregate_plan(
+    plan: SweepPlan,
+    results: dict[str, Any],
+    progress: Callable[[str, str, float], None] | None = None,
+) -> SweepResult:
+    spec = plan.spec
+    if spec.mode == "pisa":
+        pairwise = aggregate_pair_sweep(
+            plan.pairs, spec.config.restarts, results, spec.scheduler_names()
+        )
+        if progress is not None:
+            for (target, baseline), res in pairwise.results.items():
+                progress(target, baseline, res.best_ratio)
+        return SweepResult(spec=spec, pairwise=pairwise)
+    rows = [results[f"{spec.name}[{i}]"] for i in range(spec.num_instances)]
+    benchmark, makespans = _aggregate_benchmark(spec, rows)
+    return SweepResult(spec=spec, benchmark=benchmark, makespans=makespans)
+
+
+# ---------------------------------------------------------------------- #
 # The runner
 # ---------------------------------------------------------------------- #
 def run_sweep(
@@ -176,6 +313,10 @@ def run_sweep(
     resume: bool = False,
     rng: int | np.random.Generator | None = None,
     progress: Callable[[str, str, float], None] | None = None,
+    backend: str = "local",
+    lease_ttl: float | None = None,
+    heartbeat_interval: float | None = None,
+    poll_interval: float | None = None,
 ) -> SweepResult:
     """Execute ``spec`` and return its :class:`SweepResult`.
 
@@ -188,7 +329,8 @@ def run_sweep(
         any value).
     run_dir:
         Checkpoint directory; the spec is written as ``manifest.json``
-        and completed units stream to ``units.jsonl``.
+        and completed units stream to ``units.jsonl`` (or per-worker
+        ``units-*.jsonl`` shards under the distributed backend).
     resume:
         Skip units already recorded in ``run_dir`` (requires the stored
         spec to match ``spec`` exactly).
@@ -196,9 +338,58 @@ def run_sweep(
         Override the sweep's RNG root.  ``None`` (the default) seeds
         from ``spec.seed``; experiment drivers thread a shared generator
         through consecutive sweeps to preserve historical streams.
+        Local backend only — distributed workers must be able to
+        reconstruct every stream from the manifest's spec alone.
     progress:
-        PISA mode: ``(target, baseline, best_ratio)`` per completed pair.
+        PISA mode: ``(target, baseline, best_ratio)`` per completed pair
+        (under the distributed backend, reported after the run completes,
+        in pair order).
+    backend:
+        ``"local"`` (this process + optional process pool) or
+        ``"distributed"`` (lease-coordinated workers over the shared
+        ``run_dir``; additional hosts join with ``repro sweep work
+        <run_dir>``).  Results are bit-identical either way.
+    lease_ttl, heartbeat_interval, poll_interval:
+        Distributed lease tuning, forwarded to
+        :func:`repro.runtime.distributed.drain_units`.
     """
+    if backend not in ("local", "distributed"):
+        raise ValueError(f"backend must be 'local' or 'distributed', got {backend!r}")
+    if backend == "distributed":
+        if run_dir is None:
+            raise CheckpointError(
+                "backend='distributed' needs a run_dir: the shared run "
+                "directory is the coordination medium"
+            )
+        if rng is not None:
+            raise SpecError(
+                "backend='distributed' cannot honor an external rng override: "
+                "workers on other hosts reconstruct RNG streams from the "
+                "manifest's spec.seed alone; bake the seed into the spec"
+            )
+        plan = plan_sweep(spec)
+        checkpoint = RunCheckpoint(run_dir, encode=plan.encode, decode=plan.decode)
+        checkpoint.initialize(plan.manifest(), resume=resume)
+        results = run_units(
+            plan.units,
+            plan.worker,
+            jobs=jobs,
+            checkpoint=checkpoint,
+            backend="distributed",
+            lease_ttl=lease_ttl,
+            heartbeat_interval=heartbeat_interval,
+            poll_interval=poll_interval,
+        )
+        return _aggregate_plan(plan, results, progress=progress)
+
+    reject_distributed_options(
+        {
+            "lease_ttl": lease_ttl,
+            "heartbeat_interval": heartbeat_interval,
+            "poll_interval": poll_interval,
+        }
+    )
+
     _validate_schedulers(spec)
     resolved = resolve_source(spec.source)
     gen = as_generator(spec.seed if rng is None else rng)
@@ -216,29 +407,7 @@ def run_sweep(
         return manifest
 
     if spec.mode == "pisa":
-        if resolved.factory is None:
-            raise SpecError(
-                f"source.kind: {spec.source.kind!r} cannot generate PISA initial "
-                "instances"
-            )
-        constraints = (
-            spec.constraints if spec.constraints is not None else resolved.default_constraints
-        )
-        pairs = [
-            (
-                target,
-                baseline,
-                PISA(
-                    target,
-                    baseline,
-                    perturbations=resolved.perturbations,
-                    config=spec.config,
-                    initial_factory=resolved.factory,
-                    constraints=constraints,
-                ),
-            )
-            for target, baseline in spec.resolved_pairs()
-        ]
+        pairs = _pisa_pairs(spec, resolved)
         checkpoint = None
         if run_dir is not None:
             checkpoint = RunCheckpoint(
@@ -282,6 +451,97 @@ def run_sweep(
         )
     benchmark, makespans = _aggregate_benchmark(spec, rows)
     return SweepResult(spec=spec, benchmark=benchmark, makespans=makespans)
+
+
+# ---------------------------------------------------------------------- #
+# Multi-host workers: reconstruct the sweep from the run directory alone
+# ---------------------------------------------------------------------- #
+def load_run_plan(run_dir: str | Path) -> SweepPlan:
+    """Rebuild the executable plan of a run directory from its manifest.
+
+    This is what lets a worker on another host join a run knowing nothing
+    but the shared directory's path: the stored :class:`SweepSpec` *is*
+    the work definition.  Refuses manifests that are not spec sweeps and
+    externally-seeded runs (their RNG streams cannot be reconstructed
+    from the spec).
+    """
+    run_dir = Path(run_dir)
+    manifest_path = run_dir / RunCheckpoint.MANIFEST_NAME
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except FileNotFoundError:
+        raise CheckpointError(
+            f"{run_dir} has no {RunCheckpoint.MANIFEST_NAME}; initialize it with "
+            "`repro sweep run --backend distributed --run-dir ...` or "
+            "`repro sweep work ... --spec spec.json`"
+        ) from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"cannot read manifest of {run_dir}: {exc}") from None
+    if not isinstance(manifest, dict) or manifest.get("kind") != MANIFEST_KIND:
+        raise CheckpointError(
+            f"{run_dir} is not a sweep run directory (manifest kind "
+            f"{manifest.get('kind') if isinstance(manifest, dict) else None!r}); "
+            "only spec-backed sweeps can be drained by distributed workers"
+        )
+    if "external_rng" in manifest:
+        raise CheckpointError(
+            f"{run_dir} was seeded from an external generator; its RNG streams "
+            "cannot be reconstructed from the spec, so distributed workers "
+            "cannot join it"
+        )
+    spec = SweepSpec.from_dict(
+        manifest.get("spec"), where=f"{manifest_path}: spec"
+    )
+    plan = plan_sweep(spec)
+    stored_units = manifest.get("units")
+    if stored_units != len(plan.units):
+        raise CheckpointError(
+            f"manifest of {run_dir} records {stored_units!r} units but the spec "
+            f"plans {len(plan.units)}; the run directory is corrupt or from an "
+            "incompatible version"
+        )
+    return plan
+
+
+def work_run_dir(
+    run_dir: str | Path,
+    *,
+    spec: SweepSpec | None = None,
+    worker_id: str | None = None,
+    lease_ttl: float | None = None,
+    heartbeat_interval: float | None = None,
+    poll_interval: float | None = None,
+    wait: bool = True,
+    on_unit: Callable[[str], None] | None = None,
+) -> tuple[SweepPlan, WorkerStats]:
+    """Join ``run_dir`` as one distributed worker and drain it.
+
+    With ``spec``, an uninitialized directory is initialized first (and an
+    initialized one is validated against it) — attaching is idempotent, so
+    any number of workers can race to be first.  Without ``spec``, the
+    directory must already hold a sweep manifest.  Returns when the whole
+    run is complete (every unit recorded by some worker), or — with
+    ``wait=False`` — when nothing is claimable.
+    """
+    if spec is not None:
+        plan = plan_sweep(spec)
+        checkpoint = RunCheckpoint(run_dir, encode=plan.encode, decode=plan.decode)
+        checkpoint.initialize(plan.manifest(), resume=True)
+    else:
+        plan = load_run_plan(run_dir)
+        checkpoint = RunCheckpoint(run_dir, encode=plan.encode, decode=plan.decode)
+    stats = drain_units(
+        plan.units,
+        plan.worker,
+        checkpoint,
+        worker_id=worker_id,
+        lease_ttl=lease_ttl,
+        heartbeat_interval=heartbeat_interval,
+        poll_interval=poll_interval,
+        wait=wait,
+        on_unit=on_unit,
+    )
+    return plan, stats
 
 
 # ---------------------------------------------------------------------- #

@@ -63,6 +63,43 @@ class TestParser:
         )
         assert args.run_dir == "r" and args.resume and args.jobs == 2
 
+    def test_sweep_run_backend_flag(self):
+        args = build_parser().parse_args(["sweep", "run", "s.json"])
+        assert args.backend == "local"
+        args = build_parser().parse_args(
+            ["sweep", "run", "s.json", "--backend", "distributed", "--run-dir", "r"]
+        )
+        assert args.backend == "distributed"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "run", "s.json", "--backend", "rpc"])
+
+    def test_sweep_work_flags(self):
+        args = build_parser().parse_args(
+            [
+                "sweep", "work", "runs/x",
+                "--spec", "s.json",
+                "--worker-id", "w1",
+                "--ttl", "30",
+                "--heartbeat", "5",
+                "--poll", "0.5",
+                "--no-wait",
+            ]
+        )
+        assert args.sweep_command == "work" and args.run_dir == "runs/x"
+        assert args.spec == "s.json" and args.worker_id == "w1"
+        assert args.ttl == 30.0 and args.heartbeat == 5.0 and args.poll == 0.5
+        assert args.no_wait
+
+    def test_sweep_work_requires_run_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "work"])
+
+    def test_sweep_status_requires_run_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "status"])
+        args = build_parser().parse_args(["sweep", "status", "runs/x"])
+        assert args.sweep_command == "status" and args.run_dir == "runs/x"
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -234,3 +271,77 @@ class TestSweepCommands:
         assert main(["sweep", "run", str(path)]) == 2
         err = capsys.readouterr().err
         assert "mode" in err and str(path) in err
+
+    def _benchmark_spec_file(self, tmp_path):
+        from repro.sweeps import SourceSpec, SweepSpec
+
+        spec = SweepSpec(
+            name="cli-dist",
+            mode="benchmark",
+            schedulers=("HEFT", "CPoP"),
+            source=SourceSpec("dataset", {"dataset": "chains"}),
+            num_instances=3,
+            sampling="sequential",
+            seed=2,
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        return path
+
+    def test_work_initializes_and_drains_then_status_reports_complete(
+        self, tmp_path, capsys
+    ):
+        spec_path = self._benchmark_spec_file(tmp_path)
+        run_dir = str(tmp_path / "run")
+        assert main(
+            ["sweep", "work", run_dir, "--spec", str(spec_path), "--worker-id", "w1",
+             "--ttl", "30"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "executed 3 unit(s)" in out
+        assert "run complete" in out and "incomplete" not in out
+        # A second worker finds nothing to do — from the manifest alone.
+        assert main(["sweep", "work", run_dir, "--worker-id", "w2", "--ttl", "30"]) == 0
+        assert "executed 0 unit(s)" in capsys.readouterr().out
+        assert main(["sweep", "status", run_dir]) == 0
+        out = capsys.readouterr().out
+        assert "cli-dist" in out and "3/3" in out
+        assert "complete" in out and "incomplete" not in out
+        # The drained directory aggregates via `sweep run --resume`.
+        assert main(
+            ["sweep", "run", str(spec_path), "--run-dir", run_dir, "--resume"]
+        ) == 0
+        assert "cli-dist" in capsys.readouterr().out
+
+    def test_work_without_manifest_or_spec_fails_cleanly(self, tmp_path, capsys):
+        assert main(["sweep", "work", str(tmp_path / "empty")]) == 2
+        assert "manifest" in capsys.readouterr().err
+
+    def test_work_rejects_bad_timing_flags_cleanly(self, tmp_path, capsys):
+        assert main(["sweep", "work", str(tmp_path / "r"), "--ttl", "0"]) == 2
+        assert "--ttl" in capsys.readouterr().err
+        assert main(["sweep", "work", str(tmp_path / "r"), "--heartbeat", "-1"]) == 2
+        assert "--heartbeat" in capsys.readouterr().err
+        assert main(
+            ["sweep", "work", str(tmp_path / "r"), "--ttl", "2", "--heartbeat", "10"]
+        ) == 2
+        assert "smaller than the lease ttl" in capsys.readouterr().err
+
+    def test_run_distributed_backend_executes_a_spec_file(self, tmp_path, capsys):
+        spec_path = self._benchmark_spec_file(tmp_path)
+        run_dir = tmp_path / "run"
+        assert main(
+            ["sweep", "run", str(spec_path), "--run-dir", str(run_dir),
+             "--backend", "distributed"]
+        ) == 0
+        assert "cli-dist" in capsys.readouterr().out
+        assert list(run_dir.glob("units-*.jsonl"))
+
+    def test_run_distributed_backend_requires_run_dir(self, tmp_path, capsys):
+        spec_path = self._benchmark_spec_file(tmp_path)
+        assert main(["sweep", "run", str(spec_path), "--backend", "distributed"]) == 2
+        assert "run_dir" in capsys.readouterr().err
+
+    def test_status_on_non_run_directory_fails_cleanly(self, tmp_path, capsys):
+        assert main(["sweep", "status", str(tmp_path)]) == 2
+        assert "not a run directory" in capsys.readouterr().err

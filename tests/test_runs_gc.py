@@ -5,9 +5,21 @@ from __future__ import annotations
 import json
 
 from repro.runtime.checkpoint import RunCheckpoint
+from repro.runtime.distributed import LEASES_DIR, Lease
 from repro.runtime.gc import collectable, gc_runs, scan_runs
 
 NOW = 1_000_000.0
+
+
+def _write_lease(run_dir, *, unit="u0", worker="w", heartbeat, ttl=60.0):
+    import os
+
+    leases = run_dir / LEASES_DIR
+    leases.mkdir(parents=True, exist_ok=True)
+    lease = Lease(unit=unit, worker=worker, acquired_at=heartbeat, heartbeat=heartbeat, ttl=ttl)
+    path = leases / f"{unit}.json"
+    path.write_text(json.dumps(lease.to_dict()))
+    os.utime(path, (heartbeat, heartbeat))
 
 
 def _make_run(path, *, total=4, completed=4, kind="sweep", name=None, mtime=NOW):
@@ -112,6 +124,51 @@ class TestCollectable:
         (run / "manifest.json").write_text(json.dumps({"kind": "misc"}))
         (status,) = scan_runs(tmp_path, now=NOW)
         assert not collectable(status)
+
+
+class TestLeaseAwareGc:
+    def test_live_lease_blocks_collection(self, tmp_path):
+        """A worker — possibly on another host — is draining this run."""
+        run = _make_run(tmp_path / "r")  # complete, normally collectable
+        _write_lease(run, heartbeat=NOW - 5, ttl=60)
+        (status,) = scan_runs(tmp_path, now=NOW)
+        assert status.active_leases == 1
+        assert not collectable(status)
+        assert not collectable(status, stale_seconds=1)
+        assert "live worker lease" in status.describe()
+        collect, keep = gc_runs(tmp_path, delete=True, stale_seconds=1, now=NOW)
+        assert collect == []
+        assert run.exists()
+
+    def test_expired_lease_does_not_block_collection(self, tmp_path):
+        run = _make_run(tmp_path / "r")
+        _write_lease(run, heartbeat=NOW - 7200, ttl=60)
+        (status,) = scan_runs(tmp_path, now=NOW)
+        assert status.active_leases == 0
+        assert status.stale_leases == 1
+        assert collectable(status)
+        collect, _ = gc_runs(tmp_path, delete=True, now=NOW)
+        assert [s.path for s in collect] == [run]
+        assert not run.exists()
+
+    def test_shard_records_count_toward_completion(self, tmp_path):
+        """Distributed runs record into units-*.jsonl shards; gc must see
+        them or it would misclassify finished multi-worker runs as stale."""
+        run = tmp_path / "r"
+        checkpoint = RunCheckpoint(run)
+        checkpoint.initialize({"kind": "sweep", "units": 3}, resume=False)
+        checkpoint.record("u0", 0)
+        checkpoint.record("u1", 1, shard="w1")
+        checkpoint.record("u2", 2, shard="w2")
+        checkpoint.record("u2", 2, shard="w1")  # duplicate must not inflate
+        import os
+
+        for path in checkpoint.result_paths() + [checkpoint.manifest_path]:
+            os.utime(path, (NOW, NOW))
+        (status,) = scan_runs(tmp_path, now=NOW)
+        assert status.completed_units == 3
+        assert status.complete
+        assert collectable(status)
 
 
 class TestGcRuns:

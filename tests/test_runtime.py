@@ -161,6 +161,32 @@ class TestRunCheckpoint:
         with pytest.raises(ValueError, match="manifest.json is missing"):
             checkpoint.initialize({"kind": "a"}, resume=True)
 
+    def test_record_after_torn_line_repairs_the_file(self, tmp_path):
+        """The latent partial-line bug: a mid-write kill leaves a torn
+        final line, and a record appended on resume used to glue onto it —
+        losing the *new* result.  record() must start on a fresh line."""
+        checkpoint = RunCheckpoint(tmp_path)
+        checkpoint.initialize({"kind": "a"}, resume=False)
+        checkpoint.record("u0", 1)
+        with checkpoint.units_path.open("a") as fh:
+            fh.write('{"key": "u1", "resu')  # killed mid-write, no newline
+        checkpoint.record("u2", 3)
+        assert checkpoint.completed() == {"u0": 1, "u2": 3}
+        # u1 stays incomplete (re-executed on resume); u2 must survive.
+
+    def test_mid_file_garbage_skipped_and_logged(self, tmp_path, caplog):
+        import logging
+
+        checkpoint = RunCheckpoint(tmp_path)
+        checkpoint.initialize({"kind": "a"}, resume=False)
+        checkpoint.record("u0", 1)
+        with checkpoint.units_path.open("a") as fh:
+            fh.write("not json at all\n")
+        checkpoint.record("u2", 3)
+        with caplog.at_level(logging.WARNING, logger="repro.runtime.checkpoint"):
+            assert checkpoint.completed() == {"u0": 1, "u2": 3}
+        assert any("unparseable" in record.message for record in caplog.records)
+
 
 # ---------------------------------------------------------------------- #
 # Pairwise sweeps on the runtime
@@ -266,6 +292,45 @@ class TestCheckpointResume:
             assert restored.results[pair].best_ratio == result.best_ratio
             assert restored.results[pair].best_instance.task_graph == result.best_instance.task_graph
             assert restored.results[pair].best_instance.network == result.best_instance.network
+
+
+# ---------------------------------------------------------------------- #
+# The spawn start method (remote hosts won't always fork)
+# ---------------------------------------------------------------------- #
+class TestSpawnStartMethod:
+    """The runtime's invariants must hold when worker processes are
+    spawned rather than forked: spawn re-imports everything from scratch,
+    which is exactly what workers on a remote host do."""
+
+    SPAWN_PAIR = ["HEFT", "CPoP"]
+
+    @pytest.fixture(autouse=True)
+    def _force_spawn(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START_METHOD", "spawn")
+
+    def test_jobs_invariance_under_spawn(self):
+        serial = pairwise_comparison(self.SPAWN_PAIR, config=FAST, rng=0, jobs=1)
+        parallel = pairwise_comparison(self.SPAWN_PAIR, config=FAST, rng=0, jobs=2)
+        assert _ratios(serial) == _ratios(parallel)
+
+    def test_resume_after_kill_under_spawn(self, tmp_path):
+        run_dir = tmp_path / "sweep"
+        full = pairwise_comparison(
+            self.SPAWN_PAIR, config=FAST, rng=5, jobs=2, checkpoint_dir=run_dir
+        )
+        units_path = run_dir / "units.jsonl"
+        lines = units_path.read_text().splitlines()
+        # Simulate a mid-sweep kill: keep the first unit plus a torn line.
+        units_path.write_text(lines[0] + "\n" + lines[1][: len(lines[1]) // 2])
+        resumed = pairwise_comparison(
+            self.SPAWN_PAIR,
+            config=FAST,
+            rng=5,
+            jobs=2,
+            checkpoint_dir=run_dir,
+            resume=True,
+        )
+        assert _ratios(resumed) == _ratios(full)
 
 
 # ---------------------------------------------------------------------- #
