@@ -1,6 +1,6 @@
 """Runtime benchmarks: parallel speedup + the compiled-kernel hot path.
 
-Three measurements seed the repo's performance trajectory (timings land
+Four measurements seed the repo's performance trajectory (timings land
 in ``benchmarks/_reports/runtime.json``, which CI uploads as an artifact
 and ``benchmarks/compare.py`` gates against the committed
 ``benchmarks/_reports/baseline.json``):
@@ -19,6 +19,11 @@ and ``benchmarks/compare.py`` gates against the committed
   while producing bit-identical energies.
 * **Builder hot path** — a greedy batched-EFT scheduling loop through
   the compiled builder vs the same loop through the reference builder.
+* **Coordinator round-trip** — the claim→record→release cycle through
+  the HTTP coordinator (loopback) vs the filesystem lease protocol, in
+  units/second.  Not gated: it contextualizes coordination overhead
+  against unit runtimes (PISA units run for seconds; both transports
+  sustain hundreds of cycles per second, so coordination is noise).
 """
 
 from __future__ import annotations
@@ -253,4 +258,69 @@ def test_builder_hot_path_speedup(report_dir):
     assert speedup > 1.1, (
         f"compiled builder not measurably faster: {t_reference:.3f}s reference "
         f"vs {t_optimized:.3f}s optimized ({speedup:.2f}x)"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Coordinator round-trip: HTTP claim/record/release vs the filesystem
+# ---------------------------------------------------------------------- #
+ROUNDTRIP_UNITS = 150
+
+
+def _drain_roundtrips(backend, keys, worker_id: str) -> None:
+    """The measured cycle: claim → record → release, once per unit."""
+    for key in keys:
+        lease = backend.claim(key, worker_id)
+        assert lease is not None, f"unit {key} unexpectedly contended"
+        backend.record(lease, {"k": key, "v": 1.0})
+        backend.release(lease)
+
+
+def test_coordinator_roundtrip_throughput(report_dir, tmp_path):
+    """Units/second of the coordination cycle itself, per transport.
+
+    One sequential worker, trivial results — this isolates pure
+    coordination cost (lease mutation + durable record), which bounds how
+    small a work unit can get before coordination dominates.
+    """
+    from repro.runtime import RunCheckpoint
+    from repro.runtime.backends import FilesystemWorkBackend, HttpWorkBackend
+    from repro.runtime.coordinator import running_coordinator
+
+    keys = [f"u{i}" for i in range(ROUNDTRIP_UNITS)]
+    manifest = {"kind": "sweep", "spec": {"name": "bench"}, "units": len(keys)}
+
+    fs_dir = tmp_path / "fs-run"
+    fs_checkpoint = RunCheckpoint(fs_dir)
+    fs_checkpoint.initialize(manifest, resume=True)
+    fs_backend = FilesystemWorkBackend(fs_checkpoint, ttl=60.0)
+    _, t_fs = _timed(lambda: _drain_roundtrips(fs_backend, keys, "bench-fs"))
+    assert set(fs_checkpoint.completed()) == set(keys)
+
+    http_dir = tmp_path / "http-run"
+    RunCheckpoint(http_dir).initialize(manifest, resume=True)
+    with running_coordinator(http_dir, unit_keys=keys) as server:
+        backend = HttpWorkBackend(server.url, retry_timeout=30)
+        _, t_http = _timed(lambda: _drain_roundtrips(backend, keys, "bench-http"))
+        assert backend.completed_keys() == set(keys)
+    assert set(RunCheckpoint(http_dir).completed()) == set(keys)
+
+    fs_rate = ROUNDTRIP_UNITS / t_fs if t_fs > 0 else math.inf
+    http_rate = ROUNDTRIP_UNITS / t_http if t_http > 0 else math.inf
+    _write_timings(
+        report_dir,
+        "coordinator_roundtrip",
+        {
+            "units": ROUNDTRIP_UNITS,
+            "filesystem_seconds": round(t_fs, 4),
+            "coordinator_seconds": round(t_http, 4),
+            "filesystem_units_per_second": round(fs_rate, 1),
+            "coordinator_units_per_second": round(http_rate, 1),
+        },
+    )
+    # Coordination must stay negligible next to multi-second PISA units;
+    # 20/s is an order of magnitude of headroom even on tiny CI boxes.
+    assert http_rate >= 20.0, (
+        f"coordinator round-trips too slow: {http_rate:.0f} units/s "
+        f"({t_http:.2f}s for {ROUNDTRIP_UNITS} units)"
     )

@@ -15,10 +15,12 @@ experiment
 sweep
     Declarative sweeps: ``init`` scaffolds a spec file, ``show`` dumps a
     named paper sweep as JSON, ``run`` executes a spec with parallel
-    workers and resumable checkpoints, ``work`` joins a shared run
-    directory as one distributed worker (any host that mounts the
-    directory can help drain it), ``status`` reports a run directory's
-    progress, shards, and leases.
+    workers and resumable checkpoints, ``serve`` exposes a run directory
+    as an HTTP coordinator, ``work`` joins a run as one worker (over a
+    shared run directory, or over ``--coordinator http://host:port``
+    with no shared filesystem), ``status`` reports a run's progress,
+    shards, and leases (``--json`` for the machine-readable schema,
+    ``--coordinator`` for a live coordinator's snapshot).
 runs
     Run-directory housekeeping: ``gc`` lists (default) or deletes
     completed/stale checkpoint directories (never ones with live worker
@@ -35,7 +37,10 @@ Examples
     python -m repro sweep run my-sweep.json --jobs 8 --run-dir runs/my-sweep
     python -m repro sweep work runs/my-sweep --spec my-sweep.json   # terminal/host 1
     python -m repro sweep work runs/my-sweep                        # terminal/host 2..N
+    python -m repro sweep serve runs/my-sweep --spec my-sweep.json --port 8642
+    python -m repro sweep work --coordinator http://host:8642       # any host, no NFS
     python -m repro sweep status runs/my-sweep
+    python -m repro sweep status --coordinator http://host:8642 --json
     python -m repro sweep show fig4
     python -m repro runs gc runs/ --stale-hours 48 --delete
 """
@@ -146,23 +151,78 @@ def build_parser() -> argparse.ArgumentParser:
     )
     q.add_argument(
         "--backend",
-        choices=["local", "distributed"],
+        choices=["local", "distributed", "coordinator"],
         default="local",
         help="distributed coordinates workers through lease files in "
         "--run-dir, so `repro sweep work` processes on other hosts can "
-        "help drain the same sweep (results are bit-identical either way)",
+        "help drain the same sweep; coordinator drains through a `repro "
+        "sweep serve` HTTP endpoint (--coordinator URL) with no shared "
+        "filesystem (results are bit-identical in every case)",
+    )
+    q.add_argument(
+        "--coordinator",
+        default=None,
+        metavar="URL",
+        help="coordinator base URL (http://host:port) for "
+        "--backend coordinator",
     )
 
     q = sweep_sub.add_parser(
-        "work",
-        help="join a shared run directory as one distributed worker",
+        "serve",
+        help="serve a run directory as an HTTP coordinator (multi-host "
+        "sweeps without a shared filesystem)",
     )
-    q.add_argument("run_dir", help="run directory shared between workers")
+    q.add_argument("run_dir", help="run directory the coordinator owns")
     q.add_argument(
         "--spec",
         default=None,
         help="spec file: initializes an uninitialized run directory "
         "(validated against the manifest if one exists)",
+    )
+    q.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    q.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (default 0: an ephemeral port, printed on startup)",
+    )
+    q.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        help="lease seconds without a heartbeat before a worker's units are "
+        "re-granted (default 120; judged on the coordinator's clock)",
+    )
+    q.add_argument(
+        "--until-complete",
+        action="store_true",
+        help="exit once every unit of the run is recorded (default: serve "
+        "until interrupted)",
+    )
+
+    q = sweep_sub.add_parser(
+        "work",
+        help="join a run as one worker (shared run directory or --coordinator)",
+    )
+    q.add_argument(
+        "run_dir",
+        nargs="?",
+        default=None,
+        help="run directory shared between workers (omit with --coordinator)",
+    )
+    q.add_argument(
+        "--coordinator",
+        default=None,
+        metavar="URL",
+        help="drain through the `repro sweep serve` coordinator at URL "
+        "instead of a shared run directory",
+    )
+    q.add_argument(
+        "--spec",
+        default=None,
+        help="spec file: initializes an uninitialized run directory "
+        "(validated against the manifest if one exists; shared-directory "
+        "mode only — a coordinator's manifest defines the sweep)",
     )
     q.add_argument(
         "--worker-id",
@@ -175,7 +235,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="lease seconds without a heartbeat before peers reclaim this "
-        "worker's units (default 120)",
+        "worker's units (default 120; shared-directory mode only — a "
+        "coordinator's TTL is set with `sweep serve --ttl`)",
     )
     q.add_argument(
         "--heartbeat",
@@ -190,6 +251,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds between checks while waiting on other workers' leases",
     )
     q.add_argument(
+        "--retry",
+        type=float,
+        default=None,
+        help="coordinator mode: seconds to keep retrying transient wire "
+        "errors, e.g. while the coordinator restarts (default 60)",
+    )
+    q.add_argument(
         "--no-wait",
         action="store_true",
         help="exit when nothing is claimable instead of waiting for the "
@@ -197,9 +265,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     q = sweep_sub.add_parser(
-        "status", help="report a run directory's progress, shards, and leases"
+        "status", help="report a run's progress, shards, and leases"
     )
-    q.add_argument("run_dir", help="run directory to inspect")
+    q.add_argument(
+        "run_dir",
+        nargs="?",
+        default=None,
+        help="run directory to inspect (omit with --coordinator)",
+    )
+    q.add_argument(
+        "--coordinator",
+        default=None,
+        metavar="URL",
+        help="inspect the live coordinator at URL instead of a run directory",
+    )
+    q.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (one schema for both backends)",
+    )
 
     q = sweep_sub.add_parser(
         "show", help="print a named paper sweep as a spec (no name: list them)"
@@ -395,6 +479,9 @@ def _cmd_sweep(args) -> int:
     if args.sweep_command == "work":
         return _cmd_sweep_work(args)
 
+    if args.sweep_command == "serve":
+        return _cmd_sweep_serve(args)
+
     if args.sweep_command == "status":
         return _cmd_sweep_status(args)
 
@@ -430,6 +517,20 @@ def _cmd_sweep(args) -> int:
         # jobs>1), so it goes to stderr; stdout carries only the report.
         def progress(t, b, r):
             print(f"  {t} vs {b}: {r:.2f}", file=sys.stderr, flush=True)
+    if args.backend == "coordinator" and args.coordinator is None:
+        print(
+            "error: --backend coordinator requires --coordinator URL",
+            file=sys.stderr,
+        )
+        return 2
+    if args.backend != "coordinator" and args.coordinator is not None:
+        print(
+            "error: --coordinator requires --backend coordinator",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.runtime.backends import CoordinatorError, CoordinatorProtocolError
+
     try:
         result = run_sweep(
             spec,
@@ -438,11 +539,14 @@ def _cmd_sweep(args) -> int:
             resume=args.resume,
             progress=progress,
             backend=args.backend,
+            coordinator=args.coordinator,
         )
-    except (SpecError, CheckpointError) as exc:
+    except (SpecError, CheckpointError, CoordinatorError, CoordinatorProtocolError) as exc:
         # CheckpointError covers the run-dir refusals (existing run dir
-        # without --resume, manifest mismatch on --resume); anything else
-        # is a real failure and keeps its traceback.
+        # without --resume, manifest mismatch on --resume) and the
+        # coordinator-manifest mismatch; the coordinator errors cover an
+        # unreachable or foreign coordinator.  Anything else is a real
+        # failure and keeps its traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(render_report(result))
@@ -450,14 +554,36 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_sweep_work(args) -> int:
+    from repro.runtime.backends import CoordinatorError, CoordinatorProtocolError
     from repro.runtime.checkpoint import CheckpointError
     from repro.runtime.distributed import (
         DEFAULT_LEASE_TTL,
         inspect_run_dir,
         worker_identity,
     )
-    from repro.sweeps import SpecError, SweepSpec, work_run_dir
+    from repro.sweeps import SpecError, SweepSpec, work_coordinator, work_run_dir
 
+    if (args.run_dir is None) == (args.coordinator is None):
+        print(
+            "error: pass exactly one of <run_dir> (shared directory) or "
+            "--coordinator URL",
+            file=sys.stderr,
+        )
+        return 2
+    if args.coordinator is not None and args.spec is not None:
+        print(
+            "error: --spec cannot be combined with --coordinator: the "
+            "coordinator's manifest defines the sweep",
+            file=sys.stderr,
+        )
+        return 2
+    if args.coordinator is not None and args.ttl is not None:
+        print(
+            "error: --ttl is set on the coordinator (`repro sweep serve "
+            "--ttl`), not on its workers",
+            file=sys.stderr,
+        )
+        return 2
     spec = None
     if args.spec is not None:
         try:
@@ -473,87 +599,189 @@ def _cmd_sweep_work(args) -> int:
         ("--ttl", args.ttl, "positive"),
         ("--heartbeat", args.heartbeat, "positive"),
         ("--poll", args.poll, "non-negative"),
+        ("--retry", args.retry, "positive"),
     ):
         if value is None:
             continue
         if value < 0 or (minimum == "positive" and value == 0):
             print(f"error: {flag} must be {minimum}, got {value}", file=sys.stderr)
             return 2
-    effective_ttl = args.ttl if args.ttl is not None else DEFAULT_LEASE_TTL
-    if args.heartbeat is not None and args.heartbeat >= effective_ttl:
-        print(
-            f"error: --heartbeat ({args.heartbeat}) must be smaller than the "
-            f"lease ttl ({effective_ttl}); peers would mistake the worker for "
-            "dead between renewals",
-            file=sys.stderr,
-        )
-        return 2
+    if args.coordinator is None:
+        effective_ttl = args.ttl if args.ttl is not None else DEFAULT_LEASE_TTL
+        if args.heartbeat is not None and args.heartbeat >= effective_ttl:
+            print(
+                f"error: --heartbeat ({args.heartbeat}) must be smaller than the "
+                f"lease ttl ({effective_ttl}); peers would mistake the worker for "
+                "dead between renewals",
+                file=sys.stderr,
+            )
+            return 2
     wid = args.worker_id if args.worker_id is not None else worker_identity()
 
     def on_unit(key: str) -> None:
         print(f"[{wid}] completed {key}", file=sys.stderr, flush=True)
 
     try:
-        _, stats = work_run_dir(
+        if args.coordinator is not None:
+            from repro.runtime.backends import HttpWorkBackend
+
+            plan, stats = work_coordinator(
+                args.coordinator,
+                worker_id=wid,
+                heartbeat_interval=args.heartbeat,
+                poll_interval=args.poll,
+                retry_timeout=args.retry,
+                wait=not args.no_wait,
+                on_unit=on_unit,
+            )
+            try:
+                # Best-effort: a `serve --until-complete` coordinator may
+                # exit the moment the last unit records, which must not
+                # turn this worker's clean finish into a failure.
+                payload = HttpWorkBackend(args.coordinator, retry_timeout=2.0).status()
+                complete = bool(payload.get("complete"))
+                completed_units = payload.get("completed_units")
+                total_units = payload.get("total_units")
+            except (CoordinatorError, CoordinatorProtocolError):
+                complete = not args.no_wait  # wait=True only returns complete
+                completed_units = "?"
+                total_units = len(plan.units)
+        else:
+            _, stats = work_run_dir(
+                args.run_dir,
+                spec=spec,
+                worker_id=wid,
+                lease_ttl=args.ttl,
+                heartbeat_interval=args.heartbeat,
+                poll_interval=args.poll,
+                wait=not args.no_wait,
+                on_unit=on_unit,
+            )
+            status = inspect_run_dir(args.run_dir)
+            complete = status.complete
+            completed_units = status.completed_units
+            total_units = status.total_units
+    except (SpecError, CheckpointError, CoordinatorError, CoordinatorProtocolError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    reclaimed = f", reclaimed {stats.reclaimed} stale lease(s)" if stats.reclaimed else ""
+    print(
+        f"worker {wid}: executed {stats.executed} unit(s){reclaimed}; "
+        f"run {'complete' if complete else 'incomplete'} "
+        f"({completed_units}/{total_units} units)"
+    )
+    if complete:
+        where = (
+            f"--backend coordinator --coordinator {args.coordinator}"
+            if args.coordinator is not None
+            else f"--run-dir {args.run_dir} --resume"
+        )
+        print(f"aggregate the merged result with: python -m repro sweep run <spec.json> {where}")
+    return 0
+
+
+def _cmd_sweep_serve(args) -> int:
+    from repro.runtime.checkpoint import CheckpointError, RunCheckpoint
+    from repro.runtime.coordinator import serve_coordinator
+    from repro.runtime.distributed import DEFAULT_LEASE_TTL
+    from repro.sweeps import SpecError, SweepSpec, load_run_plan, plan_sweep
+
+    if args.ttl is not None and args.ttl <= 0:
+        print(f"error: --ttl must be positive, got {args.ttl}", file=sys.stderr)
+        return 2
+    try:
+        if args.spec is not None:
+            spec = SweepSpec.load(args.spec)
+            plan = plan_sweep(spec)
+            checkpoint = RunCheckpoint(args.run_dir)
+            checkpoint.initialize(plan.manifest(), resume=True)
+        else:
+            plan = load_run_plan(args.run_dir)
+        server = serve_coordinator(
             args.run_dir,
-            spec=spec,
-            worker_id=wid,
-            lease_ttl=args.ttl,
-            heartbeat_interval=args.heartbeat,
-            poll_interval=args.poll,
-            wait=not args.no_wait,
-            on_unit=on_unit,
+            host=args.host,
+            port=args.port,
+            ttl=args.ttl if args.ttl is not None else DEFAULT_LEASE_TTL,
+            unit_keys=[u.key for u in plan.units],
         )
     except (SpecError, CheckpointError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    status = inspect_run_dir(args.run_dir)
-    reclaimed = f", reclaimed {stats.reclaimed} stale lease(s)" if stats.reclaimed else ""
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    coordinator = server.coordinator
+    advertised = server.url
+    if args.host in ("0.0.0.0", "::", ""):
+        # A wildcard bind is not a reachable address; advertise this
+        # machine's hostname so the printed join command works elsewhere.
+        import socket as _socket
+
+        port = server.server_address[1]
+        advertised = f"http://{_socket.gethostname()}:{port}"
     print(
-        f"worker {wid}: executed {stats.executed} unit(s){reclaimed}; "
-        f"run {'complete' if status.complete else 'incomplete'} "
-        f"({status.completed_units}/{status.total_units} units)"
+        f"coordinator serving {args.run_dir} on {advertised} "
+        f"({coordinator.status_payload()['completed_units']}/{coordinator.total_units} "
+        "units done); workers join with: "
+        f"python -m repro sweep work --coordinator {advertised}",
+        flush=True,
     )
-    if status.complete:
+    if args.until_complete:
+        import threading
+
+        def _watch() -> None:
+            while not coordinator.complete:
+                time.sleep(0.2)
+            server.shutdown()
+
+        threading.Thread(target=_watch, daemon=True, name="serve-until-complete").start()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    if args.until_complete and coordinator.complete:
         print(
-            "aggregate the merged result with: "
+            f"run complete ({coordinator.total_units} units); aggregate with: "
             f"python -m repro sweep run <spec.json> --run-dir {args.run_dir} --resume"
         )
     return 0
 
 
 def _cmd_sweep_status(args) -> int:
-    from repro.runtime.distributed import inspect_run_dir
+    import json as _json
 
-    status = inspect_run_dir(args.run_dir)
-    if status.kind is None and not status.shard_counts:
-        print(f"error: {args.run_dir} is not a run directory", file=sys.stderr)
+    from repro.runtime.backends import (
+        CoordinatorError,
+        CoordinatorProtocolError,
+        HttpWorkBackend,
+    )
+    from repro.runtime.distributed import inspect_run_dir, render_status_payload
+
+    if (args.run_dir is None) == (args.coordinator is None):
+        print(
+            "error: pass exactly one of <run_dir> or --coordinator URL",
+            file=sys.stderr,
+        )
         return 2
-    label = status.name or status.kind or "run"
-    total = "?" if status.total_units is None else status.total_units
-    state = "complete" if status.complete else "incomplete"
-    print(f"{status.run_dir} [{label}] {state}: {status.completed_units}/{total} units")
-    for file_name, count in sorted(status.shard_counts.items()):
-        print(f"  {file_name}: {count} unit(s)")
-    if status.duplicate_records:
-        print(
-            f"  {status.duplicate_records} duplicate record(s) across shards "
-            "(first writer wins on merge)"
-        )
-    now = time.time()
-    for lease in status.active_leases:
-        print(
-            f"  lease {lease.unit}: held by {lease.worker} "
-            f"(heartbeat {now - lease.heartbeat:.1f}s ago, ttl {lease.ttl:.0f}s)"
-        )
-    for lease in status.stale_leases:
-        print(
-            f"  stale lease {lease.unit}: worker {lease.worker} presumed dead "
-            f"(heartbeat {now - lease.heartbeat:.1f}s ago, ttl {lease.ttl:.0f}s); "
-            "reclaimable"
-        )
-    if status.torn_leases:
-        print(f"  {status.torn_leases} torn lease file(s)")
+    if args.coordinator is not None:
+        # A status probe should fail fast, not ride out a long restart.
+        try:
+            payload = HttpWorkBackend(args.coordinator, retry_timeout=5.0).status()
+        except (CoordinatorError, CoordinatorProtocolError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        status = inspect_run_dir(args.run_dir)
+        if status.kind is None and not status.shard_counts:
+            print(f"error: {args.run_dir} is not a run directory", file=sys.stderr)
+            return 2
+        payload = status.to_payload()
+    if args.json:
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_status_payload(payload))
     return 0
 
 

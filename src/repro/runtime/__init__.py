@@ -6,19 +6,39 @@ decompose into independent *work units*, each carrying its own spawned
 RNG stream.  This package executes such unit collections serially or
 over a process pool, streams results back as they complete, and
 checkpoints finished units to a JSON-lines run directory so interrupted
-sweeps resume instead of restarting.  See README.md in this directory
-for the work-unit / checkpoint model.
+sweeps resume instead of restarting.  Multi-host coordination comes in
+two transports behind one ``WorkBackend`` seam (``backends.py``): the
+shared-run-directory lease protocol (``distributed.py``) and the HTTP
+coordinator (``coordinator.py``) for fleets with no shared filesystem.
+See README.md in this directory for the work-unit / checkpoint /
+coordination model.
 """
 
+from repro.runtime.backends import (
+    CoordinatorError,
+    CoordinatorProtocolError,
+    FilesystemWorkBackend,
+    HttpWorkBackend,
+    WorkBackend,
+)
 from repro.runtime.checkpoint import CheckpointError, RunCheckpoint
+from repro.runtime.coordinator import (
+    Coordinator,
+    CoordinatorHTTPServer,
+    running_coordinator,
+    serve_coordinator,
+)
 from repro.runtime.distributed import (
     DEFAULT_LEASE_TTL,
+    STATUS_SCHEMA_VERSION,
     Lease,
     LeaseDir,
     RunDirStatus,
     WorkerStats,
     drain_units,
     inspect_run_dir,
+    render_status_payload,
+    run_units_coordinator,
     run_units_distributed,
     worker_identity,
 )
@@ -58,12 +78,24 @@ __all__ = [
     "scan_runs",
     "gc_runs",
     "DEFAULT_LEASE_TTL",
+    "STATUS_SCHEMA_VERSION",
     "Lease",
     "LeaseDir",
     "RunDirStatus",
     "WorkerStats",
     "drain_units",
     "inspect_run_dir",
+    "render_status_payload",
     "run_units_distributed",
+    "run_units_coordinator",
     "worker_identity",
+    "WorkBackend",
+    "FilesystemWorkBackend",
+    "HttpWorkBackend",
+    "CoordinatorError",
+    "CoordinatorProtocolError",
+    "Coordinator",
+    "CoordinatorHTTPServer",
+    "serve_coordinator",
+    "running_coordinator",
 ]

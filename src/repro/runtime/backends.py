@@ -1,0 +1,522 @@
+"""Work backends: the claim/renew/release/record/completed seam.
+
+:func:`repro.runtime.distributed.drain_units` coordinates workers
+through five operations — *which units are done*, *claim one*, *keep the
+claim alive*, *record its result*, *let it go*.  This module makes that
+seam an explicit protocol (:class:`WorkBackend`) with two transports:
+
+:class:`FilesystemWorkBackend`
+    The shared-run-directory protocol of :mod:`repro.runtime.distributed`
+    (``O_EXCL`` lease files, per-worker result shards), repackaged
+    behind the seam — behavior-identical to the pre-protocol drain loop.
+:class:`HttpWorkBackend`
+    A JSON-over-HTTP client for the coordinator served by ``repro sweep
+    serve`` (:mod:`repro.runtime.coordinator`).  No shared filesystem is
+    required: the coordinator owns the lease table, judges TTL staleness
+    on its single clock, and stores results; this client only needs to
+    reach its port.
+
+The wire protocol is defined here as typed request/reply payloads
+(:class:`ClaimRequest` … :class:`AckReply`) with validating
+``from_dict`` parsers used by *both* sides — the server parses requests
+through them and the client parses replies through them, so a malformed
+message is rejected at the edge instead of corrupting state.
+
+Every client request is **idempotent**, which is what makes bounded
+retry safe when a response is lost (a coordinator SIGKILLed between
+applying a request and replying): a re-sent claim by the current holder
+re-grants the same token, a re-sent record of a completed unit is
+acknowledged as a duplicate, a re-sent release of a vanished lease is a
+no-op.  Transient failures (connection refused while the coordinator
+restarts, 5xx, timeouts) are retried with exponential backoff up to
+``retry_timeout`` seconds; protocol violations (4xx) raise
+:class:`CoordinatorProtocolError` immediately.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
+
+from repro.runtime.checkpoint import RunCheckpoint
+
+__all__ = [
+    "DEFAULT_RETRY_TIMEOUT",
+    "WorkBackend",
+    "FilesystemWorkBackend",
+    "HttpWorkBackend",
+    "CoordinatorError",
+    "CoordinatorProtocolError",
+    "CoordinatorLease",
+    "ClaimRequest",
+    "ClaimReply",
+    "LeaseRequest",
+    "RecordRequest",
+    "AckReply",
+]
+
+#: Seconds an :class:`HttpWorkBackend` keeps retrying transient errors
+#: before giving up.  Long enough to ride out a coordinator kill +
+#: restart; short enough that a permanently-gone coordinator surfaces as
+#: an error, not a hang.
+DEFAULT_RETRY_TIMEOUT = 60.0
+#: Per-request socket timeout (seconds).
+DEFAULT_REQUEST_TIMEOUT = 10.0
+
+
+class CoordinatorError(OSError):
+    """The coordinator stayed unreachable past the retry budget.
+
+    Subclasses :class:`OSError` so the drain loop's transient-failure
+    handling (heartbeat threads retry next beat) treats it like the
+    filesystem hiccups it already tolerates.
+    """
+
+
+class CoordinatorProtocolError(RuntimeError):
+    """The coordinator understood the request and refused it (4xx) — a
+    version mismatch, a foreign run directory, or a malformed payload.
+    Never retried: re-sending the same request cannot help."""
+
+
+# ---------------------------------------------------------------------- #
+# The protocol
+# ---------------------------------------------------------------------- #
+@runtime_checkable
+class WorkBackend(Protocol):
+    """What :func:`~repro.runtime.distributed.drain_units` needs from a
+    coordination transport.
+
+    Lease objects are backend-specific and treated as opaque by the
+    drain loop except for three attributes every lease must expose:
+    ``unit`` (the claimed key), ``ttl`` (seconds of heartbeat silence
+    before peers may reclaim), and ``reclaimed`` (whether this claim
+    stole a dead worker's stale lease).
+    """
+
+    #: Whether the drain loop must re-check completion after a claim.
+    #: The filesystem protocol needs it (claim and completion live in
+    #: different files); a coordinator refuses completed claims
+    #: atomically, so the extra round-trip is skipped.
+    recheck_after_claim: bool
+
+    def completed_keys(self) -> set[str]:
+        """The unit keys recorded so far, by any worker."""
+        ...
+
+    def claim(self, unit_key: str, worker: str) -> Any | None:
+        """Try to claim ``unit_key``; ``None`` if it is held or done."""
+        ...
+
+    def renew(self, lease: Any) -> Any | None:
+        """Refresh a claim's heartbeat; ``None`` if ownership was lost."""
+        ...
+
+    def release(self, lease: Any) -> None:
+        """Give a claim up (after recording, or on failure)."""
+        ...
+
+    def record(self, lease: Any, result: Any) -> None:
+        """Durably record the claimed unit's result — always called
+        *before* :meth:`release` (the exactly-once ordering)."""
+        ...
+
+    def cleanup(self, completed: set[str]) -> None:
+        """Sweep leftover claim state of already-completed units."""
+        ...
+
+
+# ---------------------------------------------------------------------- #
+# Filesystem transport (the PR-4 protocol behind the seam)
+# ---------------------------------------------------------------------- #
+class FilesystemWorkBackend:
+    """The shared-run-directory lease protocol as a :class:`WorkBackend`.
+
+    A thin composition of the existing pieces — :class:`~repro.runtime.
+    distributed.LeaseDir` for claims and the incremental completed-unit
+    tracker + :class:`~repro.runtime.checkpoint.RunCheckpoint` shards for
+    results — so the filesystem path through :func:`drain_units` is
+    *the same code* it was before the seam existed.
+    """
+
+    recheck_after_claim = True
+
+    def __init__(self, checkpoint: RunCheckpoint, ttl: float | None = None) -> None:
+        from repro.runtime.distributed import DEFAULT_LEASE_TTL, LeaseDir, _CompletedTracker
+
+        self.checkpoint = checkpoint
+        self.ttl = float(DEFAULT_LEASE_TTL if ttl is None else ttl)
+        self._leases = LeaseDir(checkpoint.run_dir, ttl=self.ttl)
+        self._tracker = _CompletedTracker(checkpoint)
+
+    def completed_keys(self) -> set[str]:
+        return self._tracker.refresh()
+
+    def claim(self, unit_key: str, worker: str):
+        return self._leases.claim(unit_key, worker)
+
+    def renew(self, lease):
+        return self._leases.renew(lease)
+
+    def release(self, lease) -> None:
+        self._leases.release(lease)
+
+    def record(self, lease, result) -> None:
+        self.checkpoint.record(lease.unit, result, shard=lease.worker)
+
+    def cleanup(self, completed: set[str]) -> None:
+        self._leases.cleanup(completed)
+
+
+# ---------------------------------------------------------------------- #
+# Wire payloads (shared by client and server)
+# ---------------------------------------------------------------------- #
+def _require_str(data: dict, key: str) -> str:
+    value = data.get(key)
+    if not isinstance(value, str) or not value:
+        raise ValueError(f"{key} must be a non-empty string, got {value!r}")
+    return value
+
+
+def _require_bool(data: dict, key: str, default: bool | None = None) -> bool:
+    value = data.get(key, default)
+    if not isinstance(value, bool):
+        raise ValueError(f"{key} must be a boolean, got {value!r}")
+    return value
+
+
+def _payload_dict(data: Any, what: str) -> dict:
+    if not isinstance(data, dict):
+        raise ValueError(f"{what} payload must be an object, got {type(data).__name__}")
+    return data
+
+
+@dataclass(frozen=True)
+class ClaimRequest:
+    """``POST /claim`` body: one worker asking for one unit."""
+
+    unit: str
+    worker: str
+
+    def to_dict(self) -> dict:
+        return {"unit": self.unit, "worker": self.worker}
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "ClaimRequest":
+        data = _payload_dict(data, "claim request")
+        return cls(unit=_require_str(data, "unit"), worker=_require_str(data, "worker"))
+
+
+@dataclass(frozen=True)
+class ClaimReply:
+    """``POST /claim`` reply.
+
+    ``granted`` carries an ownership ``token`` the worker must present on
+    every later renew/release/record for this lease; ``completed`` means
+    the unit is already recorded (nothing to do); a plain denial means a
+    live peer holds it.
+    """
+
+    granted: bool
+    token: str = ""
+    ttl: float = 0.0
+    reclaimed: bool = False
+    completed: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "granted": self.granted,
+            "token": self.token,
+            "ttl": self.ttl,
+            "reclaimed": self.reclaimed,
+            "completed": self.completed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "ClaimReply":
+        data = _payload_dict(data, "claim reply")
+        granted = _require_bool(data, "granted")
+        token = data.get("token", "")
+        if not isinstance(token, str) or (granted and not token):
+            raise ValueError(f"token must be a string (non-empty when granted), got {token!r}")
+        try:
+            ttl = float(data.get("ttl", 0.0))
+        except (TypeError, ValueError):
+            raise ValueError(f"ttl must be a number, got {data.get('ttl')!r}") from None
+        if granted and ttl <= 0:
+            raise ValueError(f"granted claim must carry a positive ttl, got {ttl}")
+        return cls(
+            granted=granted,
+            token=token,
+            ttl=ttl,
+            reclaimed=_require_bool(data, "reclaimed", default=False),
+            completed=_require_bool(data, "completed", default=False),
+        )
+
+
+@dataclass(frozen=True)
+class LeaseRequest:
+    """``POST /renew`` and ``POST /release`` body: a held lease, proven
+    by its ownership token."""
+
+    unit: str
+    worker: str
+    token: str
+
+    def to_dict(self) -> dict:
+        return {"unit": self.unit, "worker": self.worker, "token": self.token}
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "LeaseRequest":
+        data = _payload_dict(data, "lease request")
+        return cls(
+            unit=_require_str(data, "unit"),
+            worker=_require_str(data, "worker"),
+            token=_require_str(data, "token"),
+        )
+
+
+@dataclass(frozen=True)
+class RecordRequest:
+    """``POST /record`` body: a finished unit's (encoded) result."""
+
+    unit: str
+    worker: str
+    token: str
+    result: Any
+
+    def to_dict(self) -> dict:
+        return {
+            "unit": self.unit,
+            "worker": self.worker,
+            "token": self.token,
+            "result": self.result,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "RecordRequest":
+        data = _payload_dict(data, "record request")
+        if "result" not in data:
+            raise ValueError("record request must carry a result")
+        return cls(
+            unit=_require_str(data, "unit"),
+            worker=_require_str(data, "worker"),
+            token=_require_str(data, "token"),
+            result=data["result"],
+        )
+
+
+@dataclass(frozen=True)
+class AckReply:
+    """Reply to renew/release/record.
+
+    ``ok=False`` with ``stale=True`` means the presented token no longer
+    owns the lease (it expired and was re-granted); ``duplicate=True``
+    on a record ack means the unit was already recorded and this result
+    was dropped (first writer wins, as on the filesystem)."""
+
+    ok: bool
+    stale: bool = False
+    duplicate: bool = False
+
+    def to_dict(self) -> dict:
+        return {"ok": self.ok, "stale": self.stale, "duplicate": self.duplicate}
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "AckReply":
+        data = _payload_dict(data, "ack reply")
+        return cls(
+            ok=_require_bool(data, "ok"),
+            stale=_require_bool(data, "stale", default=False),
+            duplicate=_require_bool(data, "duplicate", default=False),
+        )
+
+
+@dataclass(frozen=True)
+class CoordinatorLease:
+    """A claim granted by the coordinator, held client-side.
+
+    The ``token`` is the proof of ownership: the coordinator re-grants
+    an expired lease under a fresh token, so a stalled worker's renewals
+    and releases are rejected instead of clobbering the new holder."""
+
+    unit: str
+    worker: str
+    token: str
+    ttl: float
+    reclaimed: bool = False
+
+
+# ---------------------------------------------------------------------- #
+# HTTP transport
+# ---------------------------------------------------------------------- #
+class HttpWorkBackend:
+    """A :class:`WorkBackend` speaking JSON to a ``repro sweep serve``
+    coordinator — multi-host draining with no shared filesystem.
+
+    Parameters
+    ----------
+    url:
+        The coordinator's base URL (``http://host:port``).
+    encode:
+        Unit-result encoder applied before ``POST /record`` (the same
+        codec a :class:`RunCheckpoint` would hold); ``None`` records
+        results as-is (they must be JSON-serializable).
+    retry_timeout:
+        Seconds to keep retrying transient failures (connection refused,
+        5xx, timeouts) with exponential backoff before raising
+        :class:`CoordinatorError`.  This is what lets workers ride out a
+        coordinator kill + restart without losing their place.
+    """
+
+    recheck_after_claim = False
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        encode: Any | None = None,
+        retry_timeout: float | None = None,
+        request_timeout: float | None = None,
+    ) -> None:
+        self.url = url.rstrip("/")
+        if not self.url.startswith(("http://", "https://")):
+            raise ValueError(f"coordinator url must be http(s)://host:port, got {url!r}")
+        self._encode = encode
+        self.retry_timeout = float(
+            DEFAULT_RETRY_TIMEOUT if retry_timeout is None else retry_timeout
+        )
+        self.request_timeout = float(
+            DEFAULT_REQUEST_TIMEOUT if request_timeout is None else request_timeout
+        )
+
+    # ------------------------------------------------------------------ #
+    def _request(self, path: str, payload: dict | None = None) -> Any:
+        """One JSON round-trip with bounded retry on transient failures."""
+        data = None if payload is None else json.dumps(payload).encode()
+        deadline = time.monotonic() + self.retry_timeout
+        backoff = 0.05
+        last: Exception | None = None
+        while True:
+            request = urllib.request.Request(
+                self.url + path,
+                data=data,
+                method="GET" if data is None else "POST",
+                headers={} if data is None else {"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=self.request_timeout) as resp:
+                    body = resp.read()
+                try:
+                    return json.loads(body)
+                except json.JSONDecodeError as exc:
+                    raise CoordinatorProtocolError(
+                        f"coordinator at {self.url} returned non-JSON for {path}: {exc}"
+                    ) from None
+            except urllib.error.HTTPError as exc:
+                if 400 <= exc.code < 500:
+                    raise CoordinatorProtocolError(
+                        f"coordinator rejected {path}: {_error_detail(exc)}"
+                    ) from None
+                last = exc  # 5xx: the server is unhappy, not us — retry
+            except (
+                urllib.error.URLError,
+                http.client.HTTPException,
+                ConnectionError,
+                TimeoutError,
+                OSError,
+            ) as exc:
+                last = exc  # unreachable/mid-restart — retry
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise CoordinatorError(
+                    f"coordinator at {self.url} unreachable after "
+                    f"{self.retry_timeout:.0f}s of retries (last error: {last})"
+                )
+            time.sleep(min(backoff, remaining))
+            backoff = min(backoff * 2.0, 1.0)
+
+    # ------------------------------------------------------------------ #
+    def completed_keys(self) -> set[str]:
+        reply = self._request("/completed")
+        keys = reply.get("keys") if isinstance(reply, dict) else None
+        if not isinstance(keys, list):
+            raise CoordinatorProtocolError(
+                f"coordinator /completed reply malformed: {reply!r}"
+            )
+        return set(keys)
+
+    def claim(self, unit_key: str, worker: str) -> CoordinatorLease | None:
+        payload = ClaimRequest(unit=unit_key, worker=worker).to_dict()
+        reply = ClaimReply.from_dict(self._request("/claim", payload))
+        if not reply.granted:
+            return None
+        return CoordinatorLease(
+            unit=unit_key,
+            worker=worker,
+            token=reply.token,
+            ttl=reply.ttl,
+            reclaimed=reply.reclaimed,
+        )
+
+    def renew(self, lease: CoordinatorLease) -> CoordinatorLease | None:
+        payload = LeaseRequest(unit=lease.unit, worker=lease.worker, token=lease.token)
+        ack = AckReply.from_dict(self._request("/renew", payload.to_dict()))
+        return lease if ack.ok else None
+
+    def release(self, lease: CoordinatorLease) -> None:
+        payload = LeaseRequest(unit=lease.unit, worker=lease.worker, token=lease.token)
+        self._request("/release", payload.to_dict())  # stale release: benign no-op
+
+    def record(self, lease: CoordinatorLease, result: Any) -> None:
+        encoded = result if self._encode is None else self._encode(result)
+        payload = RecordRequest(
+            unit=lease.unit, worker=lease.worker, token=lease.token, result=encoded
+        )
+        ack = AckReply.from_dict(self._request("/record", payload.to_dict()))
+        if not ack.ok:
+            raise CoordinatorProtocolError(
+                f"coordinator refused to record unit {lease.unit!r} "
+                f"(stale={ack.stale})"
+            )
+
+    def cleanup(self, completed: set[str]) -> None:
+        """No-op: the coordinator sweeps its own lease table."""
+
+    # ------------------------------------------------------------------ #
+    # Read-side endpoints (status, manifests, final results)
+    # ------------------------------------------------------------------ #
+    def manifest(self) -> dict:
+        reply = self._request("/manifest")
+        if not isinstance(reply, dict):
+            raise CoordinatorProtocolError(f"coordinator /manifest reply malformed: {reply!r}")
+        return reply
+
+    def status(self) -> dict:
+        reply = self._request("/status")
+        if not isinstance(reply, dict):
+            raise CoordinatorProtocolError(f"coordinator /status reply malformed: {reply!r}")
+        return reply
+
+    def results(self) -> dict[str, Any]:
+        reply = self._request("/results")
+        results = reply.get("results") if isinstance(reply, dict) else None
+        if not isinstance(results, dict):
+            raise CoordinatorProtocolError(f"coordinator /results reply malformed: {reply!r}")
+        return results
+
+
+def _error_detail(exc: urllib.error.HTTPError) -> str:
+    """The coordinator's ``{"error": ...}`` detail, or the bare status."""
+    try:
+        body = json.loads(exc.read())
+        if isinstance(body, dict) and isinstance(body.get("error"), str):
+            return f"{exc.code} {body['error']}"
+    except (OSError, ValueError):
+        pass
+    return f"{exc.code} {exc.reason}"

@@ -51,6 +51,8 @@ from typing import Any
 __all__ = [
     "CheckpointError",
     "RunCheckpoint",
+    "append_jsonl",
+    "iter_jsonl",
     "iter_result_records",
     "result_file_paths",
     "safe_filename",
@@ -101,14 +103,15 @@ def result_file_paths(run_dir: str | Path) -> list[Path]:
     return paths
 
 
-def iter_result_records(path: Path, *, log: bool = True) -> Iterator[dict]:
-    """Yield the well-formed ``{"key": ..., "result": ...}`` records of one
-    result file, tolerating what killed writers leave behind.
+def iter_jsonl(path: Path, *, log: bool = True, what: str = "record") -> Iterator[Any]:
+    """Yield the parseable JSON values of one JSON-lines file, tolerating
+    what killed writers leave behind.
 
     A torn final line (or mid-file garbage from a corrupted filesystem) is
-    skipped — with a warning when ``log`` is set — instead of raising
-    ``json.JSONDecodeError``: the unit it belonged to is simply not
-    completed and will be re-executed.
+    skipped — with a warning naming ``what`` when ``log`` is set — instead
+    of raising ``json.JSONDecodeError``.  This is the one torn-line-repair
+    reader behind result shards *and* the coordinator journal, so the two
+    recovery paths can never diverge in what they tolerate.
     """
     try:
         # errors="replace": corrupted bytes become unparseable lines that
@@ -121,23 +124,33 @@ def iter_result_records(path: Path, *, log: bool = True) -> Iterator[dict]:
         if not line:
             continue
         try:
-            record = json.loads(line)
+            yield json.loads(line)
         except json.JSONDecodeError:
             if log:
                 logger.warning(
-                    "%s:%d: skipping unparseable checkpoint line "
-                    "(torn write from an interrupted run); the unit will be "
-                    "re-executed on resume",
+                    "%s:%d: skipping unparseable %s line "
+                    "(torn write from an interrupted run)",
                     path,
                     lineno,
+                    what,
                 )
             continue
+
+
+def iter_result_records(path: Path, *, log: bool = True) -> Iterator[dict]:
+    """Yield the well-formed ``{"key": ..., "result": ...}`` records of one
+    result file, tolerating what killed writers leave behind.
+
+    A torn or malformed line is skipped — with a warning when ``log`` is
+    set — instead of raising: the unit it belonged to is simply not
+    completed and will be re-executed on resume.
+    """
+    for record in iter_jsonl(path, log=log, what="checkpoint"):
         if not isinstance(record, dict) or "key" not in record or "result" not in record:
             if log:
                 logger.warning(
-                    "%s:%d: skipping malformed checkpoint record (no unit key/result)",
+                    "%s: skipping malformed checkpoint record (no unit key/result)",
                     path,
-                    lineno,
                 )
             continue
         yield record
@@ -161,6 +174,16 @@ class RunCheckpoint:
         # (or none) pickle cleanly across process boundaries.
         self._encode = encode
         self._decode = decode
+
+    @property
+    def encode(self) -> Callable[[Any], Any] | None:
+        """The result encoder this checkpoint applies on record (or None)."""
+        return self._encode
+
+    @property
+    def decode(self) -> Callable[[Any], Any] | None:
+        """The result decoder this checkpoint applies on load (or None)."""
+        return self._decode
 
     @property
     def manifest_path(self) -> Path:
@@ -360,12 +383,23 @@ class RunCheckpoint:
         """
         encode = self._encode if self._encode is not None else _identity
         path = self.units_path if shard is None else self.shard_path(shard)
-        line = json.dumps({"key": key, "result": encode(result)})
-        with path.open("ab") as fh:
-            if fh.tell() > 0 and not _ends_with_newline(path):
-                fh.write(b"\n")
-            fh.write(line.encode() + b"\n")
-            fh.flush()
+        append_jsonl(path, {"key": key, "result": encode(result)})
+
+
+def append_jsonl(path: Path, obj: Any) -> None:
+    """Append ``obj`` as one JSON line, flushed, repairing a torn tail.
+
+    If a previously killed writer left the file without a trailing
+    newline, a repair newline is inserted first — appending straight
+    after torn bytes would corrupt *this* line too.  Shared by checkpoint
+    records and the coordinator journal.
+    """
+    line = json.dumps(obj)
+    with path.open("ab") as fh:
+        if fh.tell() > 0 and not _ends_with_newline(path):
+            fh.write(b"\n")
+        fh.write(line.encode() + b"\n")
+        fh.flush()
 
 
 def _ends_with_newline(path: Path) -> bool:

@@ -1,0 +1,611 @@
+"""The HTTP coordinator: multi-host sweeps without a shared filesystem.
+
+``repro sweep serve <run_dir>`` turns one run directory into a network
+service.  Workers anywhere (``repro sweep work --coordinator
+http://host:port``) drain the sweep through the JSON wire protocol of
+:mod:`repro.runtime.backends`; only the coordinator machine ever touches
+the run directory.
+
+Design:
+
+**One clock.**  The coordinator owns the lease table in memory and
+judges TTL staleness on its own monotonic clock — the cross-host
+clock-skew gymnastics of the filesystem protocol (observer-local
+unchanged-for-TTL watches) collapse to ``now - heartbeat > ttl``.
+
+**Ownership tokens.**  Every granted lease carries a random token; renew,
+release, and record must present it.  An expired lease is re-granted
+under a *fresh* token, so a stalled worker that wakes up cannot clobber
+the new holder — its renewals and releases are rejected as stale (the
+HTTP analogue of the filesystem protocol's atomic-rename steal).
+
+**Record before release, exactly once.**  A result is durably appended to
+the recording worker's shard in the run directory (and journaled) before
+the coordinator acknowledges it; the worker releases its lease only
+after that acknowledgement.  A duplicate record — a stalled worker
+finishing a unit someone re-executed — is dropped server-side
+(first writer wins; both are bit-identical because every unit owns a
+deterministic RNG stream), so the shards on disk never need merge-time
+deduplication, though the merged read tolerates it anyway.
+
+**Write-ahead journal.**  Every lease state transition (claim, expire,
+release, record) is appended to ``coordinator.jsonl`` in the run
+directory *before* it is applied in memory and acknowledged.  A
+SIGKILLed coordinator restarts losslessly: completed results reload from
+the shards, the lease table replays from the journal (heartbeats reset
+to the restart instant, granting in-flight holders one fresh TTL of
+grace — the same direction the filesystem protocol errs).  The journal
+is read with the shared torn-line-tolerant reader, so a line torn by the
+kill is skipped, not fatal: the worst case is one lease forgotten, which
+a worker simply re-claims.
+
+The server is the stdlib :class:`~http.server.ThreadingHTTPServer` —
+one thread per request over one lock-protected state object.  That is
+deliberately boring: PISA units run for seconds, so coordination traffic
+is hundreds of requests per second at most (measured in
+``benchmarks/bench_runtime.py``), far below what a threaded stdlib
+server sustains — and it keeps the runtime dependency-free.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import logging
+import os
+import secrets
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+
+from repro.runtime.backends import (
+    AckReply,
+    ClaimReply,
+    ClaimRequest,
+    LeaseRequest,
+    RecordRequest,
+)
+from repro.runtime.checkpoint import (
+    CheckpointError,
+    RunCheckpoint,
+    append_jsonl,
+    iter_jsonl,
+    iter_result_records,
+)
+from repro.runtime.distributed import DEFAULT_LEASE_TTL, STATUS_SCHEMA_VERSION, LeaseDir
+
+__all__ = [
+    "ADVISORY_LEASE_UNIT",
+    "JOURNAL_NAME",
+    "Coordinator",
+    "CoordinatorHTTPServer",
+    "UnknownUnitError",
+    "serve_coordinator",
+    "running_coordinator",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Journal file name inside the coordinator's run directory.
+JOURNAL_NAME = "coordinator.jsonl"
+#: The advisory lease a serving coordinator holds in its run directory's
+#: ``leases/`` dir.  Coordinator workers leave no lease files (their
+#: leases live in server memory), so without this marker the lease-aware
+#: ``runs gc`` could collect a directory a live coordinator is serving.
+#: Renewed like any worker lease; goes stale when the coordinator dies,
+#: so a dead coordinator does not protect its directory forever.
+ADVISORY_LEASE_UNIT = "__coordinator__"
+
+
+class UnknownUnitError(ValueError):
+    """A request named a unit that is not part of this run — a worker
+    draining the wrong coordinator, or a version-skewed plan."""
+
+
+@dataclass
+class _LeaseEntry:
+    """One in-flight lease in the coordinator's table."""
+
+    worker: str
+    token: str
+    ttl: float
+    reclaimed: bool
+    heartbeat: float  # coordinator-monotonic instant of the last beat
+
+
+class Coordinator:
+    """Lock-protected lease table + result store over one run directory.
+
+    All methods are thread-safe (the HTTP server calls them from one
+    thread per request).  State-changing methods journal before they
+    mutate, so acknowledged transitions survive a SIGKILL.
+    """
+
+    def __init__(
+        self,
+        run_dir: str | Path,
+        *,
+        ttl: float = DEFAULT_LEASE_TTL,
+        unit_keys: list[str] | None = None,
+    ) -> None:
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be positive, got {ttl}")
+        self.run_dir = Path(run_dir)
+        self.ttl = float(ttl)
+        self.checkpoint = RunCheckpoint(self.run_dir)  # raw results; codecs stay client-side
+        manifest = self.checkpoint.manifest()
+        if manifest is None:
+            raise CheckpointError(
+                f"{self.run_dir} has no {RunCheckpoint.MANIFEST_NAME}; initialize it "
+                "with `repro sweep serve --spec spec.json` (or run/work it once)"
+            )
+        if not isinstance(manifest, dict):
+            raise CheckpointError(f"{self.run_dir} manifest is not an object")
+        self.manifest = manifest
+        self.unit_keys = None if unit_keys is None else set(unit_keys)
+        total = manifest.get("units")
+        self.total_units: int | None = total if isinstance(total, int) else None
+        self._journal_path = self.run_dir / JOURNAL_NAME
+        self._lock = threading.Lock()
+        self._results: dict[str, Any] = {}
+        self._shard_counts: dict[str, int] = {}
+        self._duplicates = 0
+        self._leases: dict[str, _LeaseEntry] = {}
+        self._recover()
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+    def _recover(self) -> None:
+        """Rebuild in-memory state after a (possibly SIGKILLed) restart.
+
+        Results come from the run directory's shard files (the durable
+        source of truth), the lease table from replaying the journal.
+        Heartbeats reset to *now*: in-flight holders get one fresh TTL to
+        prove they are alive before their units are re-granted.
+        """
+        for path in self.checkpoint.result_paths():
+            for record in iter_result_records(path):
+                key = record["key"]
+                if key in self._results:
+                    self._duplicates += 1
+                    continue
+                self._results[key] = record["result"]
+                self._shard_counts[path.name] = self._shard_counts.get(path.name, 0) + 1
+        now = time.monotonic()
+        replayed = 0
+        for event in iter_jsonl(self._journal_path, what="coordinator journal"):
+            if not isinstance(event, dict):
+                continue
+            kind = event.get("event")
+            unit = event.get("unit")
+            if not isinstance(unit, str):
+                continue
+            replayed += 1
+            if kind == "claim":
+                try:
+                    self._leases[unit] = _LeaseEntry(
+                        worker=str(event["worker"]),
+                        token=str(event["token"]),
+                        ttl=float(event["ttl"]),
+                        reclaimed=bool(event.get("reclaimed", False)),
+                        heartbeat=now,
+                    )
+                except (KeyError, TypeError, ValueError):
+                    continue  # torn mid-object; the lease is simply forgotten
+            elif kind in ("release", "expire", "record"):
+                self._leases.pop(unit, None)
+        # A record whose journal line was torn still completed durably
+        # (the shard append precedes the journal append's acknowledgement
+        # path only in memory; both precede the reply) — drop any lease
+        # the replay left on a completed unit.
+        for unit in [u for u in self._leases if u in self._results]:
+            del self._leases[unit]
+        if replayed or self._results:
+            logger.info(
+                "coordinator recovered %d completed unit(s) and %d in-flight "
+                "lease(s) from %s",
+                len(self._results),
+                len(self._leases),
+                self.run_dir,
+            )
+
+    def _journal(self, event: dict) -> None:
+        append_jsonl(self._journal_path, event)
+
+    def _validate_unit(self, unit: str) -> None:
+        if self.unit_keys is not None and unit not in self.unit_keys:
+            raise UnknownUnitError(f"unit {unit!r} is not part of this run")
+
+    # ------------------------------------------------------------------ #
+    # The protocol operations
+    # ------------------------------------------------------------------ #
+    def claim(self, request: ClaimRequest) -> ClaimReply:
+        """Grant ``request.unit`` to ``request.worker`` if it is free.
+
+        Exactly one winner per unit: the table mutation happens under the
+        lock, so concurrent claims of one unit serialize and the losers
+        see the winner's live lease.  An expired lease is journaled as an
+        ``expire`` and re-granted with ``reclaimed=True``; a re-claim by
+        the *current holder* (a retry after a lost reply) idempotently
+        re-grants the same token.
+        """
+        with self._lock:
+            self._validate_unit(request.unit)
+            if request.unit in self._results:
+                return ClaimReply(granted=False, completed=True)
+            now = time.monotonic()
+            entry = self._leases.get(request.unit)
+            reclaimed = False
+            if entry is not None:
+                if entry.worker == request.worker:
+                    entry.heartbeat = now
+                    return ClaimReply(
+                        granted=True,
+                        token=entry.token,
+                        ttl=entry.ttl,
+                        reclaimed=entry.reclaimed,
+                    )
+                if now - entry.heartbeat <= entry.ttl:
+                    return ClaimReply(granted=False)
+                self._journal(
+                    {
+                        "event": "expire",
+                        "unit": request.unit,
+                        "worker": entry.worker,
+                        "token": entry.token,
+                    }
+                )
+                del self._leases[request.unit]
+                reclaimed = True
+                logger.warning(
+                    "expired stale lease on unit %r (worker %s silent past its "
+                    "%.0fs ttl); re-granting to %s",
+                    request.unit,
+                    entry.worker,
+                    entry.ttl,
+                    request.worker,
+                )
+            token = secrets.token_hex(8)
+            self._journal(
+                {
+                    "event": "claim",
+                    "unit": request.unit,
+                    "worker": request.worker,
+                    "token": token,
+                    "ttl": self.ttl,
+                    "reclaimed": reclaimed,
+                }
+            )
+            self._leases[request.unit] = _LeaseEntry(
+                worker=request.worker,
+                token=token,
+                ttl=self.ttl,
+                reclaimed=reclaimed,
+                heartbeat=now,
+            )
+            return ClaimReply(granted=True, token=token, ttl=self.ttl, reclaimed=reclaimed)
+
+    def renew(self, request: LeaseRequest) -> AckReply:
+        """Refresh a lease's heartbeat; stale tokens are rejected.
+
+        Renewals are *not* journaled — after a restart every surviving
+        lease's heartbeat resets to the restart instant anyway, so the
+        per-beat write would buy nothing.
+        """
+        with self._lock:
+            entry = self._leases.get(request.unit)
+            if entry is None or entry.token != request.token:
+                return AckReply(ok=False, stale=True)
+            entry.heartbeat = time.monotonic()
+            return AckReply(ok=True)
+
+    def release(self, request: LeaseRequest) -> AckReply:
+        """Drop a lease — only for its current token.
+
+        Releasing an already-gone lease acknowledges idempotently (the
+        retry-after-lost-reply case); releasing with a superseded token
+        is rejected so a stalled worker cannot unlink the new holder's
+        claim.
+        """
+        with self._lock:
+            entry = self._leases.get(request.unit)
+            if entry is None:
+                return AckReply(ok=True)
+            if entry.token != request.token:
+                return AckReply(ok=False, stale=True)
+            self._journal(
+                {
+                    "event": "release",
+                    "unit": request.unit,
+                    "worker": request.worker,
+                    "token": request.token,
+                }
+            )
+            del self._leases[request.unit]
+            return AckReply(ok=True)
+
+    def record(self, request: RecordRequest) -> AckReply:
+        """Durably record one unit's result, exactly once.
+
+        The shard append (and journal line) happen before the
+        acknowledgement, and the worker releases only after being
+        acknowledged — record-before-release end to end.  A unit already
+        recorded acknowledges as a duplicate without writing (first
+        writer wins).  A *stale* token does not block recording as long
+        as the unit is unrecorded: like the filesystem protocol, a robbed
+        worker that finishes first contributes its (bit-identical) result
+        rather than wasting it — and the superseded holder's lease is
+        dropped so the unit cannot be claimed again.
+        """
+        with self._lock:
+            self._validate_unit(request.unit)
+            if request.unit in self._results:
+                self._duplicates += 1
+                logger.warning(
+                    "duplicate record for unit %r from worker %s dropped "
+                    "(first writer wins)",
+                    request.unit,
+                    request.worker,
+                )
+                return AckReply(ok=True, duplicate=True)
+            entry = self._leases.get(request.unit)
+            stale = entry is None or entry.token != request.token
+            if stale:
+                logger.warning(
+                    "recording unit %r from worker %s despite a stale lease "
+                    "token (its lease was reclaimed while it ran)",
+                    request.unit,
+                    request.worker,
+                )
+            shard_name = self.checkpoint.shard_path(request.worker).name
+            self.checkpoint.record(request.unit, request.result, shard=request.worker)
+            self._journal(
+                {"event": "record", "unit": request.unit, "worker": request.worker}
+            )
+            self._results[request.unit] = request.result
+            self._shard_counts[shard_name] = self._shard_counts.get(shard_name, 0) + 1
+            self._leases.pop(request.unit, None)
+            return AckReply(ok=True)
+
+    # ------------------------------------------------------------------ #
+    # Read side
+    # ------------------------------------------------------------------ #
+    def completed_keys(self) -> list[str]:
+        with self._lock:
+            return sorted(self._results)
+
+    def results(self) -> dict[str, Any]:
+        with self._lock:
+            return dict(self._results)
+
+    @property
+    def complete(self) -> bool:
+        with self._lock:
+            return self.total_units is not None and len(self._results) >= self.total_units
+
+    def status_payload(self) -> dict:
+        """A point-in-time snapshot in the shared status schema — the
+        same shape :meth:`repro.runtime.distributed.RunDirStatus.
+        to_payload` produces for filesystem run directories."""
+        with self._lock:
+            now = time.monotonic()
+            active: list[dict] = []
+            stale: list[dict] = []
+            for unit in sorted(self._leases):
+                entry = self._leases[unit]
+                item = {
+                    "unit": unit,
+                    "worker": entry.worker,
+                    "heartbeat_age": max(round(now - entry.heartbeat, 3), 0.0),
+                    "ttl": entry.ttl,
+                }
+                (active if now - entry.heartbeat <= entry.ttl else stale).append(item)
+            kind = self.manifest.get("kind")
+            spec = self.manifest.get("spec")
+            name = spec.get("name") if isinstance(spec, dict) else None
+            completed = len(self._results)
+            return {
+                "schema": STATUS_SCHEMA_VERSION,
+                "backend": "coordinator",
+                "source": str(self.run_dir),
+                "kind": kind if isinstance(kind, str) else None,
+                "name": name if isinstance(name, str) else None,
+                "complete": self.total_units is not None and completed >= self.total_units,
+                "total_units": self.total_units,
+                "completed_units": completed,
+                "shard_counts": dict(sorted(self._shard_counts.items())),
+                "duplicate_records": self._duplicates,
+                "active_leases": active,
+                "stale_leases": stale,
+                "torn_leases": 0,
+                "torn_live": 0,
+            }
+
+
+# ---------------------------------------------------------------------- #
+# The HTTP face
+# ---------------------------------------------------------------------- #
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the wire protocol onto the server's :class:`Coordinator`."""
+
+    protocol_version = "HTTP/1.1"
+    server: "CoordinatorHTTPServer"
+
+    # Quiet the default per-request stderr lines; debug logging keeps them.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        logger.debug("%s %s", self.address_string(), format % args)
+
+    def _send_json(self, payload: Any, code: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        coordinator = self.server.coordinator
+        if self.path == "/status":
+            self._send_json(coordinator.status_payload())
+        elif self.path == "/completed":
+            self._send_json({"keys": coordinator.completed_keys()})
+        elif self.path == "/results":
+            self._send_json({"results": coordinator.results()})
+        elif self.path == "/manifest":
+            self._send_json(coordinator.manifest)
+        elif self.path == "/healthz":
+            self._send_json({"ok": True})
+        else:
+            self._send_json({"error": f"unknown endpoint {self.path}"}, code=404)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        coordinator = self.server.coordinator
+        operations = {
+            "/claim": (ClaimRequest, coordinator.claim),
+            "/renew": (LeaseRequest, coordinator.renew),
+            "/release": (LeaseRequest, coordinator.release),
+            "/record": (RecordRequest, coordinator.record),
+        }
+        operation = operations.get(self.path)
+        if operation is None:
+            self._send_json({"error": f"unknown endpoint {self.path}"}, code=404)
+            return
+        parse, apply = operation
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length)) if length else None
+            request = parse.from_dict(payload)
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_json({"error": f"malformed request: {exc}"}, code=400)
+            return
+        try:
+            reply = apply(request)
+        except UnknownUnitError as exc:
+            self._send_json({"error": str(exc)}, code=400)
+            return
+        except Exception as exc:  # noqa: BLE001 - a 500 must carry the cause
+            logger.exception("coordinator operation %s failed", self.path)
+            self._send_json({"error": f"internal error: {exc}"}, code=500)
+            return
+        self._send_json(reply.to_dict())
+
+
+class CoordinatorHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`Coordinator`.
+
+    While alive, the server maintains an advisory lease file
+    (:data:`ADVISORY_LEASE_UNIT`) in the run directory so everything
+    that respects filesystem leases — ``runs gc``, ``sweep status``,
+    fresh-initialization refusal — sees the directory as actively
+    worked, even though coordinator workers themselves never touch it.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], coordinator: Coordinator) -> None:
+        super().__init__(address, _Handler)
+        self.coordinator = coordinator
+        self._advisory_leases = LeaseDir(coordinator.run_dir, ttl=coordinator.ttl)
+        self._advisory_stop = threading.Event()
+        self._advisory_thread: threading.Thread | None = None
+        self._advisory_lease = None
+        self._hold_advisory_lease()
+
+    def _hold_advisory_lease(self) -> None:
+        # A SIGKILLed predecessor's stale advisory lease must not block a
+        # restart for a full TTL; exactly one coordinator serves a run
+        # directory at a time (the port is the real mutex on one host).
+        with contextlib.suppress(OSError):
+            os.unlink(self._advisory_leases.lease_path(ADVISORY_LEASE_UNIT))
+        lease = self._advisory_leases.claim(
+            ADVISORY_LEASE_UNIT, f"coordinator-{os.getpid()}"
+        )
+        if lease is None:
+            logger.warning(
+                "could not claim the advisory coordinator lease in %s; "
+                "`runs gc` may not see this coordinator as live",
+                self.coordinator.run_dir,
+            )
+            return
+        self._advisory_lease = lease
+        interval = max(self.coordinator.ttl / 4.0, 0.1)
+
+        def _beat() -> None:
+            current = lease
+            while not self._advisory_stop.wait(interval):
+                try:
+                    renewed = self._advisory_leases.renew(current)
+                except OSError:
+                    continue  # transient fs hiccup; retry next beat
+                if renewed is not None:
+                    current = renewed
+
+        thread = threading.Thread(
+            target=_beat, daemon=True, name="coordinator-advisory-lease"
+        )
+        thread.start()
+        self._advisory_thread = thread
+
+    def server_close(self) -> None:
+        self._advisory_stop.set()
+        if self._advisory_thread is not None:
+            self._advisory_thread.join(timeout=5)
+        if self._advisory_lease is not None:
+            with contextlib.suppress(OSError):
+                self._advisory_leases.release(self._advisory_lease)
+            self._advisory_lease = None
+        super().server_close()
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[0], self.server_address[1]
+        return f"http://{host}:{port}"
+
+
+def serve_coordinator(
+    run_dir: str | Path,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ttl: float = DEFAULT_LEASE_TTL,
+    unit_keys: list[str] | None = None,
+) -> CoordinatorHTTPServer:
+    """Bind a coordinator server for ``run_dir`` (not yet serving).
+
+    Returns the bound server; call ``serve_forever()`` (optionally from a
+    thread) to start handling requests and ``shutdown()``/
+    ``server_close()`` to stop.  ``port=0`` binds an ephemeral port —
+    read the actual one off ``server.url``.
+    """
+    coordinator = Coordinator(run_dir, ttl=ttl, unit_keys=unit_keys)
+    return CoordinatorHTTPServer((host, port), coordinator)
+
+
+@contextlib.contextmanager
+def running_coordinator(
+    run_dir: str | Path,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ttl: float = DEFAULT_LEASE_TTL,
+    unit_keys: list[str] | None = None,
+):
+    """Context manager: a coordinator serving on a background thread.
+
+    Mostly for tests and in-process benchmarks; the CLI serves in the
+    foreground via :func:`serve_coordinator`.
+    """
+    server = serve_coordinator(run_dir, host=host, port=port, ttl=ttl, unit_keys=unit_keys)
+    thread = threading.Thread(target=server.serve_forever, daemon=True, name="coordinator")
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)

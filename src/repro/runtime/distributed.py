@@ -66,6 +66,7 @@ __all__ = [
     "DEFAULT_LEASE_TTL",
     "DEFAULT_POLL_INTERVAL",
     "LEASES_DIR",
+    "STATUS_SCHEMA_VERSION",
     "Lease",
     "LeaseDir",
     "lease_seems_live",
@@ -74,7 +75,9 @@ __all__ = [
     "worker_identity",
     "drain_units",
     "run_units_distributed",
+    "run_units_coordinator",
     "inspect_run_dir",
+    "render_status_payload",
 ]
 
 logger = logging.getLogger(__name__)
@@ -85,6 +88,10 @@ DEFAULT_LEASE_TTL = 120.0
 DEFAULT_POLL_INTERVAL = 0.5
 #: Lease directory name inside a run directory.
 LEASES_DIR = "leases"
+#: Version tag of the machine-readable status payload schema
+#: (``RunDirStatus.to_payload`` / coordinator ``GET /status`` /
+#: ``repro sweep status --json``).
+STATUS_SCHEMA_VERSION = 1
 
 #: Fault-injection hook: sleep this many seconds between claim and
 #: execution (see module docstring).
@@ -113,14 +120,28 @@ def lease_seems_live(lease: "Lease | None", path: Path, now: float) -> bool:
     return now - mtime <= ttl
 
 
-def worker_identity() -> str:
-    """A unique-enough worker id: ``<host>-<pid>-<random>``.
+#: Per-process random identity suffix, chosen lazily at first use (so a
+#: forked child that first calls :func:`worker_identity` after the fork
+#: still shares the parent's suffix — its pid already distinguishes it).
+_identity_suffix: str | None = None
 
-    Uniqueness matters because the worker id names the result shard; two
-    workers sharing an id would interleave appends in one file.
+
+def worker_identity() -> str:
+    """This process's worker id: ``<host>-<pid>-<random32>``.
+
+    Uniqueness matters because the worker id names the result shard and
+    leases; two workers sharing an id would interleave appends in one
+    file.  Hostname + pid alone collide across container fleets (every
+    container is ``host`` pid 42) and across pid reuse on one machine, so
+    a random 32-bit suffix is appended — chosen once, at the first call,
+    so every call in one process names the *same* worker.  Leases and
+    shards treat the id as opaque, so the format can evolve freely.
     """
+    global _identity_suffix
+    if _identity_suffix is None:
+        _identity_suffix = secrets.token_hex(4)
     host = socket.gethostname().split(".")[0] or "host"
-    return f"{host}-{os.getpid()}-{secrets.token_hex(2)}"
+    return f"{host}-{os.getpid()}-{_identity_suffix}"
 
 
 # ---------------------------------------------------------------------- #
@@ -348,17 +369,32 @@ class LeaseDir:
 
 
 @contextlib.contextmanager
-def _renewing(leases: LeaseDir, lease: Lease, interval: float):
-    """Renew ``lease`` every ``interval`` seconds while the body runs."""
+def _renewing(backend, lease, interval: float):
+    """Renew ``lease`` on ``backend`` every ``interval`` seconds while the
+    body runs.  ``backend`` is any :class:`~repro.runtime.backends.
+    WorkBackend`; transient errors (filesystem hiccups, a coordinator
+    restarting) are retried on the next beat."""
     stop = threading.Event()
 
     def _beat() -> None:
         current = lease
         while not stop.wait(interval):
             try:
-                renewed = leases.renew(current)
+                renewed = backend.renew(current)
             except OSError:
-                continue  # transient fs hiccup; retry next beat
+                continue  # transient fs/network hiccup; retry next beat
+            except Exception as exc:  # noqa: BLE001 - the beat must survive
+                # e.g. a protocol error from a version-skewed coordinator
+                # or an intermediary returning garbage: losing the thread
+                # here would silently stop renewals and hand the unit to a
+                # peer; keep beating — if the condition persists the lease
+                # expires anyway, which is the same worst case, loudly.
+                logger.warning(
+                    "heartbeat renewal for unit %r failed (%s); retrying next beat",
+                    lease.unit,
+                    exc,
+                )
+                continue
             if renewed is None:
                 logger.warning(
                     "lease on unit %r was reclaimed from worker %s while it "
@@ -441,8 +477,9 @@ class _CompletedTracker:
 def drain_units(
     units: Iterable[WorkUnit],
     worker: Callable[[WorkUnit], Any],
-    checkpoint: RunCheckpoint,
+    checkpoint: RunCheckpoint | None = None,
     *,
+    backend: Any | None = None,
     worker_id: str | None = None,
     lease_ttl: float | None = None,
     heartbeat_interval: float | None = None,
@@ -450,64 +487,101 @@ def drain_units(
     wait: bool = True,
     on_unit: Callable[[str], None] | None = None,
 ) -> WorkerStats:
-    """Drain ``units`` from ``checkpoint``'s run directory as one worker.
+    """Drain ``units`` through a work backend as one worker.
 
-    Claims units via lease files, executes them with ``worker``, appends
-    results to this worker's shard, and releases the leases.  Returns
-    when every unit of the run is completed (by this worker or any peer);
-    with ``wait=False``, returns as soon as nothing is claimable instead
-    of waiting for peers' in-flight units.
+    The loop is backend-agnostic: claim a unit, execute it with
+    ``worker``, record the result, release the claim — against any
+    :class:`~repro.runtime.backends.WorkBackend`.  The default backend is
+    the filesystem protocol over ``checkpoint``'s run directory (lease
+    files + per-worker shards); pass ``backend=`` (e.g. an
+    :class:`~repro.runtime.backends.HttpWorkBackend`) to coordinate
+    through an HTTP coordinator instead.  Returns when every unit of the
+    run is completed (by this worker or any peer); with ``wait=False``,
+    returns as soon as nothing is claimable instead of waiting for peers'
+    in-flight units.
 
     Parameters
     ----------
+    checkpoint:
+        Run directory for the default filesystem backend.  Exactly one of
+        ``checkpoint``/``backend`` must be given.
+    backend:
+        An explicit :class:`WorkBackend` to drain through.
     worker_id:
         Shard/lease identity; default :func:`worker_identity`.  Must be
         unique among concurrently running workers.
     lease_ttl:
-        Seconds without a heartbeat before this worker's leases may be
-        reclaimed by peers (default :data:`DEFAULT_LEASE_TTL`).
+        Filesystem backend only: seconds without a heartbeat before this
+        worker's leases may be reclaimed by peers (default
+        :data:`DEFAULT_LEASE_TTL`).  A coordinator backend's TTL is owned
+        by the coordinator, so passing it here is rejected.
     heartbeat_interval:
-        Seconds between heartbeat renewals (default ``ttl / 4``).
+        Seconds between heartbeat renewals (default: a quarter of each
+        lease's TTL).
     poll_interval:
         Sleep between passes when all pending units are leased by live
         peers (default :data:`DEFAULT_POLL_INTERVAL`).
     on_unit:
         Callback invoked with each unit key this worker finished.
     """
+    from repro.runtime.backends import FilesystemWorkBackend
+
     units = list(units)
     keys = [u.key for u in units]
     if len(set(keys)) != len(keys):
         raise ValueError("work-unit keys must be unique within a run")
-    wid = worker_id if worker_id is not None else worker_identity()
-    ttl = DEFAULT_LEASE_TTL if lease_ttl is None else float(lease_ttl)
-    beat = ttl / 4.0 if heartbeat_interval is None else float(heartbeat_interval)
-    if beat <= 0:
-        raise ValueError(f"heartbeat interval must be positive, got {beat}")
-    if beat >= ttl:
-        # A heartbeat slower than the TTL makes every live lease look
-        # stale to peers: they would steal mid-unit and systematically
-        # re-execute every long unit.
+    if (checkpoint is None) == (backend is None):
+        raise ValueError("exactly one of checkpoint/backend is required")
+    if backend is None:
+        ttl = DEFAULT_LEASE_TTL if lease_ttl is None else float(lease_ttl)
+        backend = FilesystemWorkBackend(checkpoint, ttl=ttl)
+    elif lease_ttl is not None:
         raise ValueError(
-            f"heartbeat interval ({beat}) must be smaller than the lease "
-            f"ttl ({ttl}); leave it unset for the ttl/4 default"
+            "lease_ttl cannot be combined with an explicit backend: the "
+            "backend (its coordinator, for HTTP) owns the lease TTL"
         )
+    wid = worker_id if worker_id is not None else worker_identity()
+    beat_override = None if heartbeat_interval is None else float(heartbeat_interval)
+    if beat_override is not None and beat_override <= 0:
+        raise ValueError(f"heartbeat interval must be positive, got {beat_override}")
+    known_ttl = getattr(backend, "ttl", None)
+
+    def _beat_for(lease) -> float:
+        beat = lease.ttl / 4.0 if beat_override is None else beat_override
+        if beat >= lease.ttl:
+            # A heartbeat slower than the TTL makes every live lease look
+            # stale to peers: they would steal mid-unit and systematically
+            # re-execute every long unit.
+            raise ValueError(
+                f"heartbeat interval ({beat}) must be smaller than the lease "
+                f"ttl ({lease.ttl}); leave it unset for the ttl/4 default"
+            )
+        return beat
+
+    if beat_override is not None and known_ttl is not None and beat_override >= known_ttl:
+        # Fail before any claim when the backend's TTL is known up front
+        # (the filesystem backend); a coordinator backend's TTL arrives
+        # with each grant, so there the per-lease check catches it.
+        raise ValueError(
+            f"heartbeat interval ({beat_override}) must be smaller than the "
+            f"lease ttl ({known_ttl}); leave it unset for the ttl/4 default"
+        )
+
     poll = DEFAULT_POLL_INTERVAL if poll_interval is None else float(poll_interval)
     delay = float(os.environ.get(_UNIT_DELAY_ENV, 0) or 0)
 
-    leases = LeaseDir(checkpoint.run_dir, ttl=ttl)
-    tracker = _CompletedTracker(checkpoint)
     stats = WorkerStats(worker_id=wid)
     by_key = {u.key: u for u in units}
 
     while True:
-        done = tracker.refresh()
+        done = backend.completed_keys()
         pending = [k for k in by_key if k not in done]
         if not pending:
-            leases.cleanup(done)
+            backend.cleanup(done)
             return stats
         progressed = False
         for key in pending:
-            lease = leases.claim(key, wid)
+            lease = backend.claim(key, wid)
             if lease is None:
                 continue
             progressed = True
@@ -517,23 +591,25 @@ def drain_units(
             # post-claim recheck sees everything any peer finished: a dead
             # worker that recorded then crashed before releasing, or a live
             # one that completed this unit after this pass listed it as
-            # pending.  Never execute a completed unit twice.
-            if key in tracker.refresh():
-                leases.release(lease)
+            # pending.  Never execute a completed unit twice.  (A
+            # coordinator backend refuses the claim atomically instead, so
+            # the recheck round-trip is skipped there.)
+            if backend.recheck_after_claim and key in backend.completed_keys():
+                backend.release(lease)
                 stats.skipped += 1
                 continue
             try:
-                with _renewing(leases, lease, beat):
+                with _renewing(backend, lease, _beat_for(lease)):
                     if delay > 0:
                         time.sleep(delay)  # fault-injection window (see module docstring)
                     result = worker(by_key[key])
-                checkpoint.record(key, result, shard=wid)
+                backend.record(lease, result)
             finally:
                 # Success path: record-before-release (the correctness
                 # ordering).  Failure path: nothing was recorded, so
                 # releasing immediately lets peers re-claim the unit now
                 # instead of waiting out this worker's full TTL.
-                leases.release(lease)
+                backend.release(lease)
             stats.executed += 1
             stats.executed_keys.add(key)
             if on_unit is not None:
@@ -652,6 +728,122 @@ def run_units_distributed(
 
 
 # ---------------------------------------------------------------------- #
+# Coordinator-backed execution (the `backend="coordinator"` path)
+# ---------------------------------------------------------------------- #
+def _drain_coordinator_child(
+    url: str,
+    units: list[WorkUnit],
+    worker: Callable[[WorkUnit], Any],
+    encode: Callable[[Any], Any] | None,
+    heartbeat_interval: float | None,
+    poll_interval: float | None,
+    retry_timeout: float | None,
+) -> WorkerStats:
+    """Module-level child entry (crosses process boundaries by pickle)."""
+    from repro.runtime.backends import HttpWorkBackend
+
+    backend = HttpWorkBackend(url, encode=encode, retry_timeout=retry_timeout)
+    return drain_units(
+        units,
+        worker,
+        backend=backend,
+        heartbeat_interval=heartbeat_interval,
+        poll_interval=poll_interval,
+    )
+
+
+def run_units_coordinator(
+    units: Iterable[WorkUnit],
+    worker: Callable[[WorkUnit], Any],
+    url: str,
+    *,
+    jobs: int = 1,
+    worker_id: str | None = None,
+    encode: Callable[[Any], Any] | None = None,
+    decode: Callable[[Any], Any] | None = None,
+    heartbeat_interval: float | None = None,
+    poll_interval: float | None = None,
+    retry_timeout: float | None = None,
+    on_result: Callable[[WorkUnit, Any, bool], None] | None = None,
+) -> dict[str, Any]:
+    """Execute ``units`` through the HTTP coordinator at ``url``.
+
+    The calling process participates as one worker; ``jobs > 1`` adds
+    ``jobs - 1`` sibling worker processes on this host, and workers on
+    other hosts join with ``repro sweep work --coordinator <url>``.  No
+    shared filesystem is required: results are recorded to (and, at the
+    end, fetched back from) the coordinator over the wire, so this
+    process never touches the coordinator's run directory.
+
+    ``encode``/``decode`` are the unit-result codecs (the same ones a
+    :class:`~repro.runtime.checkpoint.RunCheckpoint` would hold);
+    ``on_result`` follows :func:`repro.runtime.executor.run_units`
+    semantics, invoked once per unit after the run completes.
+    """
+    from repro.runtime.backends import HttpWorkBackend
+    from repro.runtime.executor import _ensure_child_importable, _mp_context
+
+    units = list(units)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    backend = HttpWorkBackend(url, encode=encode, retry_timeout=retry_timeout)
+    stats: WorkerStats
+    if jobs > 1 and len(units) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        _ensure_child_importable()
+        siblings = min(jobs, len(units)) - 1
+        with ProcessPoolExecutor(max_workers=max(siblings, 1), mp_context=_mp_context()) as pool:
+            futures = [
+                pool.submit(
+                    _drain_coordinator_child,
+                    url,
+                    units,
+                    worker,
+                    encode,
+                    heartbeat_interval,
+                    poll_interval,
+                    retry_timeout,
+                )
+                for _ in range(siblings)
+            ]
+            stats = drain_units(
+                units,
+                worker,
+                backend=backend,
+                worker_id=worker_id,
+                heartbeat_interval=heartbeat_interval,
+                poll_interval=poll_interval,
+            )
+            for future in futures:
+                future.result()  # surface child crashes
+    else:
+        stats = drain_units(
+            units,
+            worker,
+            backend=backend,
+            worker_id=worker_id,
+            heartbeat_interval=heartbeat_interval,
+            poll_interval=poll_interval,
+        )
+
+    raw = backend.results()
+    missing = [u.key for u in units if u.key not in raw]
+    if missing:
+        raise RuntimeError(
+            f"coordinator run at {url} ended with {len(missing)} unit(s) "
+            f"unrecorded (first: {missing[0]!r}); a worker may have failed "
+            "without surfacing its error"
+        )
+    decode = decode if decode is not None else (lambda value: value)
+    results = {u.key: decode(raw[u.key]) for u in units}
+    if on_result is not None:
+        for unit in units:
+            on_result(unit, results[unit.key], unit.key not in stats.executed_keys)
+    return results
+
+
+# ---------------------------------------------------------------------- #
 # Introspection (`repro sweep status`, lease-aware gc)
 # ---------------------------------------------------------------------- #
 @dataclass
@@ -685,6 +877,43 @@ class RunDirStatus:
         """Leases that may belong to a live worker — fresh parseable ones
         plus fresh torn ones (their writer may still be mid-write)."""
         return len(self.active_leases) + self.torn_live
+
+    def to_payload(self, now: float | None = None) -> dict:
+        """This snapshot as the machine-readable status schema.
+
+        One schema for every backend: ``repro sweep status --json``
+        emits it for filesystem run directories, and the coordinator's
+        ``GET /status`` returns the identical shape, so dashboards never
+        care where a snapshot came from.  Heartbeats are reported as
+        *ages* (seconds since last beat), never absolute timestamps —
+        ages survive the trip between hosts with skewed clocks.
+        """
+        now = time.time() if now is None else now
+
+        def lease_payload(lease: Lease) -> dict:
+            return {
+                "unit": lease.unit,
+                "worker": lease.worker,
+                "heartbeat_age": max(round(now - lease.heartbeat, 3), 0.0),
+                "ttl": lease.ttl,
+            }
+
+        return {
+            "schema": STATUS_SCHEMA_VERSION,
+            "backend": "filesystem",
+            "source": str(self.run_dir),
+            "kind": self.kind,
+            "name": self.name,
+            "complete": self.complete,
+            "total_units": self.total_units,
+            "completed_units": self.completed_units,
+            "shard_counts": dict(sorted(self.shard_counts.items())),
+            "duplicate_records": self.duplicate_records,
+            "active_leases": [lease_payload(lease) for lease in self.active_leases],
+            "stale_leases": [lease_payload(lease) for lease in self.stale_leases],
+            "torn_leases": self.torn_leases,
+            "torn_live": self.torn_live,
+        }
 
 
 def inspect_run_dir(run_dir: str | Path, now: float | None = None) -> RunDirStatus:
@@ -743,3 +972,43 @@ def inspect_run_dir(run_dir: str | Path, now: float | None = None) -> RunDirStat
         torn_leases=torn,
         torn_live=torn_live,
     )
+
+
+def render_status_payload(payload: dict) -> str:
+    """Human-readable rendering of one status-schema payload.
+
+    This is *the* ``repro sweep status`` output; because it consumes the
+    shared payload schema (:meth:`RunDirStatus.to_payload` / the
+    coordinator's ``GET /status``), the filesystem and coordinator views
+    of one run render identically.
+    """
+    label = payload.get("name") or payload.get("kind") or "run"
+    total = payload.get("total_units")
+    total_text = "?" if total is None else total
+    state = "complete" if payload.get("complete") else "incomplete"
+    via = " (via coordinator)" if payload.get("backend") == "coordinator" else ""
+    lines = [
+        f"{payload.get('source')} [{label}]{via} {state}: "
+        f"{payload.get('completed_units', 0)}/{total_text} units"
+    ]
+    for file_name, count in sorted((payload.get("shard_counts") or {}).items()):
+        lines.append(f"  {file_name}: {count} unit(s)")
+    if payload.get("duplicate_records"):
+        lines.append(
+            f"  {payload['duplicate_records']} duplicate record(s) across shards "
+            "(first writer wins on merge)"
+        )
+    for lease in payload.get("active_leases") or []:
+        lines.append(
+            f"  lease {lease['unit']}: held by {lease['worker']} "
+            f"(heartbeat {lease['heartbeat_age']:.1f}s ago, ttl {lease['ttl']:.0f}s)"
+        )
+    for lease in payload.get("stale_leases") or []:
+        lines.append(
+            f"  stale lease {lease['unit']}: worker {lease['worker']} presumed dead "
+            f"(heartbeat {lease['heartbeat_age']:.1f}s ago, ttl {lease['ttl']:.0f}s); "
+            "reclaimable"
+        )
+    if payload.get("torn_leases"):
+        lines.append(f"  {payload['torn_leases']} torn lease file(s)")
+    return "\n".join(lines)

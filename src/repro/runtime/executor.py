@@ -97,6 +97,8 @@ def run_units(
     lease_ttl: float | None = None,
     heartbeat_interval: float | None = None,
     poll_interval: float | None = None,
+    coordinator_url: str | None = None,
+    retry_timeout: float | None = None,
 ) -> dict[str, Any]:
     """Execute ``units`` and return ``{unit.key: result}``.
 
@@ -111,33 +113,81 @@ def run_units(
     checkpoint:
         Optional :class:`RunCheckpoint`.  Units whose keys are already
         recorded are returned from the checkpoint without re-executing;
-        freshly completed units are appended as they finish.
+        freshly completed units are appended as they finish.  Under the
+        coordinator backend it only supplies the result codecs — the
+        coordinator owns the run directory.
     on_result:
         Streaming callback ``(unit, result, cached)`` invoked once per
         unit — with ``cached=True`` for units restored from the
         checkpoint, in unit order before any execution starts.  (The
-        distributed backend invokes it only after the whole run
-        completes, with ``cached=True`` for units executed by peers.)
+        distributed and coordinator backends invoke it only after the
+        whole run completes, with ``cached=True`` for units executed by
+        peers.)
     backend:
-        ``"local"`` (this process plus an optional process pool) or
+        ``"local"`` (this process plus an optional process pool),
         ``"distributed"`` (lease-coordinated workers over the shared run
         directory — see :mod:`repro.runtime.distributed`; requires
-        ``checkpoint``).
+        ``checkpoint``), or ``"coordinator"`` (workers speaking JSON to
+        a ``repro sweep serve`` coordinator — no shared filesystem;
+        requires ``coordinator_url``).
     worker_id, lease_ttl, heartbeat_interval, poll_interval:
         Distributed-backend tuning (worker shard identity, lease TTL in
         seconds, heartbeat renewal interval, wait-poll interval);
         rejected under the local backend rather than silently ignored.
+        ``lease_ttl`` is filesystem-only: a coordinator's TTL is set on
+        the coordinator (``repro sweep serve --ttl``).
+    coordinator_url, retry_timeout:
+        Coordinator backend: the coordinator's base URL and the bounded
+        retry budget for transient errors.
     """
     units = list(units)
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    if backend not in ("local", "distributed"):
-        raise ValueError(f"backend must be 'local' or 'distributed', got {backend!r}")
+    if backend not in ("local", "distributed", "coordinator"):
+        raise ValueError(
+            f"backend must be 'local', 'distributed', or 'coordinator', got {backend!r}"
+        )
+    if backend != "coordinator" and coordinator_url is not None:
+        raise ValueError(
+            f"coordinator_url has no effect with backend={backend!r}; "
+            "pass backend='coordinator'"
+        )
+    if backend == "coordinator":
+        if coordinator_url is None:
+            raise ValueError(
+                "backend='coordinator' requires coordinator_url (the "
+                "`repro sweep serve` endpoint is the coordination medium)"
+            )
+        if lease_ttl is not None:
+            raise ValueError(
+                "lease_ttl is owned by the coordinator (repro sweep serve "
+                "--ttl); it cannot be set worker-side"
+            )
+        from repro.runtime.distributed import run_units_coordinator
+
+        return run_units_coordinator(
+            units,
+            worker,
+            coordinator_url,
+            jobs=jobs,
+            worker_id=worker_id,
+            encode=checkpoint.encode if checkpoint is not None else None,
+            decode=checkpoint.decode if checkpoint is not None else None,
+            heartbeat_interval=heartbeat_interval,
+            poll_interval=poll_interval,
+            retry_timeout=retry_timeout,
+            on_result=on_result,
+        )
     if backend == "distributed":
         if checkpoint is None:
             raise ValueError(
                 "backend='distributed' requires a checkpoint run directory "
                 "(the shared filesystem is the coordination medium)"
+            )
+        if retry_timeout is not None:
+            raise ValueError(
+                "retry_timeout is a coordinator-backend option and has no "
+                "effect with backend='distributed'"
             )
         from repro.runtime.distributed import run_units_distributed
 
@@ -158,6 +208,7 @@ def run_units(
             "lease_ttl": lease_ttl,
             "heartbeat_interval": heartbeat_interval,
             "poll_interval": poll_interval,
+            "retry_timeout": retry_timeout,
         }
     )
     keys = [u.key for u in units]

@@ -31,10 +31,12 @@ from repro.sweeps.runner import (
     SweepPlan,
     SweepResult,
     load_run_plan,
+    plan_from_manifest,
     plan_sweep,
     render_report,
     run_sweep,
     sample_units,
+    work_coordinator,
     work_run_dir,
 )
 from repro.sweeps.sources import ResolvedSource, resolve_source
@@ -49,8 +51,10 @@ __all__ = [
     "SweepResult",
     "SweepPlan",
     "plan_sweep",
+    "plan_from_manifest",
     "load_run_plan",
     "work_run_dir",
+    "work_coordinator",
     "render_report",
     "sample_units",
     "resolve_source",

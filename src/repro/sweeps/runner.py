@@ -60,8 +60,10 @@ __all__ = [
     "sample_units",
     "render_report",
     "plan_sweep",
+    "plan_from_manifest",
     "load_run_plan",
     "work_run_dir",
+    "work_coordinator",
 ]
 
 #: Manifest discriminator for spec-backed run directories.
@@ -317,6 +319,8 @@ def run_sweep(
     lease_ttl: float | None = None,
     heartbeat_interval: float | None = None,
     poll_interval: float | None = None,
+    coordinator: str | None = None,
+    retry_timeout: float | None = None,
 ) -> SweepResult:
     """Execute ``spec`` and return its :class:`SweepResult`.
 
@@ -345,16 +349,86 @@ def run_sweep(
         (under the distributed backend, reported after the run completes,
         in pair order).
     backend:
-        ``"local"`` (this process + optional process pool) or
+        ``"local"`` (this process + optional process pool),
         ``"distributed"`` (lease-coordinated workers over the shared
         ``run_dir``; additional hosts join with ``repro sweep work
-        <run_dir>``).  Results are bit-identical either way.
+        <run_dir>``), or ``"coordinator"`` (workers speaking JSON to a
+        ``repro sweep serve`` coordinator — no shared filesystem;
+        additional hosts join with ``repro sweep work --coordinator
+        <url>``).  Results are bit-identical in every case.
     lease_ttl, heartbeat_interval, poll_interval:
         Distributed lease tuning, forwarded to
-        :func:`repro.runtime.distributed.drain_units`.
+        :func:`repro.runtime.distributed.drain_units`.  ``lease_ttl`` is
+        filesystem-backend only — a coordinator's TTL is set on the
+        coordinator (``repro sweep serve --ttl``).
+    coordinator:
+        Coordinator backend: the ``repro sweep serve`` base URL.  The
+        coordinator owns the run directory, so ``run_dir`` must be left
+        unset; its manifest must match ``spec`` exactly.
+    retry_timeout:
+        Coordinator backend: seconds to keep retrying transient wire
+        errors (rides out a coordinator restart).
     """
-    if backend not in ("local", "distributed"):
-        raise ValueError(f"backend must be 'local' or 'distributed', got {backend!r}")
+    if backend not in ("local", "distributed", "coordinator"):
+        raise ValueError(
+            f"backend must be 'local', 'distributed', or 'coordinator', got {backend!r}"
+        )
+    if backend != "coordinator" and coordinator is not None:
+        raise ValueError(
+            f"coordinator has no effect with backend={backend!r}; pass "
+            "backend='coordinator'"
+        )
+    if backend == "coordinator":
+        from repro.runtime.backends import HttpWorkBackend
+        from repro.runtime.distributed import run_units_coordinator
+
+        if coordinator is None:
+            raise CheckpointError(
+                "backend='coordinator' needs a coordinator URL: the "
+                "`repro sweep serve` endpoint is the coordination medium"
+            )
+        if run_dir is not None:
+            raise CheckpointError(
+                "backend='coordinator' cannot take a run_dir: the coordinator "
+                "owns its run directory; results are fetched over the wire"
+            )
+        if rng is not None:
+            raise SpecError(
+                "backend='coordinator' cannot honor an external rng override: "
+                "workers reconstruct RNG streams from the coordinator "
+                "manifest's spec.seed alone; bake the seed into the spec"
+            )
+        if lease_ttl is not None:
+            raise ValueError(
+                "lease_ttl is owned by the coordinator (repro sweep serve "
+                "--ttl); it cannot be set from run_sweep"
+            )
+        plan = plan_sweep(spec)
+        client = HttpWorkBackend(coordinator, retry_timeout=retry_timeout)
+        stored = client.manifest()
+        if stored != plan.manifest():
+            raise CheckpointError(
+                f"coordinator at {coordinator} serves a different sweep "
+                f"(its manifest does not match this spec); point run_sweep at "
+                "the right coordinator or serve a fresh run directory"
+            )
+        results = run_units_coordinator(
+            plan.units,
+            plan.worker,
+            coordinator,
+            jobs=jobs,
+            encode=plan.encode,
+            decode=plan.decode,
+            heartbeat_interval=heartbeat_interval,
+            poll_interval=poll_interval,
+            retry_timeout=retry_timeout,
+        )
+        return _aggregate_plan(plan, results, progress=progress)
+    if retry_timeout is not None:
+        raise ValueError(
+            f"retry_timeout is a coordinator-backend option and has no effect "
+            f"with backend={backend!r}"
+        )
     if backend == "distributed":
         if run_dir is None:
             raise CheckpointError(
@@ -456,14 +530,47 @@ def run_sweep(
 # ---------------------------------------------------------------------- #
 # Multi-host workers: reconstruct the sweep from the run directory alone
 # ---------------------------------------------------------------------- #
+def plan_from_manifest(manifest: Any, *, where: str) -> SweepPlan:
+    """Rebuild the executable plan a stored manifest describes.
+
+    This is the distribution hinge: any process holding a sweep manifest
+    — read from a shared run directory's ``manifest.json`` *or* fetched
+    from a coordinator's ``GET /manifest`` — reconstructs the same units,
+    RNG streams, and worker function.  Refuses manifests that are not
+    spec sweeps and externally-seeded runs (their RNG streams cannot be
+    reconstructed from the spec).  ``where`` names the manifest's origin
+    in error messages.
+    """
+    if not isinstance(manifest, dict) or manifest.get("kind") != MANIFEST_KIND:
+        raise CheckpointError(
+            f"{where} is not a sweep run (manifest kind "
+            f"{manifest.get('kind') if isinstance(manifest, dict) else None!r}); "
+            "only spec-backed sweeps can be drained by remote workers"
+        )
+    if "external_rng" in manifest:
+        raise CheckpointError(
+            f"{where} was seeded from an external generator; its RNG streams "
+            "cannot be reconstructed from the spec, so remote workers "
+            "cannot join it"
+        )
+    spec = SweepSpec.from_dict(manifest.get("spec"), where=f"{where}: spec")
+    plan = plan_sweep(spec)
+    stored_units = manifest.get("units")
+    if stored_units != len(plan.units):
+        raise CheckpointError(
+            f"manifest of {where} records {stored_units!r} units but the spec "
+            f"plans {len(plan.units)}; the run is corrupt or from an "
+            "incompatible version"
+        )
+    return plan
+
+
 def load_run_plan(run_dir: str | Path) -> SweepPlan:
     """Rebuild the executable plan of a run directory from its manifest.
 
     This is what lets a worker on another host join a run knowing nothing
     but the shared directory's path: the stored :class:`SweepSpec` *is*
-    the work definition.  Refuses manifests that are not spec sweeps and
-    externally-seeded runs (their RNG streams cannot be reconstructed
-    from the spec).
+    the work definition.
     """
     run_dir = Path(run_dir)
     manifest_path = run_dir / RunCheckpoint.MANIFEST_NAME
@@ -477,30 +584,7 @@ def load_run_plan(run_dir: str | Path) -> SweepPlan:
         ) from None
     except (OSError, json.JSONDecodeError) as exc:
         raise CheckpointError(f"cannot read manifest of {run_dir}: {exc}") from None
-    if not isinstance(manifest, dict) or manifest.get("kind") != MANIFEST_KIND:
-        raise CheckpointError(
-            f"{run_dir} is not a sweep run directory (manifest kind "
-            f"{manifest.get('kind') if isinstance(manifest, dict) else None!r}); "
-            "only spec-backed sweeps can be drained by distributed workers"
-        )
-    if "external_rng" in manifest:
-        raise CheckpointError(
-            f"{run_dir} was seeded from an external generator; its RNG streams "
-            "cannot be reconstructed from the spec, so distributed workers "
-            "cannot join it"
-        )
-    spec = SweepSpec.from_dict(
-        manifest.get("spec"), where=f"{manifest_path}: spec"
-    )
-    plan = plan_sweep(spec)
-    stored_units = manifest.get("units")
-    if stored_units != len(plan.units):
-        raise CheckpointError(
-            f"manifest of {run_dir} records {stored_units!r} units but the spec "
-            f"plans {len(plan.units)}; the run directory is corrupt or from an "
-            "incompatible version"
-        )
-    return plan
+    return plan_from_manifest(manifest, where=str(run_dir))
 
 
 def work_run_dir(
@@ -536,6 +620,43 @@ def work_run_dir(
         checkpoint,
         worker_id=worker_id,
         lease_ttl=lease_ttl,
+        heartbeat_interval=heartbeat_interval,
+        poll_interval=poll_interval,
+        wait=wait,
+        on_unit=on_unit,
+    )
+    return plan, stats
+
+
+def work_coordinator(
+    url: str,
+    *,
+    worker_id: str | None = None,
+    heartbeat_interval: float | None = None,
+    poll_interval: float | None = None,
+    retry_timeout: float | None = None,
+    wait: bool = True,
+    on_unit: Callable[[str], None] | None = None,
+) -> tuple[SweepPlan, WorkerStats]:
+    """Join the coordinator at ``url`` as one worker and drain it.
+
+    The worker needs nothing but the URL — no filesystem shared with the
+    coordinator: the plan (units, RNG streams, worker function) is
+    reconstructed from the manifest served at ``GET /manifest``, exactly
+    as a shared-directory worker reconstructs it from ``manifest.json``.
+    Returns when the whole run is complete, or — with ``wait=False`` —
+    when nothing is claimable.
+    """
+    from repro.runtime.backends import HttpWorkBackend
+
+    client = HttpWorkBackend(url, retry_timeout=retry_timeout)
+    plan = plan_from_manifest(client.manifest(), where=f"coordinator at {url}")
+    backend = HttpWorkBackend(url, encode=plan.encode, retry_timeout=retry_timeout)
+    stats = drain_units(
+        plan.units,
+        plan.worker,
+        backend=backend,
+        worker_id=worker_id,
         heartbeat_interval=heartbeat_interval,
         poll_interval=poll_interval,
         wait=wait,

@@ -90,15 +90,48 @@ class TestParser:
         assert args.ttl == 30.0 and args.heartbeat == 5.0 and args.poll == 0.5
         assert args.no_wait
 
-    def test_sweep_work_requires_run_dir(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["sweep", "work"])
+    def test_sweep_work_run_dir_or_coordinator(self):
+        # run_dir is optional at parse time (--coordinator replaces it);
+        # the command itself enforces exactly-one-of.
+        args = build_parser().parse_args(["sweep", "work"])
+        assert args.run_dir is None and args.coordinator is None
+        args = build_parser().parse_args(
+            ["sweep", "work", "--coordinator", "http://h:1", "--retry", "30"]
+        )
+        assert args.coordinator == "http://h:1" and args.retry == 30.0
 
-    def test_sweep_status_requires_run_dir(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["sweep", "status"])
+    def test_sweep_serve_flags(self):
+        args = build_parser().parse_args(["sweep", "serve", "runs/x"])
+        assert args.sweep_command == "serve" and args.run_dir == "runs/x"
+        assert args.host == "127.0.0.1" and args.port == 0 and not args.until_complete
+        args = build_parser().parse_args(
+            [
+                "sweep", "serve", "runs/x",
+                "--spec", "s.json",
+                "--host", "0.0.0.0",
+                "--port", "8642",
+                "--ttl", "30",
+                "--until-complete",
+            ]
+        )
+        assert args.spec == "s.json" and args.host == "0.0.0.0" and args.port == 8642
+        assert args.ttl == 30.0 and args.until_complete
+
+    def test_sweep_run_coordinator_backend_flag(self):
+        args = build_parser().parse_args(
+            ["sweep", "run", "s.json", "--backend", "coordinator",
+             "--coordinator", "http://h:1"]
+        )
+        assert args.backend == "coordinator" and args.coordinator == "http://h:1"
+
+    def test_sweep_status_flags(self):
         args = build_parser().parse_args(["sweep", "status", "runs/x"])
         assert args.sweep_command == "status" and args.run_dir == "runs/x"
+        assert not args.json and args.coordinator is None
+        args = build_parser().parse_args(
+            ["sweep", "status", "--coordinator", "http://h:1", "--json"]
+        )
+        assert args.run_dir is None and args.coordinator == "http://h:1" and args.json
 
 
 class TestCommands:
@@ -345,3 +378,54 @@ class TestSweepCommands:
     def test_status_on_non_run_directory_fails_cleanly(self, tmp_path, capsys):
         assert main(["sweep", "status", str(tmp_path)]) == 2
         assert "not a run directory" in capsys.readouterr().err
+
+    def test_status_json_emits_the_shared_schema(self, tmp_path, capsys):
+        import json
+
+        spec_path = self._benchmark_spec_file(tmp_path)
+        run_dir = str(tmp_path / "run")
+        assert main(
+            ["sweep", "work", run_dir, "--spec", str(spec_path), "--worker-id", "w1",
+             "--ttl", "30"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["sweep", "status", run_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "filesystem" and payload["schema"] == 1
+        assert payload["complete"] and payload["completed_units"] == 3
+        assert payload["active_leases"] == []
+
+    def test_work_requires_exactly_one_of_run_dir_and_coordinator(self, tmp_path, capsys):
+        assert main(["sweep", "work"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main(
+            ["sweep", "work", str(tmp_path / "r"), "--coordinator", "http://h:1"]
+        ) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_work_coordinator_rejects_directory_only_flags(self, tmp_path, capsys):
+        assert main(
+            ["sweep", "work", "--coordinator", "http://h:1", "--spec", "s.json"]
+        ) == 2
+        assert "--spec" in capsys.readouterr().err
+        assert main(
+            ["sweep", "work", "--coordinator", "http://h:1", "--ttl", "30"]
+        ) == 2
+        assert "--ttl" in capsys.readouterr().err
+
+    def test_status_requires_exactly_one_source(self, capsys):
+        assert main(["sweep", "status"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_run_coordinator_backend_requires_url(self, tmp_path, capsys):
+        spec_path = self._benchmark_spec_file(tmp_path)
+        assert main(["sweep", "run", str(spec_path), "--backend", "coordinator"]) == 2
+        assert "--coordinator" in capsys.readouterr().err
+        assert main(
+            ["sweep", "run", str(spec_path), "--coordinator", "http://h:1"]
+        ) == 2
+        assert "--backend coordinator" in capsys.readouterr().err
+
+    def test_serve_without_manifest_or_spec_fails_cleanly(self, tmp_path, capsys):
+        assert main(["sweep", "serve", str(tmp_path / "empty")]) == 2
+        assert "manifest" in capsys.readouterr().err

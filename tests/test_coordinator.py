@@ -1,0 +1,889 @@
+"""Tests for the HTTP coordinator backend (runtime/coordinator.py + backends.py).
+
+What makes no-shared-filesystem draining trustworthy:
+
+* **wire robustness** — every request/reply payload round-trips
+  losslessly through JSON, and malformed payloads are rejected at the
+  edge by the validating parsers both sides share;
+* **mutual exclusion** — however many workers race ``POST /claim`` for
+  one unit, exactly one is granted (the lease table mutates under one
+  lock on one coordinator);
+* **token fencing** — an expired lease is re-granted under a fresh
+  token, and the superseded holder's renew/release are rejected as
+  stale instead of clobbering the new holder;
+* **lossless restart** — a SIGKILLed coordinator rebuilds completed
+  results from its shard files and in-flight leases from the
+  write-ahead journal, tolerating the torn trailing line the kill left;
+* **bit-identity** — the acceptance property: a fig4-preset sweep
+  drained by two ``--coordinator`` workers, with one worker SIGKILLed
+  mid-unit *and* the coordinator SIGKILLed and restarted mid-sweep,
+  merges bit-identically to ``run_sweep(spec, jobs=1)``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pisa import AnnealingConfig, PISAConfig
+from repro.runtime import RunCheckpoint
+from repro.runtime.backends import (
+    AckReply,
+    ClaimReply,
+    ClaimRequest,
+    CoordinatorError,
+    HttpWorkBackend,
+    LeaseRequest,
+    RecordRequest,
+)
+from repro.runtime.checkpoint import CheckpointError
+from repro.runtime.coordinator import (
+    JOURNAL_NAME,
+    Coordinator,
+    UnknownUnitError,
+    running_coordinator,
+)
+from repro.runtime.distributed import drain_units
+from repro.sweeps import (
+    SourceSpec,
+    SweepSpec,
+    fig4_spec,
+    plan_sweep,
+    run_sweep,
+    work_coordinator,
+)
+
+TINY = PISAConfig(annealing=AnnealingConfig(max_iterations=10, alpha=0.8), restarts=2)
+SCHEDULERS = ["HEFT", "CPoP", "MinMin"]  # 6 ordered pairs x 2 restarts = 12 units
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def tiny_fig4_spec(seed: int = 0) -> SweepSpec:
+    return fig4_spec(schedulers=SCHEDULERS, config=TINY, seed=seed)
+
+
+def tiny_benchmark_spec(seed: int = 1) -> SweepSpec:
+    return SweepSpec(
+        name="bench",
+        mode="benchmark",
+        schedulers=("HEFT", "CPoP"),
+        source=SourceSpec("dataset", {"dataset": "chains"}),
+        num_instances=4,
+        sampling="sequential",
+        seed=seed,
+    )
+
+
+def init_run_dir(run_dir: Path, spec: SweepSpec):
+    """Initialize ``run_dir`` for ``spec`` and return its plan."""
+    plan = plan_sweep(spec)
+    RunCheckpoint(run_dir).initialize(plan.manifest(), resume=True)
+    return plan
+
+
+def make_coordinator(run_dir: Path, units: list[str], ttl: float = 30.0) -> Coordinator:
+    """A coordinator over a minimal hand-rolled manifest."""
+    RunCheckpoint(run_dir).initialize(
+        {"kind": "sweep", "spec": {"name": "t"}, "units": len(units)}, resume=True
+    )
+    return Coordinator(run_dir, ttl=ttl, unit_keys=units)
+
+
+def _ratios(result):
+    return {pair: res.restart_ratios for pair, res in result.pairwise.results.items()}
+
+
+def _square_payload(unit):
+    return int(unit.payload) ** 2
+
+
+# ---------------------------------------------------------------------- #
+# Wire payloads (property tests)
+# ---------------------------------------------------------------------- #
+_ids = st.text(
+    st.characters(min_codepoint=33, max_codepoint=0x2FF), min_size=1, max_size=40
+)
+_ttls = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False, allow_infinity=False)
+_json_values = st.recursive(
+    st.none() | st.booleans() | st.integers() | st.text(max_size=8),
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=5), children, max_size=3),
+    max_leaves=6,
+)
+
+
+class TestWirePayloads:
+    @given(unit=_ids, worker=_ids)
+    def test_claim_request_round_trip(self, unit, worker):
+        message = ClaimRequest(unit=unit, worker=worker)
+        assert ClaimRequest.from_dict(json.loads(json.dumps(message.to_dict()))) == message
+
+    @given(unit=_ids, worker=_ids, token=_ids)
+    def test_lease_request_round_trip(self, unit, worker, token):
+        message = LeaseRequest(unit=unit, worker=worker, token=token)
+        assert LeaseRequest.from_dict(json.loads(json.dumps(message.to_dict()))) == message
+
+    @given(unit=_ids, worker=_ids, token=_ids, result=_json_values)
+    def test_record_request_round_trip(self, unit, worker, token, result):
+        message = RecordRequest(unit=unit, worker=worker, token=token, result=result)
+        assert RecordRequest.from_dict(json.loads(json.dumps(message.to_dict()))) == message
+
+    @given(
+        granted=st.booleans(),
+        token=_ids,
+        ttl=_ttls,
+        reclaimed=st.booleans(),
+        completed=st.booleans(),
+    )
+    def test_claim_reply_round_trip(self, granted, token, ttl, reclaimed, completed):
+        message = ClaimReply(
+            granted=granted,
+            token=token,
+            ttl=ttl,
+            reclaimed=reclaimed,
+            completed=completed,
+        )
+        assert ClaimReply.from_dict(json.loads(json.dumps(message.to_dict()))) == message
+
+    @given(ok=st.booleans(), stale=st.booleans(), duplicate=st.booleans())
+    def test_ack_reply_round_trip(self, ok, stale, duplicate):
+        message = AckReply(ok=ok, stale=stale, duplicate=duplicate)
+        assert AckReply.from_dict(json.loads(json.dumps(message.to_dict()))) == message
+
+    @given(
+        payload=st.one_of(
+            st.none(),
+            st.integers(),
+            st.text(max_size=10),
+            st.lists(st.integers(), max_size=3),
+            st.dictionaries(
+                st.sampled_from(["unit", "worker", "token", "granted", "ok"]),
+                st.none(),
+                max_size=2,
+            ),
+        )
+    )
+    def test_malformed_payloads_rejected(self, payload):
+        for parser in (ClaimRequest, LeaseRequest, RecordRequest, ClaimReply, AckReply):
+            with pytest.raises(ValueError):
+                parser.from_dict(payload)
+
+    def test_granted_claim_reply_requires_token_and_ttl(self):
+        with pytest.raises(ValueError, match="token"):
+            ClaimReply.from_dict({"granted": True, "token": "", "ttl": 5.0})
+        with pytest.raises(ValueError, match="ttl"):
+            ClaimReply.from_dict({"granted": True, "token": "t", "ttl": 0})
+
+
+# ---------------------------------------------------------------------- #
+# Coordinator state machine (no HTTP)
+# ---------------------------------------------------------------------- #
+class TestCoordinatorState:
+    def test_claim_renew_record_release_lifecycle(self, tmp_path):
+        coordinator = make_coordinator(tmp_path / "run", ["u0", "u1"])
+        grant = coordinator.claim(ClaimRequest(unit="u0", worker="w1"))
+        assert grant.granted and grant.token and grant.ttl == 30.0
+        assert not grant.reclaimed
+        lease = LeaseRequest(unit="u0", worker="w1", token=grant.token)
+        assert coordinator.renew(lease).ok
+        ack = coordinator.record(
+            RecordRequest(unit="u0", worker="w1", token=grant.token, result=42)
+        )
+        assert ack.ok and not ack.duplicate
+        assert coordinator.release(lease).ok
+        assert coordinator.completed_keys() == ["u0"]
+        assert coordinator.results() == {"u0": 42}
+        # The result is durable in a normal per-worker shard.
+        assert RunCheckpoint(tmp_path / "run").completed() == {"u0": 42}
+
+    def test_held_unit_denied_to_others_until_release(self, tmp_path):
+        coordinator = make_coordinator(tmp_path / "run", ["u0"])
+        grant = coordinator.claim(ClaimRequest(unit="u0", worker="w1"))
+        denied = coordinator.claim(ClaimRequest(unit="u0", worker="w2"))
+        assert not denied.granted and not denied.completed
+        coordinator.release(LeaseRequest(unit="u0", worker="w1", token=grant.token))
+        assert coordinator.claim(ClaimRequest(unit="u0", worker="w2")).granted
+
+    def test_completed_unit_claim_reports_completed(self, tmp_path):
+        coordinator = make_coordinator(tmp_path / "run", ["u0"])
+        grant = coordinator.claim(ClaimRequest(unit="u0", worker="w1"))
+        coordinator.record(
+            RecordRequest(unit="u0", worker="w1", token=grant.token, result=1)
+        )
+        reply = coordinator.claim(ClaimRequest(unit="u0", worker="w2"))
+        assert not reply.granted and reply.completed
+
+    def test_reclaim_by_holder_is_idempotent_same_token(self, tmp_path):
+        """A lost claim reply is retried; the holder must get its own
+        token back, not a denial (which would deadlock the unit)."""
+        coordinator = make_coordinator(tmp_path / "run", ["u0"])
+        first = coordinator.claim(ClaimRequest(unit="u0", worker="w1"))
+        again = coordinator.claim(ClaimRequest(unit="u0", worker="w1"))
+        assert again.granted and again.token == first.token
+
+    def test_expired_lease_regranted_with_fresh_token_and_stale_fencing(self, tmp_path):
+        coordinator = make_coordinator(tmp_path / "run", ["u0"], ttl=0.05)
+        old = coordinator.claim(ClaimRequest(unit="u0", worker="w1"))
+        time.sleep(0.1)
+        stolen = coordinator.claim(ClaimRequest(unit="u0", worker="w2"))
+        assert stolen.granted and stolen.reclaimed and stolen.token != old.token
+        # The superseded holder's renew and release are rejected as stale.
+        old_lease = LeaseRequest(unit="u0", worker="w1", token=old.token)
+        renew = coordinator.renew(old_lease)
+        assert not renew.ok and renew.stale
+        release = coordinator.release(old_lease)
+        assert not release.ok and release.stale
+        # The thief's lease survives untouched.
+        new_lease = LeaseRequest(unit="u0", worker="w2", token=stolen.token)
+        assert coordinator.renew(new_lease).ok
+
+    def test_renew_keeps_a_lease_alive_past_its_ttl(self, tmp_path):
+        coordinator = make_coordinator(tmp_path / "run", ["u0"], ttl=0.15)
+        grant = coordinator.claim(ClaimRequest(unit="u0", worker="w1"))
+        lease = LeaseRequest(unit="u0", worker="w1", token=grant.token)
+        for _ in range(4):
+            time.sleep(0.05)
+            assert coordinator.renew(lease).ok
+        assert not coordinator.claim(ClaimRequest(unit="u0", worker="w2")).granted
+
+    def test_release_of_vanished_lease_is_idempotent(self, tmp_path):
+        coordinator = make_coordinator(tmp_path / "run", ["u0"])
+        grant = coordinator.claim(ClaimRequest(unit="u0", worker="w1"))
+        lease = LeaseRequest(unit="u0", worker="w1", token=grant.token)
+        assert coordinator.release(lease).ok
+        assert coordinator.release(lease).ok  # retry after a lost reply
+
+    def test_duplicate_record_dropped_first_writer_wins(self, tmp_path):
+        coordinator = make_coordinator(tmp_path / "run", ["u0"])
+        grant = coordinator.claim(ClaimRequest(unit="u0", worker="w1"))
+        coordinator.record(
+            RecordRequest(unit="u0", worker="w1", token=grant.token, result=1)
+        )
+        ack = coordinator.record(
+            RecordRequest(unit="u0", worker="w2", token="stale", result=999)
+        )
+        assert ack.ok and ack.duplicate
+        assert coordinator.results() == {"u0": 1}
+        assert coordinator.status_payload()["duplicate_records"] == 1
+
+    def test_stale_token_record_accepted_when_unit_unrecorded(self, tmp_path):
+        """Filesystem parity: a robbed worker that finishes first still
+        contributes its (bit-identical) result, and the unit can never be
+        claimed again afterwards."""
+        coordinator = make_coordinator(tmp_path / "run", ["u0"], ttl=0.05)
+        old = coordinator.claim(ClaimRequest(unit="u0", worker="w1"))
+        time.sleep(0.1)
+        coordinator.claim(ClaimRequest(unit="u0", worker="w2"))  # thief mid-run
+        ack = coordinator.record(
+            RecordRequest(unit="u0", worker="w1", token=old.token, result=7)
+        )
+        assert ack.ok and not ack.duplicate
+        assert coordinator.results() == {"u0": 7}
+        reply = coordinator.claim(ClaimRequest(unit="u0", worker="w3"))
+        assert not reply.granted and reply.completed
+
+    def test_unknown_unit_rejected(self, tmp_path):
+        coordinator = make_coordinator(tmp_path / "run", ["u0"])
+        with pytest.raises(UnknownUnitError):
+            coordinator.claim(ClaimRequest(unit="ghost", worker="w1"))
+        with pytest.raises(UnknownUnitError):
+            coordinator.record(
+                RecordRequest(unit="ghost", worker="w1", token="t", result=1)
+            )
+
+    def test_uninitialized_run_dir_refused(self, tmp_path):
+        with pytest.raises(CheckpointError, match="manifest"):
+            Coordinator(tmp_path / "empty")
+
+    def test_status_payload_schema(self, tmp_path):
+        coordinator = make_coordinator(tmp_path / "run", ["u0", "u1"])
+        grant = coordinator.claim(ClaimRequest(unit="u0", worker="w1"))
+        coordinator.record(
+            RecordRequest(unit="u0", worker="w1", token=grant.token, result=1)
+        )
+        coordinator.claim(ClaimRequest(unit="u1", worker="w2"))
+        payload = coordinator.status_payload()
+        assert payload["backend"] == "coordinator"
+        assert payload["schema"] == 1
+        assert payload["completed_units"] == 1 and payload["total_units"] == 2
+        assert not payload["complete"]
+        assert [lease["unit"] for lease in payload["active_leases"]] == ["u1"]
+        assert payload["stale_leases"] == []
+        assert sum(payload["shard_counts"].values()) == 1
+        json.dumps(payload)  # the payload is pure JSON
+
+
+# ---------------------------------------------------------------------- #
+# Restart recovery (journal replay)
+# ---------------------------------------------------------------------- #
+class TestCoordinatorRecovery:
+    def test_restart_restores_results_and_leases(self, tmp_path):
+        run_dir = tmp_path / "run"
+        first = make_coordinator(run_dir, ["u0", "u1", "u2"])
+        done = first.claim(ClaimRequest(unit="u0", worker="w1"))
+        first.record(RecordRequest(unit="u0", worker="w1", token=done.token, result=5))
+        first.release(LeaseRequest(unit="u0", worker="w1", token=done.token))
+        inflight = first.claim(ClaimRequest(unit="u1", worker="w2"))
+        # "SIGKILL": drop the object without any shutdown handshake.
+        restarted = Coordinator(run_dir, ttl=30.0, unit_keys=["u0", "u1", "u2"])
+        assert restarted.completed_keys() == ["u0"]
+        assert restarted.results() == {"u0": 5}
+        # The in-flight lease survived under the same token: its holder's
+        # renewals keep working across the restart...
+        lease = LeaseRequest(unit="u1", worker="w2", token=inflight.token)
+        assert restarted.renew(lease).ok
+        # ...and nobody else can steal the unit.
+        assert not restarted.claim(ClaimRequest(unit="u1", worker="w3")).granted
+        assert restarted.claim(ClaimRequest(unit="u2", worker="w3")).granted
+
+    def test_restart_drops_lease_left_on_completed_unit(self, tmp_path):
+        """A worker that recorded but was killed before releasing leaves a
+        lease husk; restart must not resurrect it as in-flight work."""
+        run_dir = tmp_path / "run"
+        first = make_coordinator(run_dir, ["u0"])
+        grant = first.claim(ClaimRequest(unit="u0", worker="w1"))
+        first.record(RecordRequest(unit="u0", worker="w1", token=grant.token, result=1))
+        restarted = Coordinator(run_dir, ttl=30.0, unit_keys=["u0"])
+        payload = restarted.status_payload()
+        assert payload["complete"]
+        assert payload["active_leases"] == [] and payload["stale_leases"] == []
+
+    @given(cut=st.integers(min_value=0, max_value=400))
+    @settings(max_examples=25, deadline=None)
+    def test_resume_over_truncated_journal(self, cut):
+        """A coordinator SIGKILLed mid-append leaves a torn journal line;
+        restart must tolerate any truncation point: completed results (from
+        the shards) survive in full, and at worst the torn lease is simply
+        forgotten — i.e. claimable again, never wedged."""
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as td:
+            run_dir = Path(td) / "run"
+            first = make_coordinator(run_dir, ["u0", "u1"])
+            done = first.claim(ClaimRequest(unit="u0", worker="w1"))
+            first.record(RecordRequest(unit="u0", worker="w1", token=done.token, result=9))
+            first.release(LeaseRequest(unit="u0", worker="w1", token=done.token))
+            first.claim(ClaimRequest(unit="u1", worker="w2"))
+            journal = run_dir / JOURNAL_NAME
+            blob = journal.read_bytes()
+            journal.write_bytes(blob[: min(cut, len(blob))])
+
+            restarted = Coordinator(run_dir, ttl=30.0, unit_keys=["u0", "u1"])
+            assert restarted.results() == {"u0": 9}  # shards are the truth
+            # u1 is either still leased by w2 (its claim line survived) or
+            # forgotten (torn away) — in which case it is claimable.
+            reply = restarted.claim(ClaimRequest(unit="u1", worker="w3"))
+            if not reply.granted:
+                assert not reply.completed  # held by w2, not lost
+            # u0 can never be re-granted: it is complete.
+            assert restarted.claim(ClaimRequest(unit="u0", worker="w3")).completed
+
+    def test_journal_survives_append_after_torn_line(self, tmp_path):
+        """The shared torn-line repair: a fresh event appended after torn
+        bytes must not be glued onto them."""
+        run_dir = tmp_path / "run"
+        first = make_coordinator(run_dir, ["u0", "u1"])
+        first.claim(ClaimRequest(unit="u0", worker="w1"))
+        journal = run_dir / JOURNAL_NAME
+        with journal.open("ab") as fh:
+            fh.write(b'{"event": "claim", "unit": "u1"')  # torn write
+        second = Coordinator(run_dir, ttl=30.0, unit_keys=["u0", "u1"])
+        grant = second.claim(ClaimRequest(unit="u1", worker="w2"))
+        assert grant.granted
+        third = Coordinator(run_dir, ttl=30.0, unit_keys=["u0", "u1"])
+        lease = LeaseRequest(unit="u1", worker="w2", token=grant.token)
+        assert third.renew(lease).ok
+
+
+# ---------------------------------------------------------------------- #
+# The HTTP face (live server, in-process)
+# ---------------------------------------------------------------------- #
+class TestHttpBackend:
+    @given(contenders=st.integers(min_value=2, max_value=6))
+    @settings(max_examples=5, deadline=None)
+    def test_concurrent_claims_have_exactly_one_winner(self, contenders):
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as td:
+            run_dir = Path(td) / "run"
+            RunCheckpoint(run_dir).initialize(
+                {"kind": "sweep", "spec": {"name": "t"}, "units": 1}, resume=True
+            )
+            with running_coordinator(run_dir, unit_keys=["u0"]) as server:
+                backend = HttpWorkBackend(server.url, retry_timeout=10)
+                barrier = threading.Barrier(contenders)
+
+                def attempt(i: int):
+                    barrier.wait()
+                    return backend.claim("u0", f"w{i}")
+
+                with ThreadPoolExecutor(max_workers=contenders) as pool:
+                    results = list(pool.map(attempt, range(contenders)))
+                winners = [lease for lease in results if lease is not None]
+                assert len(winners) == 1
+                assert not winners[0].reclaimed
+
+    def test_record_before_release_visible_to_peers(self, tmp_path):
+        run_dir = tmp_path / "run"
+        RunCheckpoint(run_dir).initialize(
+            {"kind": "sweep", "spec": {"name": "t"}, "units": 2}, resume=True
+        )
+        with running_coordinator(run_dir, unit_keys=["u0", "u1"]) as server:
+            backend = HttpWorkBackend(server.url, retry_timeout=10)
+            lease = backend.claim("u0", "w1")
+            assert backend.completed_keys() == set()
+            backend.record(lease, {"x": 1})
+            # Recorded before released: peers already see it done.
+            assert backend.completed_keys() == {"u0"}
+            backend.release(lease)
+            assert backend.results() == {"u0": {"x": 1}}
+
+    def test_renew_and_release_with_stale_token_rejected_over_http(self, tmp_path):
+        run_dir = tmp_path / "run"
+        RunCheckpoint(run_dir).initialize(
+            {"kind": "sweep", "spec": {"name": "t"}, "units": 1}, resume=True
+        )
+        with running_coordinator(run_dir, ttl=0.05, unit_keys=["u0"]) as server:
+            backend = HttpWorkBackend(server.url, retry_timeout=10)
+            old = backend.claim("u0", "w1")
+            time.sleep(0.1)
+            stolen = backend.claim("u0", "w2")
+            assert stolen is not None and stolen.reclaimed
+            assert backend.renew(old) is None  # stale: rejected
+            backend.release(old)  # stale release: benign no-op...
+            assert backend.renew(stolen) is stolen  # ...thief unaffected
+
+    def test_unreachable_coordinator_raises_after_bounded_retries(self):
+        # Grab a port nothing listens on.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        backend = HttpWorkBackend(f"http://127.0.0.1:{port}", retry_timeout=0.3)
+        start = time.monotonic()
+        with pytest.raises(CoordinatorError, match="unreachable"):
+            backend.completed_keys()
+        assert time.monotonic() - start < 10
+
+    def test_drain_units_over_http_backend(self, tmp_path):
+        from repro.runtime import WorkUnit
+
+        run_dir = tmp_path / "run"
+        keys = [f"u{i}" for i in range(8)]
+        RunCheckpoint(run_dir).initialize(
+            {"kind": "sweep", "spec": {"name": "t"}, "units": len(keys)}, resume=True
+        )
+        units = [WorkUnit(key=k, payload=i) for i, k in enumerate(keys)]
+
+        def square(unit):
+            return int(unit.payload) ** 2
+
+        with running_coordinator(run_dir, unit_keys=keys) as server:
+            stats_list = []
+            with ThreadPoolExecutor(max_workers=3) as pool:
+                futures = [
+                    pool.submit(
+                        drain_units,
+                        units,
+                        square,
+                        backend=HttpWorkBackend(server.url, retry_timeout=10),
+                        worker_id=f"w{i}",
+                        poll_interval=0.01,
+                    )
+                    for i in range(3)
+                ]
+                stats_list = [f.result() for f in futures]
+            assert sum(s.executed for s in stats_list) == len(keys)
+            backend = HttpWorkBackend(server.url, retry_timeout=10)
+            assert backend.results() == {f"u{i}": i * i for i in range(8)}
+        # Exactly-once on disk too: no duplicate records across shards.
+        merged = RunCheckpoint(run_dir).completed()
+        assert merged == {f"u{i}": i * i for i in range(8)}
+
+
+# ---------------------------------------------------------------------- #
+# Sweeps over the coordinator (programmatic API)
+# ---------------------------------------------------------------------- #
+class TestCoordinatorSweep:
+    def test_work_coordinator_reconstructs_plan_from_wire_manifest(self, tmp_path):
+        import numpy as np
+
+        spec = tiny_benchmark_spec()
+        run_dir = tmp_path / "run"
+        plan = init_run_dir(run_dir, spec)
+        with running_coordinator(run_dir, unit_keys=[u.key for u in plan.units]) as server:
+            plan2, stats = work_coordinator(server.url, worker_id="w1", poll_interval=0.05)
+            assert stats.executed == len(plan.units) == 4
+            assert [u.key for u in plan2.units] == [u.key for u in plan.units]
+            # run_sweep over the coordinator is now a pure read; results
+            # travel the wire, not the filesystem.
+            merged = run_sweep(spec, backend="coordinator", coordinator=server.url)
+        local = run_sweep(spec, jobs=1)
+        for scheduler in local.makespans:
+            assert np.array_equal(local.makespans[scheduler], merged.makespans[scheduler])
+
+    def test_run_sweep_coordinator_jobs_matches_serial_pisa(self, tmp_path):
+        spec = tiny_fig4_spec()
+        serial = run_sweep(spec, jobs=1)
+        run_dir = tmp_path / "run"
+        plan = init_run_dir(run_dir, spec)
+        with running_coordinator(run_dir, unit_keys=[u.key for u in plan.units]) as server:
+            over_wire = run_sweep(
+                spec,
+                backend="coordinator",
+                coordinator=server.url,
+                jobs=2,
+                poll_interval=0.05,
+            )
+        assert _ratios(over_wire) == _ratios(serial)
+        for pair, res in serial.pairwise.results.items():
+            best = over_wire.pairwise.results[pair].best_instance
+            assert best.task_graph == res.best_instance.task_graph
+            assert best.network == res.best_instance.network
+
+    def test_run_sweep_coordinator_validations(self, tmp_path):
+        import numpy as np
+
+        spec = tiny_benchmark_spec()
+        with pytest.raises(CheckpointError, match="coordinator URL"):
+            run_sweep(spec, backend="coordinator")
+        with pytest.raises(CheckpointError, match="run_dir"):
+            run_sweep(
+                spec,
+                backend="coordinator",
+                coordinator="http://localhost:1",
+                run_dir=tmp_path / "x",
+            )
+        with pytest.raises(ValueError, match="rng"):
+            run_sweep(
+                spec,
+                backend="coordinator",
+                coordinator="http://localhost:1",
+                rng=np.random.default_rng(1),
+            )
+        with pytest.raises(ValueError, match="lease_ttl"):
+            run_sweep(
+                spec,
+                backend="coordinator",
+                coordinator="http://localhost:1",
+                lease_ttl=5,
+            )
+        with pytest.raises(ValueError, match="coordinator"):
+            run_sweep(spec, coordinator="http://localhost:1")  # local backend
+        with pytest.raises(ValueError, match="retry_timeout"):
+            run_sweep(spec, retry_timeout=5)
+
+    def test_run_sweep_refuses_mismatched_coordinator(self, tmp_path):
+        run_dir = tmp_path / "run"
+        plan = init_run_dir(run_dir, tiny_benchmark_spec(seed=1))
+        with running_coordinator(run_dir, unit_keys=[u.key for u in plan.units]) as server:
+            with pytest.raises(CheckpointError, match="different sweep"):
+                run_sweep(
+                    tiny_benchmark_spec(seed=2),
+                    backend="coordinator",
+                    coordinator=server.url,
+                )
+
+    def test_gc_never_collects_a_directory_a_live_coordinator_serves(self, tmp_path):
+        """Coordinator workers leave no lease files, so the server itself
+        holds a renewed advisory lease — lease-aware gc must refuse the
+        directory while the coordinator lives and collect it afterwards."""
+        from repro.runtime.gc import gc_runs
+
+        spec = tiny_benchmark_spec()
+        root = tmp_path / "runs"
+        run_dir = root / "run"
+        plan = init_run_dir(run_dir, spec)
+        with running_coordinator(run_dir, unit_keys=[u.key for u in plan.units]) as server:
+            work_coordinator(server.url, worker_id="w1", poll_interval=0.05)
+            collect, keep = gc_runs(root, completed=True)
+            assert collect == []
+            assert [s.path for s in keep] == [run_dir]
+            assert keep[0].complete and keep[0].active_leases >= 1
+        # Clean shutdown releases the advisory lease: now collectable.
+        collect, keep = gc_runs(root, completed=True)
+        assert [s.path for s in collect] == [run_dir]
+
+    def test_heartbeat_thread_survives_protocol_errors(self, tmp_path):
+        """A renew blowing up with a non-OSError (version-skewed
+        coordinator, proxy garbage) must not kill the renewal thread —
+        the next beat retries."""
+        from repro.runtime.backends import CoordinatorProtocolError
+        from repro.runtime.distributed import _renewing
+
+        class FlakyBackend:
+            def __init__(self):
+                self.calls = 0
+
+            def renew(self, lease):
+                self.calls += 1
+                if self.calls == 1:
+                    raise CoordinatorProtocolError("garbage ack")
+                return lease
+
+        backend = FlakyBackend()
+        lease = type("L", (), {"unit": "u0", "ttl": 1.0})()
+        with _renewing(backend, lease, 0.02):
+            time.sleep(0.15)
+        assert backend.calls >= 2  # kept beating past the protocol error
+
+    def test_run_units_rejects_retry_timeout_outside_coordinator_backend(self, tmp_path):
+        from repro.runtime import RunCheckpoint, WorkUnit
+        from repro.runtime.executor import run_units
+
+        units = [WorkUnit(key="u0", payload=1)]
+        with pytest.raises(ValueError, match="retry_timeout"):
+            run_units(units, _square_payload, retry_timeout=5)
+        checkpoint = RunCheckpoint(tmp_path / "run")
+        checkpoint.initialize({"kind": "t"})
+        with pytest.raises(ValueError, match="retry_timeout"):
+            run_units(
+                units,
+                _square_payload,
+                checkpoint=checkpoint,
+                backend="distributed",
+                retry_timeout=5,
+            )
+
+    def test_status_schema_is_shared_between_backends(self, tmp_path):
+        from repro.runtime.distributed import inspect_run_dir
+
+        spec = tiny_benchmark_spec()
+        fs_dir = tmp_path / "fs"
+        run_sweep(spec, run_dir=fs_dir, backend="distributed", lease_ttl=30)
+        fs_payload = inspect_run_dir(fs_dir).to_payload()
+
+        coord_dir = tmp_path / "coord"
+        plan = init_run_dir(coord_dir, spec)
+        with running_coordinator(coord_dir, unit_keys=[u.key for u in plan.units]) as server:
+            work_coordinator(server.url, worker_id="w1", poll_interval=0.05)
+            coord_payload = HttpWorkBackend(server.url, retry_timeout=10).status()
+
+        assert set(fs_payload) == set(coord_payload)
+        for key in ("schema", "kind", "name", "complete", "total_units", "completed_units"):
+            assert fs_payload[key] == coord_payload[key], key
+        assert fs_payload["backend"] == "filesystem"
+        assert coord_payload["backend"] == "coordinator"
+
+
+# ---------------------------------------------------------------------- #
+# Fault injection: subprocess workers + coordinator, SIGKILL both
+# ---------------------------------------------------------------------- #
+def _env(delay: float | None = None) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if delay is not None:
+        env["REPRO_RUNTIME_UNIT_DELAY"] = str(delay)
+    else:
+        env.pop("REPRO_RUNTIME_UNIT_DELAY", None)
+    return env
+
+
+def _free_port() -> int:
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def _start_serve(run_dir: Path, port: int, spec_path: Path | None, ttl: float = 2.0):
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro",
+        "sweep",
+        "serve",
+        str(run_dir),
+        "--port",
+        str(port),
+        "--ttl",
+        str(ttl),
+    ]
+    if spec_path is not None:
+        cmd += ["--spec", str(spec_path)]
+    return subprocess.Popen(
+        cmd, env=_env(), stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True
+    )
+
+
+def _start_worker(url: str, worker_id: str, delay: float | None = None):
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro",
+        "sweep",
+        "work",
+        "--coordinator",
+        url,
+        "--worker-id",
+        worker_id,
+        "--heartbeat",
+        "0.4",
+        "--poll",
+        "0.05",
+        "--retry",
+        "60",
+    ]
+    return subprocess.Popen(
+        cmd, env=_env(delay), stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True
+    )
+
+
+def _wait_until(predicate, timeout: float, message: str) -> None:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"timed out waiting for: {message}")
+
+
+def _status(url: str) -> dict | None:
+    try:
+        return HttpWorkBackend(url, retry_timeout=0.2, request_timeout=2).status()
+    except Exception:  # noqa: BLE001 - a down coordinator is an expected state here
+        return None
+
+
+class TestFaultInjection:
+    """The acceptance scenario pinned by this PR: a fig4-preset sweep
+    drained by two ``--coordinator`` workers, one SIGKILLed mid-unit, the
+    coordinator SIGKILLed and restarted mid-sweep — merged results
+    bit-identical to ``run_sweep(spec, jobs=1)``."""
+
+    def test_kill_worker_and_coordinator_bit_identical_to_serial(self, tmp_path):
+        spec = tiny_fig4_spec()
+        serial = run_sweep(spec, jobs=1)
+        expected_keys = sorted(
+            f"{t}|{b}|r{r}"
+            for t in SCHEDULERS
+            for b in SCHEDULERS
+            if t != b
+            for r in range(TINY.restarts)
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(spec.to_json())
+        run_dir = tmp_path / "run"
+        port = _free_port()
+        url = f"http://127.0.0.1:{port}"
+
+        coordinator = _start_serve(run_dir, port, spec_path, ttl=2.0)
+        workers: list[subprocess.Popen] = []
+        restarted = None
+        try:
+            _wait_until(lambda: _status(url) is not None, 60, "coordinator to serve")
+
+            # The victim holds each unit open 0.6s (fault-injection delay),
+            # the survivor 0.2s — slow enough that both kills land mid-sweep.
+            victim = _start_worker(url, "victim", delay=0.6)
+            workers.append(victim)
+            _wait_until(
+                lambda: any(
+                    lease["worker"] == "victim"
+                    for lease in (_status(url) or {}).get("active_leases", [])
+                ),
+                60,
+                "victim to claim a unit",
+            )
+            survivor = _start_worker(url, "survivor", delay=0.2)
+            workers.append(survivor)
+
+            # Kill the victim mid-unit: its lease must expire on the
+            # coordinator's clock and be re-granted to the survivor.
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.wait(timeout=30)
+
+            # Let the survivor make real progress, then SIGKILL the
+            # coordinator mid-sweep and restart it on the same port.
+            _wait_until(
+                lambda: (_status(url) or {}).get("completed_units", 0) >= 2,
+                120,
+                "some units to complete before the coordinator dies",
+            )
+            assert not (_status(url) or {}).get("complete"), (
+                "coordinator kill must land mid-sweep; slow the workers down"
+            )
+            os.kill(coordinator.pid, signal.SIGKILL)
+            coordinator.wait(timeout=30)
+
+            restarted = _start_serve(run_dir, port, spec_path=None, ttl=2.0)
+            _wait_until(lambda: _status(url) is not None, 60, "coordinator to restart")
+
+            out, err = survivor.communicate(timeout=240)
+            assert survivor.returncode == 0, err
+            # The survivor reclaimed the victim's mid-unit lease.
+            assert "reclaimed" in out or "reclaimed" in err
+        finally:
+            for proc in [coordinator, restarted, *workers]:
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+
+        # Every unit recorded exactly once across the coordinator's shards.
+        recorded = []
+        for shard in run_dir.glob("units-*.jsonl"):
+            recorded += [
+                json.loads(line)["key"]
+                for line in shard.read_text().splitlines()
+                if line.strip()
+            ]
+        assert sorted(recorded) == expected_keys
+
+        # The merged result is bit-identical to the serial run.
+        merged = run_sweep(spec, run_dir=run_dir, resume=True, jobs=1)
+        assert _ratios(merged) == _ratios(serial)
+        for pair, res in serial.pairwise.results.items():
+            best = merged.pairwise.results[pair].best_instance
+            assert best.task_graph == res.best_instance.task_graph
+            assert best.network == res.best_instance.network
+
+    def test_cli_status_json_against_live_coordinator(self, tmp_path):
+        """`repro sweep status --coordinator --json` emits the shared
+        schema (the dashboard seed)."""
+        spec = tiny_benchmark_spec()
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(spec.to_json())
+        run_dir = tmp_path / "run"
+        port = _free_port()
+        url = f"http://127.0.0.1:{port}"
+        coordinator = _start_serve(run_dir, port, spec_path)
+        try:
+            _wait_until(lambda: _status(url) is not None, 60, "coordinator to serve")
+            result = subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "sweep",
+                    "status",
+                    "--coordinator",
+                    url,
+                    "--json",
+                ],
+                env=_env(),
+                capture_output=True,
+                text=True,
+                timeout=60,
+            )
+            assert result.returncode == 0, result.stderr
+            payload = json.loads(result.stdout)
+            assert payload["backend"] == "coordinator"
+            assert payload["total_units"] == 4
+            assert payload["completed_units"] == 0
+        finally:
+            if coordinator.poll() is None:
+                coordinator.kill()

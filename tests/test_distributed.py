@@ -290,10 +290,27 @@ class TestLeaseLifecycle:
         assert not dead_path.exists()
         assert leases.lease_path(live.unit).exists()
 
-    def test_worker_identity_is_unique_and_filesystem_safe(self):
+    def test_worker_identity_is_stable_per_process_and_filesystem_safe(self):
+        """One process is one worker: repeated calls must agree (leases and
+        shard appends have to land under one id), while the random 32-bit
+        suffix keeps hosts sharing a hostname+pid (container fleets, pid
+        reuse) from colliding."""
+        from repro.runtime import distributed
+
         a, b = worker_identity(), worker_identity()
-        assert a != b
+        assert a == b
+        suffix = a.rsplit("-", 1)[1]
+        assert len(suffix) == 8  # 32 bits of hex
+        int(suffix, 16)  # does not raise: it is the random suffix
         assert safe_filename(a)  # does not raise; names a valid shard
+        # Another process draws its own suffix (simulated by resetting the
+        # lazily-chosen one); hostname+pid equality alone must not collide.
+        original = distributed._identity_suffix
+        try:
+            distributed._identity_suffix = None
+            assert worker_identity() != a
+        finally:
+            distributed._identity_suffix = original
 
 
 # ---------------------------------------------------------------------- #
