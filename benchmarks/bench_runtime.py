@@ -24,6 +24,14 @@ and ``benchmarks/compare.py`` gates against the committed
   units/second.  Not gated: it contextualizes coordination overhead
   against unit runtimes (PISA units run for seconds; both transports
   sustain hundreds of cycles per second, so coordination is noise).
+* **Coordinator scaling curve** — units/second through the coordinator
+  across worker count x claim batch size, on persistent connections,
+  plus the pre-batching protocol (one unit per claim, one TCP
+  connection per request) as the legacy reference point.  Gated: the
+  ``speedup`` scalar — batched throughput over legacy throughput, both
+  at 8 workers — must stay >= 10x, which is the whole point of the
+  batched protocol + persistent connections + group-commit journaling
+  stack.  The full curve lands in ``runtime.json`` for trend tracking.
 """
 
 from __future__ import annotations
@@ -323,4 +331,107 @@ def test_coordinator_roundtrip_throughput(report_dir, tmp_path):
     assert http_rate >= 20.0, (
         f"coordinator round-trips too slow: {http_rate:.0f} units/s "
         f"({t_http:.2f}s for {ROUNDTRIP_UNITS} units)"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Coordinator scaling curve: workers x batch size, batched vs legacy
+# ---------------------------------------------------------------------- #
+CURVE_WORKERS = (1, 4, 8)
+CURVE_BATCHES = (1, 16)
+CURVE_UNITS = 320
+SCALING_TARGET = 10.0
+
+
+def _drain_cell(url: str, keys, workers: int, batch_size: int, persistent: bool) -> float:
+    """Drain ``keys`` with ``workers`` threads; return wall-clock seconds.
+
+    One backend is shared (connections are per-thread); keys are
+    statically sharded so the measurement is pure protocol throughput,
+    not contention resolution.  ``batch_size == 1`` uses the single-unit
+    claim/record/release protocol; larger batches use the batched one.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.runtime.backends import HttpWorkBackend
+
+    backend = HttpWorkBackend(url, retry_timeout=30, persistent=persistent)
+    shards = [keys[i::workers] for i in range(workers)]
+
+    def drain(worker_id: str, shard) -> None:
+        if batch_size == 1:
+            _drain_roundtrips(backend, shard, worker_id)
+            return
+        for start in range(0, len(shard), batch_size):
+            chunk = shard[start : start + batch_size]
+            batch = backend.claim_batch(chunk, worker_id)
+            assert batch is not None, "batch unexpectedly contended"
+            backend.record_batch(batch, {key: {"k": key, "v": 1.0} for key in batch.units})
+            backend.release_batch(batch)
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(drain, f"curve-w{i}", shard) for i, shard in enumerate(shards)
+        ]
+        for future in futures:
+            future.result()
+    elapsed = time.perf_counter() - start
+    backend.close()
+    return elapsed
+
+
+def test_coordinator_scaling_curve(report_dir, tmp_path):
+    """Throughput across workers x batch size, gated against the legacy protocol.
+
+    Every cell drains the same number of trivial units through a fresh
+    coordinator.  The batched cells use persistent connections (the
+    shipping configuration); the legacy cell replays the pre-batching
+    protocol — one unit per claim, a fresh TCP connection per request —
+    at 8 workers, and the gated ``speedup`` is best-batched-at-8-workers
+    over legacy.
+    """
+    from repro.runtime import RunCheckpoint
+    from repro.runtime.coordinator import running_coordinator
+
+    manifest = {"kind": "sweep", "spec": {"name": "bench"}, "units": CURVE_UNITS}
+    cells = [(w, b, True) for w in CURVE_WORKERS for b in CURVE_BATCHES]
+    legacy_cell = (max(CURVE_WORKERS), 1, False)
+
+    rates: dict[tuple[int, int, bool], float] = {}
+    for index, (workers, batch_size, persistent) in enumerate(cells + [legacy_cell]):
+        keys = [f"u{i}" for i in range(CURVE_UNITS)]
+        run_dir = tmp_path / f"curve-{index}"
+        RunCheckpoint(run_dir).initialize(manifest, resume=True)
+        with running_coordinator(run_dir, unit_keys=keys) as server:
+            elapsed = _drain_cell(server.url, keys, workers, batch_size, persistent)
+        assert set(RunCheckpoint(run_dir).completed()) == set(keys)
+        rates[(workers, batch_size, persistent)] = (
+            CURVE_UNITS / elapsed if elapsed > 0 else math.inf
+        )
+
+    curve = {
+        f"workers={w}": {
+            f"batch={b}": round(rates[(w, b, True)], 1) for b in CURVE_BATCHES
+        }
+        for w in CURVE_WORKERS
+    }
+    peak_workers = max(CURVE_WORKERS)
+    batched_rate = max(rates[(peak_workers, b, True)] for b in CURVE_BATCHES)
+    legacy_rate = rates[legacy_cell]
+    speedup = batched_rate / legacy_rate if legacy_rate > 0 else math.inf
+    _write_timings(
+        report_dir,
+        "coordinator_scaling",
+        {
+            "units_per_cell": CURVE_UNITS,
+            "curve": curve,
+            "legacy_units_per_second": round(legacy_rate, 1),
+            "batched_units_per_second": round(batched_rate, 1),
+            "speedup": round(speedup, 3),
+        },
+    )
+    assert speedup >= SCALING_TARGET, (
+        f"batched protocol only {speedup:.1f}x over legacy at {peak_workers} "
+        f"workers ({legacy_rate:.0f} -> {batched_rate:.0f} units/s)"
     )

@@ -166,6 +166,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="coordinator base URL (http://host:port) for "
         "--backend coordinator",
     )
+    q.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        help="units leased per claim request (default 1); batching "
+        "amortizes per-unit round trips on the distributed/coordinator "
+        "backends while results still record unit by unit",
+    )
 
     q = sweep_sub.add_parser(
         "serve",
@@ -256,6 +264,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="coordinator mode: seconds to keep retrying transient wire "
         "errors, e.g. while the coordinator restarts (default 60)",
+    )
+    q.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        help="units leased per claim request (default 1); batching "
+        "amortizes per-unit round trips — the big win in coordinator "
+        "mode — while results still record unit by unit",
     )
     q.add_argument(
         "--no-wait",
@@ -529,6 +545,17 @@ def _cmd_sweep(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.batch is not None:
+        if args.batch < 1:
+            print(f"error: --batch must be >= 1, got {args.batch}", file=sys.stderr)
+            return 2
+        if args.backend == "local":
+            print(
+                "error: --batch is a distributed/coordinator option and has "
+                "no effect with --backend local",
+                file=sys.stderr,
+            )
+            return 2
     from repro.runtime.backends import CoordinatorError, CoordinatorProtocolError
 
     try:
@@ -540,6 +567,7 @@ def _cmd_sweep(args) -> int:
             progress=progress,
             backend=args.backend,
             coordinator=args.coordinator,
+            claim_batch=args.batch,
         )
     except (SpecError, CheckpointError, CoordinatorError, CoordinatorProtocolError) as exc:
         # CheckpointError covers the run-dir refusals (existing run dir
@@ -595,6 +623,9 @@ def _cmd_sweep_work(args) -> int:
     # for these, which the clean-error clause below deliberately does not
     # catch (a ValueError from inside experiment code is a real failure
     # that must keep its traceback).
+    if args.batch < 1:
+        print(f"error: --batch must be >= 1, got {args.batch}", file=sys.stderr)
+        return 2
     for flag, value, minimum in (
         ("--ttl", args.ttl, "positive"),
         ("--heartbeat", args.heartbeat, "positive"),
@@ -633,6 +664,7 @@ def _cmd_sweep_work(args) -> int:
                 retry_timeout=args.retry,
                 wait=not args.no_wait,
                 on_unit=on_unit,
+                claim_batch=args.batch,
             )
             try:
                 # Best-effort: a `serve --until-complete` coordinator may
@@ -656,6 +688,7 @@ def _cmd_sweep_work(args) -> int:
                 poll_interval=args.poll,
                 wait=not args.no_wait,
                 on_unit=on_unit,
+                claim_batch=args.batch,
             )
             status = inspect_run_dir(args.run_dir)
             complete = status.complete

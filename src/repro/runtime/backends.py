@@ -37,9 +37,11 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
+import socket
+import threading
 import time
-import urllib.error
-import urllib.request
+import urllib.parse
 from dataclasses import dataclass
 from typing import Any, Protocol, runtime_checkable
 
@@ -53,11 +55,19 @@ __all__ = [
     "CoordinatorError",
     "CoordinatorProtocolError",
     "CoordinatorLease",
+    "CoordinatorBatchLease",
+    "FilesystemBatchLease",
     "ClaimRequest",
     "ClaimReply",
     "LeaseRequest",
     "RecordRequest",
     "AckReply",
+    "BatchClaimRequest",
+    "BatchClaimReply",
+    "BatchLeaseRequest",
+    "BatchAckReply",
+    "BatchRecordRequest",
+    "BatchRecordReply",
 ]
 
 #: Seconds an :class:`HttpWorkBackend` keeps retrying transient errors
@@ -130,6 +140,44 @@ class WorkBackend(Protocol):
         """Sweep leftover claim state of already-completed units."""
         ...
 
+    # -------------------------------------------------------------- #
+    # Batched claims: one request leases up to N units under one
+    # ownership token, amortizing per-unit round trips.  Batch lease
+    # objects expose ``units`` (the *unfinished* members, shrinking as
+    # results land), ``ttl``, ``worker``, and ``reclaimed_units``.
+    # -------------------------------------------------------------- #
+    def claim_batch(self, unit_keys: Any, worker: str) -> Any | None:
+        """Try to claim every key in ``unit_keys`` at once; the grant may
+        be partial (held/completed units are skipped).  ``None`` if
+        nothing was grantable."""
+        ...
+
+    def renew_batch(self, batch: Any) -> Any | None:
+        """Refresh the heartbeat of a batch's unfinished units; ``None``
+        if ownership of *all* of them was lost."""
+        ...
+
+    def release_batch(self, batch: Any) -> None:
+        """Give up the unfinished remainder of a batch."""
+        ...
+
+    def record_in_batch(self, batch: Any, unit_key: str, result: Any) -> None:
+        """Record one finished member and release its claim immediately,
+        so a crash later in the batch re-grants only unfinished units."""
+        ...
+
+    def release_unit(self, batch: Any, unit_key: str) -> None:
+        """Give up one member without recording (e.g. found completed)."""
+        ...
+
+    def record_batch(self, batch: Any, results: Any) -> None:
+        """Record several finished members (``{unit_key: result}``) in
+        one flush and release their claims.  Durability is batch-grained:
+        callers that need per-unit crash granularity (the drain loop)
+        use :meth:`record_in_batch` instead; callers pushing sub-second
+        units use this to amortize the per-record round trip."""
+        ...
+
 
 # ---------------------------------------------------------------------- #
 # Filesystem transport (the PR-4 protocol behind the seam)
@@ -172,6 +220,50 @@ class FilesystemWorkBackend:
     def cleanup(self, completed: set[str]) -> None:
         self._leases.cleanup(completed)
 
+    # ------------------------------------------------------------------ #
+    # Batched claims: a loop over the per-unit ``O_EXCL`` protocol.  The
+    # filesystem has no cheaper primitive, so batching buys nothing here
+    # beyond seam parity — each member still costs one lease file.
+    # ------------------------------------------------------------------ #
+    def claim_batch(self, unit_keys, worker: str) -> "FilesystemBatchLease | None":
+        leases = {}
+        for key in unit_keys:
+            lease = self._leases.claim(key, worker)
+            if lease is not None:
+                leases[key] = lease
+        if not leases:
+            return None
+        return FilesystemBatchLease(
+            worker=worker,
+            ttl=self.ttl,
+            leases=leases,
+            reclaimed_units=frozenset(k for k, l in leases.items() if l.reclaimed),
+        )
+
+    def renew_batch(self, batch) -> "FilesystemBatchLease | None":
+        alive = 0
+        for lease in list(batch.leases.values()):
+            if self._leases.renew(lease) is not None:
+                alive += 1
+        return batch if alive else None
+
+    def release_batch(self, batch) -> None:
+        for key in list(batch.leases):
+            self.release_unit(batch, key)
+
+    def record_in_batch(self, batch, unit_key: str, result) -> None:
+        self.checkpoint.record(unit_key, result, shard=batch.worker)
+        self.release_unit(batch, unit_key)
+
+    def record_batch(self, batch, results) -> None:
+        for unit_key, result in results.items():
+            self.record_in_batch(batch, unit_key, result)
+
+    def release_unit(self, batch, unit_key: str) -> None:
+        lease = batch.leases.pop(unit_key, None)
+        if lease is not None:
+            self._leases.release(lease)
+
 
 # ---------------------------------------------------------------------- #
 # Wire payloads (shared by client and server)
@@ -194,6 +286,22 @@ def _payload_dict(data: Any, what: str) -> dict:
     if not isinstance(data, dict):
         raise ValueError(f"{what} payload must be an object, got {type(data).__name__}")
     return data
+
+
+def _require_str_list(
+    data: dict, key: str, *, allow_empty: bool = False, unique: bool = True
+) -> tuple[str, ...]:
+    value = data.get(key, [] if allow_empty else None)
+    if not isinstance(value, list) or (not value and not allow_empty):
+        raise ValueError(f"{key} must be a non-empty array of strings, got {value!r}")
+    out: list[str] = []
+    for item in value:
+        if not isinstance(item, str) or not item:
+            raise ValueError(f"{key} entries must be non-empty strings, got {item!r}")
+        out.append(item)
+    if unique and len(set(out)) != len(out):
+        raise ValueError(f"{key} entries must be unique, got {out!r}")
+    return tuple(out)
 
 
 @dataclass(frozen=True)
@@ -338,6 +446,177 @@ class AckReply:
 
 
 @dataclass(frozen=True)
+class BatchClaimRequest:
+    """``POST /claim-batch`` body: one worker asking for up to N units."""
+
+    units: tuple[str, ...]
+    worker: str
+
+    def to_dict(self) -> dict:
+        return {"units": list(self.units), "worker": self.worker}
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "BatchClaimRequest":
+        data = _payload_dict(data, "batch claim request")
+        return cls(
+            units=_require_str_list(data, "units"),
+            worker=_require_str(data, "worker"),
+        )
+
+
+@dataclass(frozen=True)
+class BatchClaimReply:
+    """``POST /claim-batch`` reply.
+
+    ``granted`` lists the units now leased to the worker — possibly a
+    strict subset of the request (live peers hold the rest) — all under
+    one ownership ``token`` and one journal record.  ``reclaimed`` is
+    the subset of ``granted`` that stole a dead worker's stale leases;
+    ``completed`` lists requested units that were already recorded.
+    """
+
+    granted: tuple[str, ...]
+    token: str = ""
+    ttl: float = 0.0
+    reclaimed: tuple[str, ...] = ()
+    completed: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "granted": list(self.granted),
+            "token": self.token,
+            "ttl": self.ttl,
+            "reclaimed": list(self.reclaimed),
+            "completed": list(self.completed),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "BatchClaimReply":
+        data = _payload_dict(data, "batch claim reply")
+        if "granted" not in data:
+            raise ValueError("batch claim reply must carry a granted array")
+        granted = _require_str_list(data, "granted", allow_empty=True)
+        token = data.get("token", "")
+        if not isinstance(token, str) or (granted and not token):
+            raise ValueError(f"token must be a string (non-empty when granted), got {token!r}")
+        try:
+            ttl = float(data.get("ttl", 0.0))
+        except (TypeError, ValueError):
+            raise ValueError(f"ttl must be a number, got {data.get('ttl')!r}") from None
+        if granted and ttl <= 0:
+            raise ValueError(f"granted batch claim must carry a positive ttl, got {ttl}")
+        reclaimed = _require_str_list(data, "reclaimed", allow_empty=True)
+        completed = _require_str_list(data, "completed", allow_empty=True)
+        if not set(reclaimed) <= set(granted):
+            raise ValueError(f"reclaimed {reclaimed!r} must be a subset of granted {granted!r}")
+        if set(completed) & set(granted):
+            raise ValueError(f"completed {completed!r} must be disjoint from granted {granted!r}")
+        return cls(granted=granted, token=token, ttl=ttl, reclaimed=reclaimed, completed=completed)
+
+
+@dataclass(frozen=True)
+class BatchLeaseRequest:
+    """``POST /renew-batch`` and ``POST /release-batch`` body: the
+    unfinished remainder of a held batch, proven by its token."""
+
+    units: tuple[str, ...]
+    worker: str
+    token: str
+
+    def to_dict(self) -> dict:
+        return {"units": list(self.units), "worker": self.worker, "token": self.token}
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "BatchLeaseRequest":
+        data = _payload_dict(data, "batch lease request")
+        return cls(
+            units=_require_str_list(data, "units"),
+            worker=_require_str(data, "worker"),
+            token=_require_str(data, "token"),
+        )
+
+
+@dataclass(frozen=True)
+class BatchAckReply:
+    """Reply to batch renew/release.  ``ok`` means at least one listed
+    unit is still owned by the presented token; ``stale`` lists the
+    units that no longer are (recorded, expired, or re-granted)."""
+
+    ok: bool
+    stale: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {"ok": self.ok, "stale": list(self.stale)}
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "BatchAckReply":
+        data = _payload_dict(data, "batch ack reply")
+        return cls(
+            ok=_require_bool(data, "ok"),
+            stale=_require_str_list(data, "stale", allow_empty=True),
+        )
+
+
+@dataclass(frozen=True)
+class BatchRecordRequest:
+    """``POST /record-batch`` body: several finished units' (encoded)
+    results under one batch token — one request, one journal record,
+    one group commit for the whole flush.  ``units`` and ``results``
+    are parallel arrays."""
+
+    units: tuple[str, ...]
+    results: tuple[Any, ...]
+    worker: str
+    token: str
+
+    def to_dict(self) -> dict:
+        return {
+            "units": list(self.units),
+            "results": list(self.results),
+            "worker": self.worker,
+            "token": self.token,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "BatchRecordRequest":
+        data = _payload_dict(data, "batch record request")
+        units = _require_str_list(data, "units")
+        results = data.get("results")
+        if not isinstance(results, list) or len(results) != len(units):
+            raise ValueError(
+                f"results must be an array parallel to units "
+                f"({len(units)} entries), got {results!r}"
+            )
+        return cls(
+            units=units,
+            results=tuple(results),
+            worker=_require_str(data, "worker"),
+            token=_require_str(data, "token"),
+        )
+
+
+@dataclass(frozen=True)
+class BatchRecordReply:
+    """``POST /record-batch`` reply.  ``ok`` acknowledges the whole
+    flush as durable; ``duplicates`` lists units that were already
+    recorded, whose results were dropped (first writer wins)."""
+
+    ok: bool
+    duplicates: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {"ok": self.ok, "duplicates": list(self.duplicates)}
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "BatchRecordReply":
+        data = _payload_dict(data, "batch record reply")
+        return cls(
+            ok=_require_bool(data, "ok"),
+            duplicates=_require_str_list(data, "duplicates", allow_empty=True),
+        )
+
+
+@dataclass(frozen=True)
 class CoordinatorLease:
     """A claim granted by the coordinator, held client-side.
 
@@ -352,12 +631,83 @@ class CoordinatorLease:
     reclaimed: bool = False
 
 
+@dataclass
+class CoordinatorBatchLease:
+    """A batch of claims granted under one token, held client-side.
+
+    ``units`` is the *unfinished* remainder: :meth:`HttpWorkBackend.
+    record_in_batch` drops each member as its result lands, so renewals
+    and the final release cover only what is still in flight."""
+
+    worker: str
+    token: str
+    ttl: float
+    units: list[str]
+    reclaimed_units: frozenset[str] = frozenset()
+
+    @property
+    def unit(self) -> str:
+        """Log label standing in for the single-lease ``unit`` field."""
+        return f"batch[{len(self.units)} units]"
+
+    @property
+    def reclaimed(self) -> bool:
+        return bool(self.reclaimed_units)
+
+    def drop(self, unit_key: str) -> None:
+        if unit_key in self.units:
+            self.units.remove(unit_key)
+
+
+@dataclass
+class FilesystemBatchLease:
+    """A batch of per-unit ``O_EXCL`` leases treated as one claim."""
+
+    worker: str
+    ttl: float
+    leases: dict[str, Any]
+    reclaimed_units: frozenset[str] = frozenset()
+
+    @property
+    def units(self) -> list[str]:
+        return list(self.leases)
+
+    @property
+    def unit(self) -> str:
+        return f"batch[{len(self.leases)} units]"
+
+    @property
+    def reclaimed(self) -> bool:
+        return bool(self.reclaimed_units)
+
+
 # ---------------------------------------------------------------------- #
 # HTTP transport
 # ---------------------------------------------------------------------- #
+class _TransientError(Exception):
+    """A retryable transport failure (unreachable, reset, timeout, 5xx).
+
+    ``retry_now`` marks failures on a *reused* keep-alive connection:
+    the server most likely closed it while idle, so the retry should go
+    out immediately on a fresh connection instead of backing off."""
+
+    def __init__(self, message: str, *, retry_now: bool = False) -> None:
+        super().__init__(message)
+        self.retry_now = retry_now
+
+
 class HttpWorkBackend:
     """A :class:`WorkBackend` speaking JSON to a ``repro sweep serve``
     coordinator — multi-host draining with no shared filesystem.
+
+    Each thread keeps one ``http.client.HTTPConnection`` alive across
+    requests (HTTP/1.1 keep-alive), so the steady-state cost per request
+    is one round trip, not one TCP handshake plus one round trip.  A
+    connection that dies mid-request is dropped and the request retried
+    on a fresh one — safe because every request is idempotent.
+    Connections are per-thread (``threading.local``) because the drain
+    loop's heartbeat thread shares this backend with the main thread and
+    ``HTTPConnection`` is not thread-safe.
 
     Parameters
     ----------
@@ -369,9 +719,15 @@ class HttpWorkBackend:
         results as-is (they must be JSON-serializable).
     retry_timeout:
         Seconds to keep retrying transient failures (connection refused,
-        5xx, timeouts) with exponential backoff before raising
-        :class:`CoordinatorError`.  This is what lets workers ride out a
-        coordinator kill + restart without losing their place.
+        5xx, timeouts) before raising :class:`CoordinatorError`.  This
+        is what lets workers ride out a coordinator kill + restart
+        without losing their place.  Backoff is exponential with jitter,
+        and each pause probes the coordinator's port so a restarted
+        coordinator is rejoined promptly instead of after the full pause.
+    persistent:
+        ``False`` closes the connection after every round trip — the
+        pre-batching wire behavior, kept for benchmark baselines and as
+        an escape hatch for middleboxes that mishandle keep-alive.
     """
 
     recheck_after_claim = False
@@ -383,6 +739,7 @@ class HttpWorkBackend:
         encode: Any | None = None,
         retry_timeout: float | None = None,
         request_timeout: float | None = None,
+        persistent: bool = True,
     ) -> None:
         self.url = url.rstrip("/")
         if not self.url.startswith(("http://", "https://")):
@@ -394,52 +751,112 @@ class HttpWorkBackend:
         self.request_timeout = float(
             DEFAULT_REQUEST_TIMEOUT if request_timeout is None else request_timeout
         )
+        self.persistent = bool(persistent)
+        split = urllib.parse.urlsplit(self.url)
+        self._secure = split.scheme == "https"
+        self._address = (split.hostname or "localhost", split.port or (443 if self._secure else 80))
+        self._local = threading.local()
 
     # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _new_connection(self) -> http.client.HTTPConnection:
+        cls = http.client.HTTPSConnection if self._secure else http.client.HTTPConnection
+        return cls(self._address[0], self._address[1], timeout=self.request_timeout)
+
+    def _drop_connection(self, conn: http.client.HTTPConnection | None = None) -> None:
+        held = getattr(self._local, "conn", None)
+        self._local.conn = None
+        for candidate in (held, conn):
+            if candidate is not None:
+                try:
+                    candidate.close()  # idempotent: closing twice is fine
+                except OSError:
+                    pass
+
+    def close(self) -> None:
+        """Close the calling thread's persistent connection, if any."""
+        self._drop_connection()
+
+    def _roundtrip(self, path: str, body: bytes | None) -> Any:
+        conn = getattr(self._local, "conn", None)
+        reused = conn is not None
+        if conn is None:
+            conn = self._new_connection()
+        try:
+            conn.request(
+                "GET" if body is None else "POST",
+                path,
+                body=body,
+                headers={} if body is None else {"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            status, reason = resp.status, resp.reason
+            raw = resp.read()
+        except (http.client.HTTPException, ConnectionError, TimeoutError, OSError) as exc:
+            self._drop_connection(conn)
+            raise _TransientError(f"{type(exc).__name__}: {exc}", retry_now=reused) from exc
+        if self.persistent and not resp.will_close:
+            self._local.conn = conn
+        else:
+            self._drop_connection(conn)
+        if 400 <= status < 500:
+            raise CoordinatorProtocolError(
+                f"coordinator rejected {path}: {_error_detail(status, reason, raw)}"
+            )
+        if status >= 500:
+            raise _TransientError(f"{status} {reason}")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise CoordinatorProtocolError(
+                f"coordinator at {self.url} returned non-JSON for {path}: {exc}"
+            ) from None
+
     def _request(self, path: str, payload: dict | None = None) -> Any:
         """One JSON round-trip with bounded retry on transient failures."""
-        data = None if payload is None else json.dumps(payload).encode()
+        body = None if payload is None else json.dumps(payload).encode()
         deadline = time.monotonic() + self.retry_timeout
         backoff = 0.05
         last: Exception | None = None
         while True:
-            request = urllib.request.Request(
-                self.url + path,
-                data=data,
-                method="GET" if data is None else "POST",
-                headers={} if data is None else {"Content-Type": "application/json"},
-            )
             try:
-                with urllib.request.urlopen(request, timeout=self.request_timeout) as resp:
-                    body = resp.read()
-                try:
-                    return json.loads(body)
-                except json.JSONDecodeError as exc:
-                    raise CoordinatorProtocolError(
-                        f"coordinator at {self.url} returned non-JSON for {path}: {exc}"
-                    ) from None
-            except urllib.error.HTTPError as exc:
-                if 400 <= exc.code < 500:
-                    raise CoordinatorProtocolError(
-                        f"coordinator rejected {path}: {_error_detail(exc)}"
-                    ) from None
-                last = exc  # 5xx: the server is unhappy, not us — retry
-            except (
-                urllib.error.URLError,
-                http.client.HTTPException,
-                ConnectionError,
-                TimeoutError,
-                OSError,
-            ) as exc:
-                last = exc  # unreachable/mid-restart — retry
+                return self._roundtrip(path, body)
+            except _TransientError as exc:
+                last = exc
+                if exc.retry_now:
+                    continue  # stale keep-alive: next attempt opens fresh, no pause
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise CoordinatorError(
                     f"coordinator at {self.url} unreachable after "
                     f"{self.retry_timeout:.0f}s of retries (last error: {last})"
                 )
-            time.sleep(min(backoff, remaining))
+            pause = min(backoff * random.uniform(0.5, 1.5), remaining)
             backoff = min(backoff * 2.0, 1.0)
+            self._wait_or_probe(pause)
+
+    def _wait_or_probe(self, pause: float) -> bool:
+        """Wait out a backoff pause, probing the coordinator's port in
+        50 ms slices.  Returns early (``True``) the moment the port
+        accepts a TCP connection, so a coordinator that restarts two
+        seconds into a ten-second pause is rejoined in milliseconds."""
+        deadline = time.monotonic() + pause
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            window = min(remaining, 0.05)
+            started = time.monotonic()
+            try:
+                probe = socket.create_connection(self._address, timeout=window)
+            except OSError:
+                leftover = window - (time.monotonic() - started)
+                if leftover > 0:  # instant refusal: pace the loop ourselves
+                    time.sleep(min(leftover, max(0.0, deadline - time.monotonic())))
+            else:
+                probe.close()
+                return True
 
     # ------------------------------------------------------------------ #
     def completed_keys(self) -> set[str]:
@@ -489,6 +906,70 @@ class HttpWorkBackend:
         """No-op: the coordinator sweeps its own lease table."""
 
     # ------------------------------------------------------------------ #
+    # Batched claims: one round trip per batch instead of per unit
+    # ------------------------------------------------------------------ #
+    def claim_batch(self, unit_keys, worker: str) -> CoordinatorBatchLease | None:
+        payload = BatchClaimRequest(units=tuple(unit_keys), worker=worker).to_dict()
+        reply = BatchClaimReply.from_dict(self._request("/claim-batch", payload))
+        if not reply.granted:
+            return None
+        return CoordinatorBatchLease(
+            worker=worker,
+            token=reply.token,
+            ttl=reply.ttl,
+            units=list(reply.granted),
+            reclaimed_units=frozenset(reply.reclaimed),
+        )
+
+    def renew_batch(self, batch: CoordinatorBatchLease) -> CoordinatorBatchLease | None:
+        units = tuple(batch.units)
+        if not units:
+            return batch  # everything recorded; nothing left to keep alive
+        payload = BatchLeaseRequest(units=units, worker=batch.worker, token=batch.token)
+        ack = BatchAckReply.from_dict(self._request("/renew-batch", payload.to_dict()))
+        return batch if ack.ok else None
+
+    def release_batch(self, batch: CoordinatorBatchLease) -> None:
+        units = tuple(batch.units)
+        if not units:
+            return
+        payload = BatchLeaseRequest(units=units, worker=batch.worker, token=batch.token)
+        self._request("/release-batch", payload.to_dict())  # stale members: benign
+
+    def record_in_batch(self, batch: CoordinatorBatchLease, unit_key: str, result) -> None:
+        lease = CoordinatorLease(
+            unit=unit_key, worker=batch.worker, token=batch.token, ttl=batch.ttl
+        )
+        self.record(lease, result)  # the coordinator drops the member's lease
+        batch.drop(unit_key)
+
+    def record_batch(self, batch: CoordinatorBatchLease, results) -> None:
+        units = tuple(results)
+        if not units:
+            return
+        encoded = [
+            results[u] if self._encode is None else self._encode(results[u])
+            for u in units
+        ]
+        payload = BatchRecordRequest(
+            units=units, results=tuple(encoded), worker=batch.worker, token=batch.token
+        )
+        ack = BatchRecordReply.from_dict(self._request("/record-batch", payload.to_dict()))
+        if not ack.ok:
+            raise CoordinatorProtocolError(
+                f"coordinator refused to record batch of {len(units)} unit(s)"
+            )
+        for unit in units:
+            batch.drop(unit)
+
+    def release_unit(self, batch: CoordinatorBatchLease, unit_key: str) -> None:
+        payload = BatchLeaseRequest(
+            units=(unit_key,), worker=batch.worker, token=batch.token
+        )
+        self._request("/release-batch", payload.to_dict())
+        batch.drop(unit_key)
+
+    # ------------------------------------------------------------------ #
     # Read-side endpoints (status, manifests, final results)
     # ------------------------------------------------------------------ #
     def manifest(self) -> dict:
@@ -511,12 +992,12 @@ class HttpWorkBackend:
         return results
 
 
-def _error_detail(exc: urllib.error.HTTPError) -> str:
+def _error_detail(status: int, reason: str, raw: bytes) -> str:
     """The coordinator's ``{"error": ...}`` detail, or the bare status."""
     try:
-        body = json.loads(exc.read())
+        body = json.loads(raw)
         if isinstance(body, dict) and isinstance(body.get("error"), str):
-            return f"{exc.code} {body['error']}"
-    except (OSError, ValueError):
+            return f"{status} {body['error']}"
+    except ValueError:
         pass
-    return f"{exc.code} {exc.reason}"
+    return f"{status} {reason}"

@@ -385,6 +385,18 @@ class RunCheckpoint:
         path = self.units_path if shard is None else self.shard_path(shard)
         append_jsonl(path, {"key": key, "result": encode(result)})
 
+    def record_many(self, items, shard: str | None = None) -> None:
+        """Append several completed units (``(key, result)`` pairs) under
+        one open+flush — the batched-record flush path.  Durability is
+        group-grained: an interrupt can lose the whole group but never
+        tear an individual line (same torn-tail repair as :meth:`record`).
+        """
+        encode = self._encode if self._encode is not None else _identity
+        path = self.units_path if shard is None else self.shard_path(shard)
+        append_jsonl_many(
+            path, ({"key": key, "result": encode(result)} for key, result in items)
+        )
+
 
 def append_jsonl(path: Path, obj: Any) -> None:
     """Append ``obj`` as one JSON line, flushed, repairing a torn tail.
@@ -399,6 +411,19 @@ def append_jsonl(path: Path, obj: Any) -> None:
         if fh.tell() > 0 and not _ends_with_newline(path):
             fh.write(b"\n")
         fh.write(line.encode() + b"\n")
+        fh.flush()
+
+
+def append_jsonl_many(path: Path, objs) -> None:
+    """Append several JSON lines under one open+flush (torn-tail repair
+    as in :func:`append_jsonl`); a no-op for an empty iterable."""
+    lines = [json.dumps(obj) for obj in objs]
+    if not lines:
+        return
+    with path.open("ab") as fh:
+        if fh.tell() > 0 and not _ends_with_newline(path):
+            fh.write(b"\n")
+        fh.write(("\n".join(lines) + "\n").encode())
         fh.flush()
 
 

@@ -28,41 +28,63 @@ finishing a unit someone re-executed — is dropped server-side
 deterministic RNG stream), so the shards on disk never need merge-time
 deduplication, though the merged read tolerates it anyway.
 
-**Write-ahead journal.**  Every lease state transition (claim, expire,
-release, record) is appended to ``coordinator.jsonl`` in the run
-directory *before* it is applied in memory and acknowledged.  A
-SIGKILLed coordinator restarts losslessly: completed results reload from
-the shards, the lease table replays from the journal (heartbeats reset
-to the restart instant, granting in-flight holders one fresh TTL of
-grace — the same direction the filesystem protocol errs).  The journal
-is read with the shared torn-line-tolerant reader, so a line torn by the
-kill is skipped, not fatal: the worst case is one lease forgotten, which
-a worker simply re-claims.
+**Write-ahead journal with group commit.**  Every lease state transition
+(claim, expire, release, record) is appended to ``coordinator.jsonl``
+in the run directory and **fsynced before it is acknowledged**.  The
+fsync is amortized: transitions enqueue their journal line under the
+state lock (so journal order equals state order), then the first waiter
+to reach the commit path drains the whole queue with one
+write+flush+fsync while later arrivals block on a condition — N
+concurrent transitions cost one disk flush, not N
+(:class:`_GroupCommitJournal`).  A SIGKILLed coordinator restarts
+losslessly: completed results reload from the shards, the lease table
+replays from the journal (heartbeats reset to the restart instant,
+granting in-flight holders one fresh TTL of grace — the same direction
+the filesystem protocol errs).  The journal is read with the shared
+torn-line-tolerant reader, so a line torn by the kill is skipped, not
+fatal: the worst case is one lease forgotten, which a worker simply
+re-claims.
 
-The server is the stdlib :class:`~http.server.ThreadingHTTPServer` —
-one thread per request over one lock-protected state object.  That is
-deliberately boring: PISA units run for seconds, so coordination traffic
-is hundreds of requests per second at most (measured in
-``benchmarks/bench_runtime.py``), far below what a threaded stdlib
-server sustains — and it keeps the runtime dependency-free.
+**Batched claims.**  ``POST /claim-batch`` leases up to N units to one
+worker under a single ownership token and a single journal record;
+``/renew-batch`` and ``/release-batch`` cover the unfinished remainder
+in one round trip each.  Members keep individual rows in the lease
+table and are dropped one by one as their ``/record`` calls land, so a
+worker that dies mid-batch leaks only the *unfinished* units to TTL
+expiry — completed members are already recorded and released.
+
+The server is an asyncio event loop speaking HTTP/1.1 with keep-alive
+(still stdlib-only).  Workers hold persistent connections, and a
+thousand idle sockets cost one loop rather than the thousand OS threads
+a thread-per-connection server would pin; the blocking, lock-protected
+coordinator operations run on a small thread pool, which is exactly
+what piles concurrent transitions into one group commit.
 """
 
 from __future__ import annotations
 
+import asyncio
 import contextlib
 import json
 import logging
 import os
 import secrets
+import socket
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any
 
 from repro.runtime.backends import (
     AckReply,
+    BatchAckReply,
+    BatchClaimReply,
+    BatchClaimRequest,
+    BatchLeaseRequest,
+    BatchRecordReply,
+    BatchRecordRequest,
     ClaimReply,
     ClaimRequest,
     LeaseRequest,
@@ -71,7 +93,7 @@ from repro.runtime.backends import (
 from repro.runtime.checkpoint import (
     CheckpointError,
     RunCheckpoint,
-    append_jsonl,
+    _ends_with_newline,
     iter_jsonl,
     iter_result_records,
 )
@@ -105,6 +127,18 @@ class UnknownUnitError(ValueError):
     draining the wrong coordinator, or a version-skewed plan."""
 
 
+def _event_units(event: dict) -> list[str] | None:
+    """The unit keys a journal event covers: singular ``unit`` (the
+    per-unit protocol) or plural ``units`` (batched claims/releases)."""
+    unit = event.get("unit")
+    if isinstance(unit, str):
+        return [unit]
+    units = event.get("units")
+    if isinstance(units, list) and units and all(isinstance(u, str) for u in units):
+        return units
+    return None
+
+
 @dataclass
 class _LeaseEntry:
     """One in-flight lease in the coordinator's table."""
@@ -116,12 +150,101 @@ class _LeaseEntry:
     heartbeat: float  # coordinator-monotonic instant of the last beat
 
 
+class _GroupCommitJournal:
+    """Write-ahead JSONL journal with group commit.
+
+    :meth:`enqueue` buffers one event and returns a ticket; it must be
+    called under the caller's state lock, which is what fixes journal
+    order = state order.  :meth:`wait_durable` (called *outside* that
+    lock) blocks until the ticket's bytes are on disk: the first waiter
+    to find no commit in progress becomes the leader and drains the
+    whole buffer with one ``write`` + ``flush`` + ``os.fsync`` while
+    later arrivals wait on the condition.  N concurrent transitions
+    therefore cost one fsync, and a request is acknowledged only after
+    its record is durable.
+
+    A failed commit poisons exactly the tickets in the failed batch
+    (their waiters re-raise the write error); later enqueues proceed —
+    the torn-line-tolerant journal reader makes a partially-written
+    batch a recoverable event, not corruption.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._cond = threading.Condition()
+        self._pending: list[bytes] = []
+        self._enqueued = 0  # tickets handed out
+        self._durable = 0  # tickets whose bytes are fsynced (or poisoned)
+        self._writing = False  # a leader is inside write+fsync
+        self._failed: tuple[int, Exception] | None = None  # (through_ticket, cause)
+        self._fh: Any | None = None
+
+    def enqueue(self, event: dict) -> int:
+        """Buffer one event; caller must hold the state lock."""
+        line = (json.dumps(event) + "\n").encode()
+        with self._cond:
+            self._pending.append(line)
+            self._enqueued += 1
+            return self._enqueued
+
+    def wait_durable(self, ticket: int) -> None:
+        """Block until ``ticket``'s event is on disk (leader/follower)."""
+        while True:
+            with self._cond:
+                if self._failed is not None and ticket <= self._failed[0]:
+                    raise self._failed[1]
+                if self._durable >= ticket:
+                    return
+                if self._writing or not self._pending:
+                    self._cond.wait(timeout=1.0)
+                    continue
+                batch = self._pending
+                self._pending = []
+                self._writing = True
+                through = self._durable + len(batch)
+            try:
+                self._commit(b"".join(batch))
+            except Exception as exc:  # noqa: BLE001 - waiters must see the cause
+                with self._cond:
+                    self._failed = (through, exc)
+                    self._durable = through  # unblock; poisoned tickets raise
+                    self._writing = False
+                    self._cond.notify_all()
+                raise
+            with self._cond:
+                self._durable = through
+                self._writing = False
+                self._cond.notify_all()
+
+    def _commit(self, data: bytes) -> None:
+        if self._fh is None:
+            fh = self.path.open("ab")
+            # Repair a killed predecessor's torn tail before appending,
+            # exactly as append_jsonl would.
+            if fh.tell() > 0 and not _ends_with_newline(self.path):
+                fh.write(b"\n")
+            self._fh = fh
+        self._fh.write(data)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        with self._cond:
+            fh, self._fh = self._fh, None
+        if fh is not None:
+            with contextlib.suppress(OSError):
+                fh.close()
+
+
 class Coordinator:
     """Lock-protected lease table + result store over one run directory.
 
-    All methods are thread-safe (the HTTP server calls them from one
-    thread per request).  State-changing methods journal before they
-    mutate, so acknowledged transitions survive a SIGKILL.
+    All methods are thread-safe (the HTTP server calls them from a
+    bounded thread pool).  State-changing methods enqueue their journal
+    event under the state lock — fixing journal order = state order —
+    then wait for the group commit *outside* the lock before returning,
+    so every acknowledged transition is durable and concurrent
+    transitions share one fsync.
     """
 
     def __init__(
@@ -149,6 +272,7 @@ class Coordinator:
         total = manifest.get("units")
         self.total_units: int | None = total if isinstance(total, int) else None
         self._journal_path = self.run_dir / JOURNAL_NAME
+        self._journal = _GroupCommitJournal(self._journal_path)
         self._lock = threading.Lock()
         self._results: dict[str, Any] = {}
         self._shard_counts: dict[str, int] = {}
@@ -181,23 +305,33 @@ class Coordinator:
             if not isinstance(event, dict):
                 continue
             kind = event.get("event")
-            unit = event.get("unit")
-            if not isinstance(unit, str):
+            units = _event_units(event)
+            if units is None:
                 continue
             replayed += 1
             if kind == "claim":
                 try:
-                    self._leases[unit] = _LeaseEntry(
-                        worker=str(event["worker"]),
-                        token=str(event["token"]),
-                        ttl=float(event["ttl"]),
-                        reclaimed=bool(event.get("reclaimed", False)),
-                        heartbeat=now,
-                    )
+                    worker = str(event["worker"])
+                    token = str(event["token"])
+                    ttl = float(event["ttl"])
                 except (KeyError, TypeError, ValueError):
                     continue  # torn mid-object; the lease is simply forgotten
+                reclaimed = event.get("reclaimed", False)
+                if isinstance(reclaimed, list):
+                    reclaimed_units = {u for u in reclaimed if isinstance(u, str)}
+                else:
+                    reclaimed_units = set(units) if reclaimed is True else set()
+                for unit in units:
+                    self._leases[unit] = _LeaseEntry(
+                        worker=worker,
+                        token=token,
+                        ttl=ttl,
+                        reclaimed=unit in reclaimed_units,
+                        heartbeat=now,
+                    )
             elif kind in ("release", "expire", "record"):
-                self._leases.pop(unit, None)
+                for unit in units:
+                    self._leases.pop(unit, None)
         # A record whose journal line was torn still completed durably
         # (the shard append precedes the journal append's acknowledgement
         # path only in memory; both precede the reply) — drop any lease
@@ -213,12 +347,35 @@ class Coordinator:
                 self.run_dir,
             )
 
-    def _journal(self, event: dict) -> None:
-        append_jsonl(self._journal_path, event)
+    def _wait(self, ticket: int | None) -> None:
+        """Block until an enqueued journal event is durable (group
+        commit); called *outside* the state lock so commits coalesce."""
+        if ticket is not None:
+            self._journal.wait_durable(ticket)
+
+    def close(self) -> None:
+        """Release the journal file handle (clean shutdown only)."""
+        self._journal.close()
 
     def _validate_unit(self, unit: str) -> None:
         if self.unit_keys is not None and unit not in self.unit_keys:
             raise UnknownUnitError(f"unit {unit!r} is not part of this run")
+
+    def _expire_locked(self, unit: str, entry: _LeaseEntry, claimant: str) -> int:
+        """Journal + drop one stale lease; returns its commit ticket."""
+        ticket = self._journal.enqueue(
+            {"event": "expire", "unit": unit, "worker": entry.worker, "token": entry.token}
+        )
+        del self._leases[unit]
+        logger.warning(
+            "expired stale lease on unit %r (worker %s silent past its "
+            "%.0fs ttl); re-granting to %s",
+            unit,
+            entry.worker,
+            entry.ttl,
+            claimant,
+        )
+        return ticket
 
     # ------------------------------------------------------------------ #
     # The protocol operations
@@ -234,60 +391,122 @@ class Coordinator:
         re-grants the same token.
         """
         with self._lock:
-            self._validate_unit(request.unit)
-            if request.unit in self._results:
-                return ClaimReply(granted=False, completed=True)
-            now = time.monotonic()
-            entry = self._leases.get(request.unit)
-            reclaimed = False
-            if entry is not None:
-                if entry.worker == request.worker:
-                    entry.heartbeat = now
-                    return ClaimReply(
+            reply, ticket = self._claim_locked(request)
+        self._wait(ticket)
+        return reply
+
+    def _claim_locked(self, request: ClaimRequest) -> tuple[ClaimReply, int | None]:
+        self._validate_unit(request.unit)
+        if request.unit in self._results:
+            return ClaimReply(granted=False, completed=True), None
+        now = time.monotonic()
+        entry = self._leases.get(request.unit)
+        reclaimed = False
+        if entry is not None:
+            if entry.worker == request.worker:
+                entry.heartbeat = now
+                return (
+                    ClaimReply(
                         granted=True,
                         token=entry.token,
                         ttl=entry.ttl,
                         reclaimed=entry.reclaimed,
-                    )
-                if now - entry.heartbeat <= entry.ttl:
-                    return ClaimReply(granted=False)
-                self._journal(
-                    {
-                        "event": "expire",
-                        "unit": request.unit,
-                        "worker": entry.worker,
-                        "token": entry.token,
-                    }
+                    ),
+                    None,
                 )
-                del self._leases[request.unit]
-                reclaimed = True
-                logger.warning(
-                    "expired stale lease on unit %r (worker %s silent past its "
-                    "%.0fs ttl); re-granting to %s",
-                    request.unit,
-                    entry.worker,
-                    entry.ttl,
-                    request.worker,
-                )
+            if now - entry.heartbeat <= entry.ttl:
+                return ClaimReply(granted=False), None
+            self._expire_locked(request.unit, entry, request.worker)
+            reclaimed = True
+        token = secrets.token_hex(8)
+        ticket = self._journal.enqueue(
+            {
+                "event": "claim",
+                "unit": request.unit,
+                "worker": request.worker,
+                "token": token,
+                "ttl": self.ttl,
+                "reclaimed": reclaimed,
+            }
+        )
+        self._leases[request.unit] = _LeaseEntry(
+            worker=request.worker,
+            token=token,
+            ttl=self.ttl,
+            reclaimed=reclaimed,
+            heartbeat=now,
+        )
+        return ClaimReply(granted=True, token=token, ttl=self.ttl, reclaimed=reclaimed), ticket
+
+    def claim_batch(self, request: BatchClaimRequest) -> BatchClaimReply:
+        """Grant as many of ``request.units`` as possible to one worker
+        under **one token and one journal record**.
+
+        Units already recorded come back in ``completed``; units held by
+        a live peer are silently omitted; expired leases are journaled
+        as ``expire`` events and re-granted (listed in ``reclaimed``).
+        Units the *requesting worker* already holds — a retry after a
+        lost reply, since its old token is now unreachable — are folded
+        into the fresh batch token.  Each granted member keeps its own
+        row in the lease table, so records drop members one at a time
+        and a mid-batch death leaks only the unfinished remainder.
+        """
+        with self._lock:
+            for unit in request.units:
+                self._validate_unit(unit)
+            now = time.monotonic()
+            granted: list[str] = []
+            reclaimed: list[str] = []
+            completed: list[str] = []
+            for unit in request.units:
+                if unit in self._results:
+                    completed.append(unit)
+                    continue
+                entry = self._leases.get(unit)
+                if entry is not None:
+                    if entry.worker != request.worker:
+                        if now - entry.heartbeat <= entry.ttl:
+                            continue  # a live peer holds it
+                        self._expire_locked(unit, entry, request.worker)
+                        reclaimed.append(unit)
+                    else:
+                        # The holder retrying a lost reply: fold its units
+                        # into this batch under the fresh token.
+                        if entry.reclaimed:
+                            reclaimed.append(unit)
+                        del self._leases[unit]
+                granted.append(unit)
+            if not granted:
+                return BatchClaimReply(granted=(), completed=tuple(completed))
             token = secrets.token_hex(8)
-            self._journal(
+            ticket = self._journal.enqueue(
                 {
                     "event": "claim",
-                    "unit": request.unit,
+                    "units": granted,
                     "worker": request.worker,
                     "token": token,
                     "ttl": self.ttl,
                     "reclaimed": reclaimed,
                 }
             )
-            self._leases[request.unit] = _LeaseEntry(
-                worker=request.worker,
+            reclaimed_set = set(reclaimed)
+            for unit in granted:
+                self._leases[unit] = _LeaseEntry(
+                    worker=request.worker,
+                    token=token,
+                    ttl=self.ttl,
+                    reclaimed=unit in reclaimed_set,
+                    heartbeat=now,
+                )
+            reply = BatchClaimReply(
+                granted=tuple(granted),
                 token=token,
                 ttl=self.ttl,
-                reclaimed=reclaimed,
-                heartbeat=now,
+                reclaimed=tuple(reclaimed),
+                completed=tuple(completed),
             )
-            return ClaimReply(granted=True, token=token, ttl=self.ttl, reclaimed=reclaimed)
+        self._wait(ticket)
+        return reply
 
     def renew(self, request: LeaseRequest) -> AckReply:
         """Refresh a lease's heartbeat; stale tokens are rejected.
@@ -303,6 +522,23 @@ class Coordinator:
             entry.heartbeat = time.monotonic()
             return AckReply(ok=True)
 
+    def renew_batch(self, request: BatchLeaseRequest) -> BatchAckReply:
+        """Refresh the heartbeat of every listed unit still owned by the
+        presented token; ``stale`` reports the rest (recorded, expired,
+        or re-granted members).  Not journaled, like single renew."""
+        with self._lock:
+            now = time.monotonic()
+            stale: list[str] = []
+            owned = 0
+            for unit in request.units:
+                entry = self._leases.get(unit)
+                if entry is None or entry.token != request.token:
+                    stale.append(unit)
+                else:
+                    entry.heartbeat = now
+                    owned += 1
+        return BatchAckReply(ok=owned > 0, stale=tuple(stale))
+
     def release(self, request: LeaseRequest) -> AckReply:
         """Drop a lease — only for its current token.
 
@@ -317,7 +553,7 @@ class Coordinator:
                 return AckReply(ok=True)
             if entry.token != request.token:
                 return AckReply(ok=False, stale=True)
-            self._journal(
+            ticket = self._journal.enqueue(
                 {
                     "event": "release",
                     "unit": request.unit,
@@ -326,7 +562,39 @@ class Coordinator:
                 }
             )
             del self._leases[request.unit]
-            return AckReply(ok=True)
+        self._wait(ticket)
+        return AckReply(ok=True)
+
+    def release_batch(self, request: BatchLeaseRequest) -> BatchAckReply:
+        """Drop every listed unit still owned by the presented token,
+        under one journal record.  Vanished members acknowledge
+        idempotently; superseded tokens are reported in ``stale`` and
+        left alone (a stalled worker cannot unlink the new holder)."""
+        with self._lock:
+            released: list[str] = []
+            stale: list[str] = []
+            for unit in request.units:
+                entry = self._leases.get(unit)
+                if entry is None:
+                    continue  # already gone: idempotent
+                if entry.token != request.token:
+                    stale.append(unit)
+                    continue
+                released.append(unit)
+            ticket = None
+            if released:
+                ticket = self._journal.enqueue(
+                    {
+                        "event": "release",
+                        "units": released,
+                        "worker": request.worker,
+                        "token": request.token,
+                    }
+                )
+                for unit in released:
+                    del self._leases[unit]
+        self._wait(ticket)
+        return BatchAckReply(ok=True, stale=tuple(stale))
 
     def record(self, request: RecordRequest) -> AckReply:
         """Durably record one unit's result, exactly once.
@@ -363,13 +631,72 @@ class Coordinator:
                 )
             shard_name = self.checkpoint.shard_path(request.worker).name
             self.checkpoint.record(request.unit, request.result, shard=request.worker)
-            self._journal(
+            ticket = self._journal.enqueue(
                 {"event": "record", "unit": request.unit, "worker": request.worker}
             )
             self._results[request.unit] = request.result
             self._shard_counts[shard_name] = self._shard_counts.get(shard_name, 0) + 1
             self._leases.pop(request.unit, None)
-            return AckReply(ok=True)
+        self._wait(ticket)
+        return AckReply(ok=True)
+
+    def record_batch(self, request: BatchRecordRequest) -> BatchRecordReply:
+        """Durably record several units' results in one flush.
+
+        Per-unit semantics match :meth:`record` — a unit already recorded
+        is dropped as a duplicate (first writer wins), a stale token does
+        not block recording, and every listed unit's lease is dropped.
+        The writes are batch-grained: one shard append (one open+flush
+        covering every line), one journal event, one group commit for
+        the whole flush — the amortization that lets sub-second units
+        keep the coordinator out of the critical path.
+        """
+        with self._lock:
+            for unit in request.units:
+                self._validate_unit(unit)
+            duplicates: list[str] = []
+            fresh: list[tuple[str, Any]] = []
+            for unit, result in zip(request.units, request.results):
+                if unit in self._results:
+                    duplicates.append(unit)
+                    continue
+                entry = self._leases.get(unit)
+                if entry is None or entry.token != request.token:
+                    logger.warning(
+                        "recording unit %r from worker %s despite a stale lease "
+                        "token (its lease was reclaimed while it ran)",
+                        unit,
+                        request.worker,
+                    )
+                fresh.append((unit, result))
+            ticket = None
+            if fresh:
+                shard_name = self.checkpoint.shard_path(request.worker).name
+                self.checkpoint.record_many(fresh, shard=request.worker)
+                ticket = self._journal.enqueue(
+                    {
+                        "event": "record",
+                        "units": [unit for unit, _ in fresh],
+                        "worker": request.worker,
+                    }
+                )
+                for unit, result in fresh:
+                    self._results[unit] = result
+                self._shard_counts[shard_name] = (
+                    self._shard_counts.get(shard_name, 0) + len(fresh)
+                )
+            if duplicates:
+                self._duplicates += len(duplicates)
+                logger.warning(
+                    "duplicate record(s) for %d unit(s) from worker %s dropped "
+                    "(first writer wins)",
+                    len(duplicates),
+                    request.worker,
+                )
+            for unit in request.units:
+                self._leases.pop(unit, None)
+        self._wait(ticket)
+        return BatchRecordReply(ok=True, duplicates=tuple(duplicates))
 
     # ------------------------------------------------------------------ #
     # Read side
@@ -429,73 +756,29 @@ class Coordinator:
 # ---------------------------------------------------------------------- #
 # The HTTP face
 # ---------------------------------------------------------------------- #
-class _Handler(BaseHTTPRequestHandler):
-    """Routes the wire protocol onto the server's :class:`Coordinator`."""
-
-    protocol_version = "HTTP/1.1"
-    server: "CoordinatorHTTPServer"
-
-    # Quiet the default per-request stderr lines; debug logging keeps them.
-    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
-        logger.debug("%s %s", self.address_string(), format % args)
-
-    def _send_json(self, payload: Any, code: int = 200) -> None:
-        body = json.dumps(payload).encode()
-        self.send_response(code)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        coordinator = self.server.coordinator
-        if self.path == "/status":
-            self._send_json(coordinator.status_payload())
-        elif self.path == "/completed":
-            self._send_json({"keys": coordinator.completed_keys()})
-        elif self.path == "/results":
-            self._send_json({"results": coordinator.results()})
-        elif self.path == "/manifest":
-            self._send_json(coordinator.manifest)
-        elif self.path == "/healthz":
-            self._send_json({"ok": True})
-        else:
-            self._send_json({"error": f"unknown endpoint {self.path}"}, code=404)
-
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        coordinator = self.server.coordinator
-        operations = {
-            "/claim": (ClaimRequest, coordinator.claim),
-            "/renew": (LeaseRequest, coordinator.renew),
-            "/release": (LeaseRequest, coordinator.release),
-            "/record": (RecordRequest, coordinator.record),
-        }
-        operation = operations.get(self.path)
-        if operation is None:
-            self._send_json({"error": f"unknown endpoint {self.path}"}, code=404)
-            return
-        parse, apply = operation
-        try:
-            length = int(self.headers.get("Content-Length", 0))
-            payload = json.loads(self.rfile.read(length)) if length else None
-            request = parse.from_dict(payload)
-        except (ValueError, json.JSONDecodeError) as exc:
-            self._send_json({"error": f"malformed request: {exc}"}, code=400)
-            return
-        try:
-            reply = apply(request)
-        except UnknownUnitError as exc:
-            self._send_json({"error": str(exc)}, code=400)
-            return
-        except Exception as exc:  # noqa: BLE001 - a 500 must carry the cause
-            logger.exception("coordinator operation %s failed", self.path)
-            self._send_json({"error": f"internal error: {exc}"}, code=500)
-            return
-        self._send_json(reply.to_dict())
+#: Worker threads for blocking coordinator operations.  Small on
+#: purpose: the ops are short critical sections plus a group-commit
+#: wait, so a handful of threads saturate the lock while any number of
+#: idle keep-alive connections cost the event loop nothing.
+_OPERATION_THREADS = 32
 
 
-class CoordinatorHTTPServer(ThreadingHTTPServer):
-    """Threaded HTTP server bound to one :class:`Coordinator`.
+class CoordinatorHTTPServer:
+    """Asyncio HTTP/1.1 keep-alive server bound to one :class:`Coordinator`.
+
+    Replaces the earlier thread-per-request ``ThreadingHTTPServer``: a
+    large fleet holding persistent connections would pin one OS thread
+    each there, while one event loop holds a thousand idle sockets for
+    free.  The blocking, lock-protected coordinator operations run on a
+    bounded thread pool — which is also what piles concurrent journal
+    transitions into a single group commit.
+
+    The listening socket is bound (and ``server_address`` fixed)
+    synchronously in the constructor, so ``url`` is valid before
+    ``serve_forever()`` starts the loop on whatever thread calls it.
+    The public surface matches the old server: ``url``,
+    ``serve_forever()`` (blocking), ``shutdown()`` (thread-safe),
+    ``server_close()``, ``.coordinator``.
 
     While alive, the server maintains an advisory lease file
     (:data:`ADVISORY_LEASE_UNIT`) in the run directory so everything
@@ -504,17 +787,156 @@ class CoordinatorHTTPServer(ThreadingHTTPServer):
     worked, even though coordinator workers themselves never touch it.
     """
 
-    daemon_threads = True
-    allow_reuse_address = True
-
     def __init__(self, address: tuple[str, int], coordinator: Coordinator) -> None:
-        super().__init__(address, _Handler)
         self.coordinator = coordinator
+        self._sock = socket.create_server(address, backlog=512)
+        self._sock.setblocking(False)
+        self.server_address = self._sock.getsockname()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._shutdown_flag = threading.Event()
+        self._serving = False
+        self._stopped = threading.Event()
+        self._pool = ThreadPoolExecutor(
+            max_workers=_OPERATION_THREADS, thread_name_prefix="coordinator-op"
+        )
         self._advisory_leases = LeaseDir(coordinator.run_dir, ttl=coordinator.ttl)
         self._advisory_stop = threading.Event()
         self._advisory_thread: threading.Thread | None = None
         self._advisory_lease = None
         self._hold_advisory_lease()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def serve_forever(self) -> None:
+        """Run the event loop until :meth:`shutdown` (blocking)."""
+        self._serving = True
+        try:
+            asyncio.run(self._serve())
+        finally:
+            self._stopped.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        server = await asyncio.start_server(self._handle_client, sock=self._sock)
+        if self._shutdown_flag.is_set():  # shutdown() raced serve_forever()
+            self._stop_event.set()
+        async with server:
+            await self._stop_event.wait()
+
+    def shutdown(self) -> None:
+        """Stop ``serve_forever`` from any thread."""
+        self._shutdown_flag.set()
+        loop, stop = self._loop, self._stop_event
+        if loop is not None and stop is not None and loop.is_running():
+            with contextlib.suppress(RuntimeError):  # loop closed meanwhile
+                loop.call_soon_threadsafe(stop.set)
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except asyncio.IncompleteReadError:
+                    return  # client closed between requests
+                except asyncio.LimitOverrunError:
+                    return  # absurd header block; drop the connection
+                request_line, _, header_blob = head.partition(b"\r\n")
+                parts = request_line.decode("latin-1").split()
+                if len(parts) < 2:
+                    return
+                method, target = parts[0], parts[1]
+                headers: dict[str, str] = {}
+                for raw in header_blob.decode("latin-1").split("\r\n"):
+                    name, sep, value = raw.partition(":")
+                    if sep:
+                        headers[name.strip().lower()] = value.strip()
+                try:
+                    length = int(headers.get("content-length", "0") or "0")
+                except ValueError:
+                    return
+                body = await reader.readexactly(length) if length > 0 else b""
+                close_after = headers.get("connection", "").lower() == "close"
+                status, reason, payload = await self._dispatch(method, target, body)
+                data = json.dumps(payload).encode()
+                head_out = (
+                    f"HTTP/1.1 {status} {reason}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(data)}\r\n"
+                    f"{'Connection: close' + chr(13) + chr(10) if close_after else ''}"
+                    "\r\n"
+                )
+                writer.write(head_out.encode("latin-1") + data)
+                await writer.drain()
+                if close_after:
+                    return
+        except asyncio.CancelledError:
+            pass  # loop shutting down mid-request; client retries are idempotent
+        except (ConnectionError, TimeoutError, OSError):
+            pass  # client vanished mid-request; its retry is idempotent
+        finally:
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _run(self, fn, *args):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._pool, lambda: fn(*args))
+
+    async def _dispatch(self, method: str, target: str, body: bytes) -> tuple[int, str, Any]:
+        coordinator = self.coordinator
+        if method == "GET":
+            reads = {
+                "/status": coordinator.status_payload,
+                "/completed": lambda: {"keys": coordinator.completed_keys()},
+                "/results": lambda: {"results": coordinator.results()},
+                "/manifest": lambda: coordinator.manifest,
+                "/healthz": lambda: {"ok": True},
+            }
+            fn = reads.get(target)
+            if fn is None:
+                return 404, "Not Found", {"error": f"unknown endpoint {target}"}
+            try:
+                return 200, "OK", await self._run(fn)
+            except Exception as exc:  # noqa: BLE001 - a 500 must carry the cause
+                logger.exception("coordinator read %s failed", target)
+                return 500, "Internal Server Error", {"error": f"internal error: {exc}"}
+        if method != "POST":
+            return 405, "Method Not Allowed", {"error": f"unsupported method {method}"}
+        operations = {
+            "/claim": (ClaimRequest, coordinator.claim),
+            "/claim-batch": (BatchClaimRequest, coordinator.claim_batch),
+            "/renew": (LeaseRequest, coordinator.renew),
+            "/renew-batch": (BatchLeaseRequest, coordinator.renew_batch),
+            "/release": (LeaseRequest, coordinator.release),
+            "/release-batch": (BatchLeaseRequest, coordinator.release_batch),
+            "/record": (RecordRequest, coordinator.record),
+            "/record-batch": (BatchRecordRequest, coordinator.record_batch),
+        }
+        operation = operations.get(target)
+        if operation is None:
+            return 404, "Not Found", {"error": f"unknown endpoint {target}"}
+        parse, apply = operation
+        try:
+            payload = json.loads(body) if body else None
+            request = parse.from_dict(payload)
+        except (ValueError, json.JSONDecodeError) as exc:
+            return 400, "Bad Request", {"error": f"malformed request: {exc}"}
+        try:
+            reply = await self._run(apply, request)
+        except UnknownUnitError as exc:
+            return 400, "Bad Request", {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - a 500 must carry the cause
+            logger.exception("coordinator operation %s failed", target)
+            return 500, "Internal Server Error", {"error": f"internal error: {exc}"}
+        return 200, "OK", reply.to_dict()
 
     def _hold_advisory_lease(self) -> None:
         # A SIGKILLed predecessor's stale advisory lease must not block a
@@ -559,7 +981,16 @@ class CoordinatorHTTPServer(ThreadingHTTPServer):
             with contextlib.suppress(OSError):
                 self._advisory_leases.release(self._advisory_lease)
             self._advisory_lease = None
-        super().server_close()
+        # The event loop owns the listening socket once serving; closing
+        # it out from under a live selector corrupts the loop, so stop
+        # the loop (idempotent) and wait for it before touching the fd.
+        self.shutdown()
+        if self._serving:
+            self._stopped.wait(timeout=10)
+        self._pool.shutdown(wait=False)
+        self.coordinator.close()
+        with contextlib.suppress(OSError):
+            self._sock.close()
 
     @property
     def url(self) -> str:

@@ -369,18 +369,21 @@ class LeaseDir:
 
 
 @contextlib.contextmanager
-def _renewing(backend, lease, interval: float):
+def _renewing(backend, lease, interval: float, renew=None):
     """Renew ``lease`` on ``backend`` every ``interval`` seconds while the
     body runs.  ``backend`` is any :class:`~repro.runtime.backends.
     WorkBackend`; transient errors (filesystem hiccups, a coordinator
-    restarting) are retried on the next beat."""
+    restarting) are retried on the next beat.  ``renew`` overrides the
+    renewal callable (``backend.renew_batch`` for batch leases, whose
+    one round trip covers the batch's whole unfinished remainder)."""
     stop = threading.Event()
+    renew_fn = backend.renew if renew is None else renew
 
     def _beat() -> None:
         current = lease
         while not stop.wait(interval):
             try:
-                renewed = backend.renew(current)
+                renewed = renew_fn(current)
             except OSError:
                 continue  # transient fs/network hiccup; retry next beat
             except Exception as exc:  # noqa: BLE001 - the beat must survive
@@ -486,6 +489,7 @@ def drain_units(
     poll_interval: float | None = None,
     wait: bool = True,
     on_unit: Callable[[str], None] | None = None,
+    claim_batch: int = 1,
 ) -> WorkerStats:
     """Drain ``units`` through a work backend as one worker.
 
@@ -523,6 +527,13 @@ def drain_units(
         peers (default :data:`DEFAULT_POLL_INTERVAL`).
     on_unit:
         Callback invoked with each unit key this worker finished.
+    claim_batch:
+        Units to lease per claim request (default 1: the per-unit
+        protocol, byte-for-byte the pre-batching behavior).  Larger
+        batches amortize claim/release round trips — the big win on an
+        HTTP backend — while results are still recorded (and members
+        released) one by one, so a worker that dies mid-batch leaks
+        only the *unfinished* remainder to TTL expiry.
     """
     from repro.runtime.backends import FilesystemWorkBackend
 
@@ -569,9 +580,23 @@ def drain_units(
 
     poll = DEFAULT_POLL_INTERVAL if poll_interval is None else float(poll_interval)
     delay = float(os.environ.get(_UNIT_DELAY_ENV, 0) or 0)
+    batch_size = int(claim_batch)
+    if batch_size < 1:
+        raise ValueError(f"claim_batch must be >= 1, got {claim_batch}")
 
     stats = WorkerStats(worker_id=wid)
     by_key = {u.key: u for u in units}
+
+    def _execute(key: str) -> Any:
+        if delay > 0:
+            time.sleep(delay)  # fault-injection window (see module docstring)
+        return worker(by_key[key])
+
+    def _finished(key: str) -> None:
+        stats.executed += 1
+        stats.executed_keys.add(key)
+        if on_unit is not None:
+            on_unit(key)
 
     while True:
         done = backend.completed_keys()
@@ -580,40 +605,66 @@ def drain_units(
             backend.cleanup(done)
             return stats
         progressed = False
-        for key in pending:
-            lease = backend.claim(key, wid)
-            if lease is None:
-                continue
-            progressed = True
-            if lease.reclaimed:
-                stats.reclaimed += 1
-            # Results are recorded *before* leases are released, so a
-            # post-claim recheck sees everything any peer finished: a dead
-            # worker that recorded then crashed before releasing, or a live
-            # one that completed this unit after this pass listed it as
-            # pending.  Never execute a completed unit twice.  (A
-            # coordinator backend refuses the claim atomically instead, so
-            # the recheck round-trip is skipped there.)
-            if backend.recheck_after_claim and key in backend.completed_keys():
-                backend.release(lease)
-                stats.skipped += 1
-                continue
-            try:
-                with _renewing(backend, lease, _beat_for(lease)):
-                    if delay > 0:
-                        time.sleep(delay)  # fault-injection window (see module docstring)
-                    result = worker(by_key[key])
-                backend.record(lease, result)
-            finally:
-                # Success path: record-before-release (the correctness
-                # ordering).  Failure path: nothing was recorded, so
-                # releasing immediately lets peers re-claim the unit now
-                # instead of waiting out this worker's full TTL.
-                backend.release(lease)
-            stats.executed += 1
-            stats.executed_keys.add(key)
-            if on_unit is not None:
-                on_unit(key)
+        if batch_size > 1:
+            for start in range(0, len(pending), batch_size):
+                chunk = pending[start : start + batch_size]
+                batch = backend.claim_batch(chunk, wid)
+                if batch is None:
+                    continue
+                progressed = True
+                stats.reclaimed += len(batch.reclaimed_units)
+                try:
+                    with _renewing(
+                        backend, batch, _beat_for(batch), renew=backend.renew_batch
+                    ):
+                        for key in list(batch.units):
+                            # Same post-claim recheck as the per-unit path
+                            # below, per member.
+                            if backend.recheck_after_claim and key in backend.completed_keys():
+                                backend.release_unit(batch, key)
+                                stats.skipped += 1
+                                continue
+                            result = _execute(key)
+                            # Record-and-release member by member: a crash
+                            # from here on costs peers only the *unfinished*
+                            # remainder after TTL expiry.
+                            backend.record_in_batch(batch, key, result)
+                            _finished(key)
+                finally:
+                    # Success path: every member was recorded and released,
+                    # so this releases nothing.  Failure path: hands the
+                    # unfinished remainder back to peers immediately.
+                    backend.release_batch(batch)
+        else:
+            for key in pending:
+                lease = backend.claim(key, wid)
+                if lease is None:
+                    continue
+                progressed = True
+                if lease.reclaimed:
+                    stats.reclaimed += 1
+                # Results are recorded *before* leases are released, so a
+                # post-claim recheck sees everything any peer finished: a dead
+                # worker that recorded then crashed before releasing, or a live
+                # one that completed this unit after this pass listed it as
+                # pending.  Never execute a completed unit twice.  (A
+                # coordinator backend refuses the claim atomically instead, so
+                # the recheck round-trip is skipped there.)
+                if backend.recheck_after_claim and key in backend.completed_keys():
+                    backend.release(lease)
+                    stats.skipped += 1
+                    continue
+                try:
+                    with _renewing(backend, lease, _beat_for(lease)):
+                        result = _execute(key)
+                    backend.record(lease, result)
+                finally:
+                    # Success path: record-before-release (the correctness
+                    # ordering).  Failure path: nothing was recorded, so
+                    # releasing immediately lets peers re-claim the unit now
+                    # instead of waiting out this worker's full TTL.
+                    backend.release(lease)
+                _finished(key)
         if not progressed:
             if not wait:
                 return stats
@@ -630,6 +681,7 @@ def _drain_child(
     lease_ttl: float | None,
     heartbeat_interval: float | None,
     poll_interval: float | None,
+    claim_batch: int = 1,
 ) -> WorkerStats:
     """Module-level child entry (crosses process boundaries by pickle)."""
     return drain_units(
@@ -639,6 +691,7 @@ def _drain_child(
         lease_ttl=lease_ttl,
         heartbeat_interval=heartbeat_interval,
         poll_interval=poll_interval,
+        claim_batch=claim_batch,
     )
 
 
@@ -652,6 +705,7 @@ def run_units_distributed(
     lease_ttl: float | None = None,
     heartbeat_interval: float | None = None,
     poll_interval: float | None = None,
+    claim_batch: int = 1,
     on_result: Callable[[WorkUnit, Any, bool], None] | None = None,
 ) -> dict[str, Any]:
     """Execute ``units`` via the lease protocol and return ``{key: result}``.
@@ -687,6 +741,7 @@ def run_units_distributed(
                     lease_ttl,
                     heartbeat_interval,
                     poll_interval,
+                    claim_batch,
                 )
                 for _ in range(siblings)
             ]
@@ -698,6 +753,7 @@ def run_units_distributed(
                 lease_ttl=lease_ttl,
                 heartbeat_interval=heartbeat_interval,
                 poll_interval=poll_interval,
+                claim_batch=claim_batch,
             )
             for future in futures:
                 future.result()  # surface child crashes
@@ -710,6 +766,7 @@ def run_units_distributed(
             lease_ttl=lease_ttl,
             heartbeat_interval=heartbeat_interval,
             poll_interval=poll_interval,
+            claim_batch=claim_batch,
         )
 
     merged = checkpoint.completed()
@@ -738,6 +795,7 @@ def _drain_coordinator_child(
     heartbeat_interval: float | None,
     poll_interval: float | None,
     retry_timeout: float | None,
+    claim_batch: int = 1,
 ) -> WorkerStats:
     """Module-level child entry (crosses process boundaries by pickle)."""
     from repro.runtime.backends import HttpWorkBackend
@@ -749,6 +807,7 @@ def _drain_coordinator_child(
         backend=backend,
         heartbeat_interval=heartbeat_interval,
         poll_interval=poll_interval,
+        claim_batch=claim_batch,
     )
 
 
@@ -764,6 +823,7 @@ def run_units_coordinator(
     heartbeat_interval: float | None = None,
     poll_interval: float | None = None,
     retry_timeout: float | None = None,
+    claim_batch: int = 1,
     on_result: Callable[[WorkUnit, Any, bool], None] | None = None,
 ) -> dict[str, Any]:
     """Execute ``units`` through the HTTP coordinator at ``url``.
@@ -804,6 +864,7 @@ def run_units_coordinator(
                     heartbeat_interval,
                     poll_interval,
                     retry_timeout,
+                    claim_batch,
                 )
                 for _ in range(siblings)
             ]
@@ -814,6 +875,7 @@ def run_units_coordinator(
                 worker_id=worker_id,
                 heartbeat_interval=heartbeat_interval,
                 poll_interval=poll_interval,
+                claim_batch=claim_batch,
             )
             for future in futures:
                 future.result()  # surface child crashes
@@ -825,6 +887,7 @@ def run_units_coordinator(
             worker_id=worker_id,
             heartbeat_interval=heartbeat_interval,
             poll_interval=poll_interval,
+            claim_batch=claim_batch,
         )
 
     raw = backend.results()

@@ -321,6 +321,7 @@ def run_sweep(
     poll_interval: float | None = None,
     coordinator: str | None = None,
     retry_timeout: float | None = None,
+    claim_batch: int | None = None,
 ) -> SweepResult:
     """Execute ``spec`` and return its :class:`SweepResult`.
 
@@ -368,6 +369,11 @@ def run_sweep(
     retry_timeout:
         Coordinator backend: seconds to keep retrying transient wire
         errors (rides out a coordinator restart).
+    claim_batch:
+        Units leased per claim request (default 1).  Batching amortizes
+        per-unit round trips — the big win on the coordinator backend;
+        results still record unit by unit, so crash granularity is
+        unchanged.  Rejected under the local backend.
     """
     if backend not in ("local", "distributed", "coordinator"):
         raise ValueError(
@@ -422,6 +428,7 @@ def run_sweep(
             heartbeat_interval=heartbeat_interval,
             poll_interval=poll_interval,
             retry_timeout=retry_timeout,
+            claim_batch=1 if claim_batch is None else claim_batch,
         )
         return _aggregate_plan(plan, results, progress=progress)
     if retry_timeout is not None:
@@ -453,6 +460,7 @@ def run_sweep(
             lease_ttl=lease_ttl,
             heartbeat_interval=heartbeat_interval,
             poll_interval=poll_interval,
+            claim_batch=claim_batch,
         )
         return _aggregate_plan(plan, results, progress=progress)
 
@@ -461,6 +469,7 @@ def run_sweep(
             "lease_ttl": lease_ttl,
             "heartbeat_interval": heartbeat_interval,
             "poll_interval": poll_interval,
+            "claim_batch": claim_batch,
         }
     )
 
@@ -597,6 +606,7 @@ def work_run_dir(
     poll_interval: float | None = None,
     wait: bool = True,
     on_unit: Callable[[str], None] | None = None,
+    claim_batch: int = 1,
 ) -> tuple[SweepPlan, WorkerStats]:
     """Join ``run_dir`` as one distributed worker and drain it.
 
@@ -624,6 +634,7 @@ def work_run_dir(
         poll_interval=poll_interval,
         wait=wait,
         on_unit=on_unit,
+        claim_batch=claim_batch,
     )
     return plan, stats
 
@@ -637,6 +648,7 @@ def work_coordinator(
     retry_timeout: float | None = None,
     wait: bool = True,
     on_unit: Callable[[str], None] | None = None,
+    claim_batch: int = 1,
 ) -> tuple[SweepPlan, WorkerStats]:
     """Join the coordinator at ``url`` as one worker and drain it.
 
@@ -661,6 +673,7 @@ def work_coordinator(
         poll_interval=poll_interval,
         wait=wait,
         on_unit=on_unit,
+        claim_batch=claim_batch,
     )
     return plan, stats
 

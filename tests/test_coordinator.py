@@ -41,6 +41,12 @@ from repro.pisa import AnnealingConfig, PISAConfig
 from repro.runtime import RunCheckpoint
 from repro.runtime.backends import (
     AckReply,
+    BatchAckReply,
+    BatchClaimReply,
+    BatchClaimRequest,
+    BatchLeaseRequest,
+    BatchRecordReply,
+    BatchRecordRequest,
     ClaimReply,
     ClaimRequest,
     CoordinatorError,
@@ -176,7 +182,19 @@ class TestWirePayloads:
         )
     )
     def test_malformed_payloads_rejected(self, payload):
-        for parser in (ClaimRequest, LeaseRequest, RecordRequest, ClaimReply, AckReply):
+        for parser in (
+            ClaimRequest,
+            LeaseRequest,
+            RecordRequest,
+            ClaimReply,
+            AckReply,
+            BatchClaimRequest,
+            BatchClaimReply,
+            BatchLeaseRequest,
+            BatchAckReply,
+            BatchRecordRequest,
+            BatchRecordReply,
+        ):
             with pytest.raises(ValueError):
                 parser.from_dict(payload)
 
@@ -185,6 +203,92 @@ class TestWirePayloads:
             ClaimReply.from_dict({"granted": True, "token": "", "ttl": 5.0})
         with pytest.raises(ValueError, match="ttl"):
             ClaimReply.from_dict({"granted": True, "token": "t", "ttl": 0})
+
+    # ------------------------- batched payloads ------------------------ #
+    @given(units=st.lists(_ids, min_size=1, max_size=6, unique=True), worker=_ids)
+    def test_batch_claim_request_round_trip(self, units, worker):
+        message = BatchClaimRequest(units=tuple(units), worker=worker)
+        assert (
+            BatchClaimRequest.from_dict(json.loads(json.dumps(message.to_dict())))
+            == message
+        )
+
+    @given(units=st.lists(_ids, min_size=1, max_size=6, unique=True), worker=_ids, token=_ids)
+    def test_batch_lease_request_round_trip(self, units, worker, token):
+        message = BatchLeaseRequest(units=tuple(units), worker=worker, token=token)
+        assert (
+            BatchLeaseRequest.from_dict(json.loads(json.dumps(message.to_dict())))
+            == message
+        )
+
+    @given(pool=st.lists(_ids, max_size=8, unique=True), token=_ids, ttl=_ttls)
+    def test_batch_claim_reply_round_trip(self, pool, token, ttl):
+        # Split the pool so the invariants hold by construction:
+        # reclaimed is a subset of granted, completed is disjoint from it.
+        granted = tuple(pool[: len(pool) // 2])
+        message = BatchClaimReply(
+            granted=granted,
+            token=token if granted else "",
+            ttl=ttl if granted else 0.0,
+            reclaimed=granted[::2],
+            completed=tuple(pool[len(pool) // 2 :]),
+        )
+        assert (
+            BatchClaimReply.from_dict(json.loads(json.dumps(message.to_dict())))
+            == message
+        )
+
+    @given(ok=st.booleans(), stale=st.lists(_ids, max_size=4, unique=True))
+    def test_batch_ack_reply_round_trip(self, ok, stale):
+        message = BatchAckReply(ok=ok, stale=tuple(stale))
+        assert (
+            BatchAckReply.from_dict(json.loads(json.dumps(message.to_dict()))) == message
+        )
+
+    @given(
+        records=st.dictionaries(_ids, _json_values, min_size=1, max_size=4),
+        worker=_ids,
+        token=_ids,
+    )
+    def test_batch_record_request_round_trip(self, records, worker, token):
+        message = BatchRecordRequest(
+            units=tuple(records),
+            results=tuple(records.values()),
+            worker=worker,
+            token=token,
+        )
+        assert (
+            BatchRecordRequest.from_dict(json.loads(json.dumps(message.to_dict())))
+            == message
+        )
+
+    @given(ok=st.booleans(), duplicates=st.lists(_ids, max_size=4, unique=True))
+    def test_batch_record_reply_round_trip(self, ok, duplicates):
+        message = BatchRecordReply(ok=ok, duplicates=tuple(duplicates))
+        assert (
+            BatchRecordReply.from_dict(json.loads(json.dumps(message.to_dict())))
+            == message
+        )
+
+    def test_batch_payload_invariants_enforced(self):
+        with pytest.raises(ValueError, match="subset"):
+            BatchClaimReply.from_dict(
+                {"granted": ["a"], "token": "t", "ttl": 1.0, "reclaimed": ["b"]}
+            )
+        with pytest.raises(ValueError, match="disjoint"):
+            BatchClaimReply.from_dict(
+                {"granted": ["a"], "token": "t", "ttl": 1.0, "completed": ["a"]}
+            )
+        with pytest.raises(ValueError, match="token"):
+            BatchClaimReply.from_dict({"granted": ["a"], "token": "", "ttl": 1.0})
+        with pytest.raises(ValueError, match="ttl"):
+            BatchClaimReply.from_dict({"granted": ["a"], "token": "t", "ttl": 0})
+        with pytest.raises(ValueError, match="unique"):
+            BatchClaimRequest.from_dict({"units": ["a", "a"], "worker": "w"})
+        with pytest.raises(ValueError, match="parallel"):
+            BatchRecordRequest.from_dict(
+                {"units": ["a", "b"], "results": [1], "worker": "w", "token": "t"}
+            )
 
 
 # ---------------------------------------------------------------------- #
@@ -328,6 +432,206 @@ class TestCoordinatorState:
 # ---------------------------------------------------------------------- #
 # Restart recovery (journal replay)
 # ---------------------------------------------------------------------- #
+class TestBatchedClaims:
+    """The batched protocol's invariants: one token and one journal
+    record per grant, per-unit crash granularity, and the same fencing
+    and first-writer-wins rules as the single-unit protocol."""
+
+    def test_batch_claim_partitions_free_held_completed(self, tmp_path):
+        coordinator = make_coordinator(tmp_path / "run", ["u0", "u1", "u2", "u3"])
+        done = coordinator.claim(ClaimRequest(unit="u0", worker="w1"))
+        coordinator.record(
+            RecordRequest(unit="u0", worker="w1", token=done.token, result=1)
+        )
+        coordinator.release(LeaseRequest(unit="u0", worker="w1", token=done.token))
+        coordinator.claim(ClaimRequest(unit="u1", worker="w2"))  # live peer
+
+        reply = coordinator.claim_batch(
+            BatchClaimRequest(units=("u0", "u1", "u2", "u3"), worker="w3")
+        )
+        assert sorted(reply.granted) == ["u2", "u3"]  # u1: held, omitted
+        assert reply.completed == ("u0",)
+        assert reply.reclaimed == ()
+        assert reply.token and reply.ttl == 30.0
+
+    def test_one_journal_record_per_batch_claim(self, tmp_path):
+        run_dir = tmp_path / "run"
+        units = [f"u{i}" for i in range(6)]
+        coordinator = make_coordinator(run_dir, units)
+        journal = run_dir / JOURNAL_NAME
+        before = len(journal.read_text().splitlines()) if journal.exists() else 0
+        reply = coordinator.claim_batch(BatchClaimRequest(units=tuple(units), worker="w1"))
+        assert sorted(reply.granted) == units
+        events = [json.loads(line) for line in journal.read_text().splitlines()]
+        assert len(events) == before + 1
+        assert events[-1]["event"] == "claim"
+        assert sorted(events[-1]["units"]) == units
+        assert events[-1]["token"] == reply.token
+
+    def test_partial_batch_expiry_regrants_only_unfinished_units(self, tmp_path):
+        coordinator = make_coordinator(tmp_path / "run", ["u0", "u1", "u2"], ttl=0.05)
+        batch = coordinator.claim_batch(
+            BatchClaimRequest(units=("u0", "u1", "u2"), worker="w1")
+        )
+        # w1 finishes u0 mid-batch (records drop members one at a time)...
+        coordinator.record(
+            RecordRequest(unit="u0", worker="w1", token=batch.token, result=0)
+        )
+        time.sleep(0.1)  # ...then goes silent past the ttl.
+        steal = coordinator.claim_batch(
+            BatchClaimRequest(units=("u0", "u1", "u2"), worker="w2")
+        )
+        assert sorted(steal.granted) == ["u1", "u2"]  # only the unfinished remainder
+        assert sorted(steal.reclaimed) == ["u1", "u2"]
+        assert steal.completed == ("u0",)
+        # The dead holder's token is fenced out of what it lost.
+        stale = coordinator.renew_batch(
+            BatchLeaseRequest(units=("u1", "u2"), worker="w1", token=batch.token)
+        )
+        assert not stale.ok and sorted(stale.stale) == ["u1", "u2"]
+
+    def test_holder_batch_reclaim_folds_into_fresh_token(self, tmp_path):
+        """A retry after a lost reply: the holder re-claims its own units
+        and gets them all back under one fresh token; the old token is
+        superseded, not left as a second live grant."""
+        coordinator = make_coordinator(tmp_path / "run", ["u0", "u1"])
+        first = coordinator.claim_batch(BatchClaimRequest(units=("u0", "u1"), worker="w1"))
+        second = coordinator.claim_batch(BatchClaimRequest(units=("u0", "u1"), worker="w1"))
+        assert sorted(second.granted) == ["u0", "u1"]
+        assert second.token != first.token
+        assert second.reclaimed == ()  # self-fold is not a steal
+        old = coordinator.renew_batch(
+            BatchLeaseRequest(units=("u0", "u1"), worker="w1", token=first.token)
+        )
+        assert not old.ok
+        fresh = coordinator.renew_batch(
+            BatchLeaseRequest(units=("u0", "u1"), worker="w1", token=second.token)
+        )
+        assert fresh.ok and fresh.stale == ()
+
+    def test_renew_batch_reports_recorded_members_as_stale(self, tmp_path):
+        coordinator = make_coordinator(tmp_path / "run", ["u0", "u1"])
+        batch = coordinator.claim_batch(BatchClaimRequest(units=("u0", "u1"), worker="w1"))
+        coordinator.record(
+            RecordRequest(unit="u0", worker="w1", token=batch.token, result=0)
+        )
+        ack = coordinator.renew_batch(
+            BatchLeaseRequest(units=("u0", "u1"), worker="w1", token=batch.token)
+        )
+        assert ack.ok and ack.stale == ("u0",)
+
+    def test_release_batch_idempotent_and_token_fenced(self, tmp_path):
+        coordinator = make_coordinator(tmp_path / "run", ["u0", "u1"], ttl=0.05)
+        batch = coordinator.claim_batch(BatchClaimRequest(units=("u0", "u1"), worker="w1"))
+        time.sleep(0.1)
+        steal = coordinator.claim_batch(BatchClaimRequest(units=("u0",), worker="w2"))
+        assert steal.granted == ("u0",)
+        # w1's release covers what it still owns; the stolen member is
+        # reported stale and left with its new holder.
+        ack = coordinator.release_batch(
+            BatchLeaseRequest(units=("u0", "u1"), worker="w1", token=batch.token)
+        )
+        assert ack.ok and ack.stale == ("u0",)
+        assert coordinator.renew(
+            LeaseRequest(unit="u0", worker="w2", token=steal.token)
+        ).ok
+        # Releasing again (retry after a lost reply) acknowledges idempotently.
+        again = coordinator.release_batch(
+            BatchLeaseRequest(units=("u1",), worker="w1", token=batch.token)
+        )
+        assert again.ok
+        # u1 is free again.
+        assert coordinator.claim(ClaimRequest(unit="u1", worker="w3")).granted
+
+    def test_duplicate_batch_record_first_writer_wins(self, tmp_path):
+        coordinator = make_coordinator(tmp_path / "run", ["u0", "u1"])
+        batch = coordinator.claim_batch(BatchClaimRequest(units=("u0", "u1"), worker="w1"))
+        first = coordinator.record_batch(
+            BatchRecordRequest(
+                units=("u0", "u1"), results=(1, 2), worker="w1", token=batch.token
+            )
+        )
+        assert first.ok and first.duplicates == ()
+        # The identical flush retried after a lost reply (or a robbed
+        # peer's late flush) acks as duplicates without overwriting.
+        again = coordinator.record_batch(
+            BatchRecordRequest(
+                units=("u0", "u1"), results=(7, 8), worker="w2", token="stale"
+            )
+        )
+        assert again.ok and sorted(again.duplicates) == ["u0", "u1"]
+        assert coordinator.results() == {"u0": 1, "u1": 2}
+
+    def test_batch_record_with_stale_token_accepted_when_unrecorded(self, tmp_path):
+        """Like the single-unit protocol: a robbed worker that finishes
+        first contributes its bit-identical results rather than wasting
+        them, and the listed leases are dropped."""
+        coordinator = make_coordinator(tmp_path / "run", ["u0", "u1"], ttl=0.05)
+        batch = coordinator.claim_batch(BatchClaimRequest(units=("u0", "u1"), worker="w1"))
+        time.sleep(0.1)
+        coordinator.claim_batch(BatchClaimRequest(units=("u0", "u1"), worker="w2"))
+        late = coordinator.record_batch(
+            BatchRecordRequest(
+                units=("u0", "u1"), results=(1, 2), worker="w1", token=batch.token
+            )
+        )
+        assert late.ok and late.duplicates == ()
+        assert coordinator.results() == {"u0": 1, "u1": 2}
+        assert coordinator.claim(ClaimRequest(unit="u0", worker="w3")).completed
+
+    def test_restart_restores_batch_leases_and_flushed_records(self, tmp_path):
+        run_dir = tmp_path / "run"
+        units = ["u0", "u1", "u2"]
+        first = make_coordinator(run_dir, units)
+        batch = first.claim_batch(BatchClaimRequest(units=tuple(units), worker="w1"))
+        first.record_batch(
+            BatchRecordRequest(units=("u0",), results=(5,), worker="w1", token=batch.token)
+        )
+        # "SIGKILL": no shutdown handshake.
+        restarted = Coordinator(run_dir, ttl=30.0, unit_keys=units)
+        assert restarted.results() == {"u0": 5}
+        # The unfinished remainder survives under the same batch token...
+        ack = restarted.renew_batch(
+            BatchLeaseRequest(units=("u1", "u2"), worker="w1", token=batch.token)
+        )
+        assert ack.ok and ack.stale == ()
+        # ...and peers cannot steal it.
+        denied = restarted.claim_batch(BatchClaimRequest(units=("u1", "u2"), worker="w2"))
+        assert denied.granted == ()
+
+    @given(cut=st.integers(min_value=0, max_value=600))
+    @settings(max_examples=25, deadline=None)
+    def test_resume_over_truncated_journal_with_batches(self, cut):
+        """Group-commit durability: whatever prefix of the journal a
+        crash leaves behind, flushed results (the shards' truth) survive
+        in full and leases are at worst forgotten — never wedged."""
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as td:
+            run_dir = Path(td) / "run"
+            units = ["u0", "u1", "u2"]
+            first = make_coordinator(run_dir, units)
+            batch = first.claim_batch(BatchClaimRequest(units=tuple(units), worker="w1"))
+            first.record_batch(
+                BatchRecordRequest(
+                    units=("u0", "u1"), results=(1, 2), worker="w1", token=batch.token
+                )
+            )
+            journal = run_dir / JOURNAL_NAME
+            blob = journal.read_bytes()
+            journal.write_bytes(blob[: min(cut, len(blob))])
+
+            restarted = Coordinator(run_dir, ttl=30.0, unit_keys=units)
+            assert restarted.results() == {"u0": 1, "u1": 2}
+            # u2 is either still leased to w1 (the claim line survived) or
+            # claimable; the flushed units can never be re-granted.
+            reply = restarted.claim_batch(
+                BatchClaimRequest(units=tuple(units), worker="w2")
+            )
+            assert sorted(reply.completed) == ["u0", "u1"]
+            assert reply.granted in ((), ("u2",))
+
+
 class TestCoordinatorRecovery:
     def test_restart_restores_results_and_leases(self, tmp_path):
         run_dir = tmp_path / "run"
@@ -511,6 +815,103 @@ class TestHttpBackend:
         # Exactly-once on disk too: no duplicate records across shards.
         merged = RunCheckpoint(run_dir).completed()
         assert merged == {f"u{i}": i * i for i in range(8)}
+
+    def test_drain_units_batched_over_http_backend(self, tmp_path):
+        """Several workers draining with claim_batch > 1: every unit
+        exactly once, end to end, through the batched wire protocol."""
+        from repro.runtime import WorkUnit
+
+        run_dir = tmp_path / "run"
+        keys = [f"u{i}" for i in range(14)]
+        RunCheckpoint(run_dir).initialize(
+            {"kind": "sweep", "spec": {"name": "t"}, "units": len(keys)}, resume=True
+        )
+        units = [WorkUnit(key=k, payload=i) for i, k in enumerate(keys)]
+
+        with running_coordinator(run_dir, unit_keys=keys) as server:
+            with ThreadPoolExecutor(max_workers=3) as pool:
+                futures = [
+                    pool.submit(
+                        drain_units,
+                        units,
+                        _square_payload,
+                        backend=HttpWorkBackend(server.url, retry_timeout=10),
+                        worker_id=f"w{i}",
+                        poll_interval=0.01,
+                        claim_batch=3,
+                    )
+                    for i in range(3)
+                ]
+                stats_list = [f.result() for f in futures]
+            assert sum(s.executed for s in stats_list) == len(keys)
+            backend = HttpWorkBackend(server.url, retry_timeout=10)
+            assert backend.results() == {f"u{i}": i * i for i in range(14)}
+        merged = RunCheckpoint(run_dir).completed()
+        assert merged == {f"u{i}": i * i for i in range(14)}
+
+    def test_record_batch_flush_over_http(self, tmp_path):
+        run_dir = tmp_path / "run"
+        keys = ["u0", "u1", "u2"]
+        RunCheckpoint(run_dir).initialize(
+            {"kind": "sweep", "spec": {"name": "t"}, "units": len(keys)}, resume=True
+        )
+        with running_coordinator(run_dir, unit_keys=keys) as server:
+            backend = HttpWorkBackend(server.url, retry_timeout=10)
+            batch = backend.claim_batch(keys, "w1")
+            assert sorted(batch.units) == keys
+            backend.record_batch(batch, {"u0": 1, "u1": 2})
+            # The flush dropped its members from the unfinished remainder.
+            assert batch.units == ["u2"]
+            assert backend.completed_keys() == {"u0", "u1"}
+            backend.record_batch(batch, {"u2": 3})
+            backend.release_batch(batch)  # empty remainder: no-op
+            assert backend.results() == {"u0": 1, "u1": 2, "u2": 3}
+        assert RunCheckpoint(run_dir).completed() == {"u0": 1, "u1": 2, "u2": 3}
+
+    def test_persistent_connection_reused_across_requests(self, tmp_path):
+        run_dir = tmp_path / "run"
+        RunCheckpoint(run_dir).initialize(
+            {"kind": "sweep", "spec": {"name": "t"}, "units": 1}, resume=True
+        )
+        with running_coordinator(run_dir, unit_keys=["u0"]) as server:
+            backend = HttpWorkBackend(server.url, retry_timeout=10)
+            backend.completed_keys()
+            conn = backend._local.conn
+            assert conn is not None  # kept alive after the round trip
+            backend.completed_keys()
+            assert backend._local.conn is conn  # same socket, no re-handshake
+            backend.close()
+            assert backend._local.conn is None
+
+            throwaway = HttpWorkBackend(server.url, retry_timeout=10, persistent=False)
+            throwaway.completed_keys()
+            assert getattr(throwaway._local, "conn", None) is None
+
+    def test_backoff_probe_returns_early_when_port_comes_back(self):
+        """The jittered-backoff early-out: a pause is cut short the
+        moment the coordinator's port accepts connections again, so a
+        restarted coordinator is rejoined promptly instead of after the
+        full pause."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+        backend = HttpWorkBackend(f"http://127.0.0.1:{port}", retry_timeout=10)
+
+        def open_late():
+            time.sleep(0.3)
+            listener.listen(1)
+
+        opener = threading.Thread(target=open_late)
+        start = time.monotonic()
+        opener.start()
+        try:
+            came_back = backend._wait_or_probe(5.0)
+        finally:
+            opener.join()
+            listener.close()
+        elapsed = time.monotonic() - start
+        assert came_back, "probe never saw the port come back"
+        assert elapsed < 2.5, f"probe took {elapsed:.2f}s to notice a 0.3s restart"
 
 
 # ---------------------------------------------------------------------- #
@@ -721,7 +1122,9 @@ def _start_serve(run_dir: Path, port: int, spec_path: Path | None, ttl: float = 
     )
 
 
-def _start_worker(url: str, worker_id: str, delay: float | None = None):
+def _start_worker(
+    url: str, worker_id: str, delay: float | None = None, batch: int | None = None
+):
     cmd = [
         sys.executable,
         "-m",
@@ -739,6 +1142,8 @@ def _start_worker(url: str, worker_id: str, delay: float | None = None):
         "--retry",
         "60",
     ]
+    if batch is not None:
+        cmd += ["--batch", str(batch)]
     return subprocess.Popen(
         cmd, env=_env(delay), stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True
     )
@@ -761,10 +1166,11 @@ def _status(url: str) -> dict | None:
 
 
 class TestFaultInjection:
-    """The acceptance scenario pinned by this PR: a fig4-preset sweep
-    drained by two ``--coordinator`` workers, one SIGKILLed mid-unit, the
-    coordinator SIGKILLed and restarted mid-sweep — merged results
-    bit-identical to ``run_sweep(spec, jobs=1)``."""
+    """The acceptance scenario pinned by PR 5 and re-pinned here with
+    batching enabled: a fig4-preset sweep drained by two batched
+    ``--coordinator`` workers, one SIGKILLed mid-batch, the coordinator
+    SIGKILLed and restarted mid-sweep — merged results bit-identical to
+    ``run_sweep(spec, jobs=1)``."""
 
     def test_kill_worker_and_coordinator_bit_identical_to_serial(self, tmp_path):
         spec = tiny_fig4_spec()
@@ -790,7 +1196,9 @@ class TestFaultInjection:
 
             # The victim holds each unit open 0.6s (fault-injection delay),
             # the survivor 0.2s — slow enough that both kills land mid-sweep.
-            victim = _start_worker(url, "victim", delay=0.6)
+            # Both drain with claim_batch=3, so the victim's SIGKILL lands
+            # mid-batch and only its unfinished members are re-granted.
+            victim = _start_worker(url, "victim", delay=0.6, batch=3)
             workers.append(victim)
             _wait_until(
                 lambda: any(
@@ -800,7 +1208,7 @@ class TestFaultInjection:
                 60,
                 "victim to claim a unit",
             )
-            survivor = _start_worker(url, "survivor", delay=0.2)
+            survivor = _start_worker(url, "survivor", delay=0.2, batch=3)
             workers.append(survivor)
 
             # Kill the victim mid-unit: its lease must expire on the
@@ -850,6 +1258,74 @@ class TestFaultInjection:
             best = merged.pairwise.results[pair].best_instance
             assert best.task_graph == res.best_instance.task_graph
             assert best.network == res.best_instance.network
+
+    def test_sigkill_under_load_loses_no_acked_flush(self, tmp_path):
+        """Group commit's contract under fire: four workers hammering
+        batched claims and record flushes while the coordinator is
+        SIGKILLed mid-load.  Acks follow durability, so after a restart
+        every flush acked before the kill must still be there."""
+        run_dir = tmp_path / "run"
+        keys = [f"u{i}" for i in range(600)]
+        RunCheckpoint(run_dir).initialize(
+            {"kind": "sweep", "spec": {"name": "t"}, "units": len(keys)}, resume=True
+        )
+        port = _free_port()
+        url = f"http://127.0.0.1:{port}"
+        script = (
+            "import sys\n"
+            "from repro.runtime.coordinator import serve_coordinator\n"
+            f"keys = [f'u{{i}}' for i in range({len(keys)})]\n"
+            f"server = serve_coordinator(sys.argv[1], port={port}, ttl=30.0, unit_keys=keys)\n"
+            "server.serve_forever()\n"
+        )
+        coordinator = subprocess.Popen(
+            [sys.executable, "-c", script, str(run_dir)],
+            env=_env(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        acked: list[str] = []
+        acked_lock = threading.Lock()
+
+        def hammer(wid: str, shard: list[str]) -> None:
+            backend = HttpWorkBackend(url, retry_timeout=1.0, request_timeout=5)
+            try:
+                for start in range(0, len(shard), 4):
+                    batch = backend.claim_batch(shard[start : start + 4], wid)
+                    if batch is None:
+                        continue
+                    results = {k: {"k": k} for k in batch.units}
+                    backend.record_batch(batch, results)
+                    with acked_lock:
+                        acked.extend(results)  # only after the ack came back
+                    time.sleep(0.002)  # keep the kill landing mid-load
+            except Exception:  # noqa: BLE001 - the kill is the expected ending
+                return  # anything unacked is fair game
+        threads = [
+            threading.Thread(target=hammer, args=(f"w{i}", keys[i::4])) for i in range(4)
+        ]
+        try:
+            _wait_until(lambda: _status(url) is not None, 60, "coordinator to serve")
+            for thread in threads:
+                thread.start()
+            _wait_until(lambda: len(acked) >= 40, 60, "real load before the kill")
+            os.kill(coordinator.pid, signal.SIGKILL)
+            coordinator.wait(timeout=30)
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not any(thread.is_alive() for thread in threads)
+        finally:
+            if coordinator.poll() is None:
+                coordinator.kill()
+
+        with acked_lock:
+            flushed = set(acked)
+        assert flushed, "no flush was acked before the kill"
+        restarted = Coordinator(run_dir, ttl=30.0, unit_keys=keys)
+        survived = set(restarted.results())
+        missing = flushed - survived
+        assert not missing, f"{len(missing)} acked unit(s) lost by the kill"
 
     def test_cli_status_json_against_live_coordinator(self, tmp_path):
         """`repro sweep status --coordinator --json` emits the shared

@@ -569,6 +569,72 @@ class TestDrainUnits:
                 checkpoint,
             )
 
+    def test_invalid_claim_batch_rejected(self, tmp_path):
+        checkpoint = RunCheckpoint(tmp_path / "run")
+        with pytest.raises(ValueError, match="claim_batch"):
+            drain_units(
+                [WorkUnit(key="u", payload=1)], _square, checkpoint, claim_batch=0
+            )
+
+    def test_batched_workers_split_the_run_without_double_execution(self, tmp_path):
+        """claim_batch > 1 over the filesystem backend: batches amortize
+        claim overhead but exactly-once still holds across workers."""
+        checkpoint = RunCheckpoint(tmp_path / "run")
+        checkpoint.initialize({"kind": "t"})
+        units = [WorkUnit(key=f"u{i}", payload=i) for i in range(20)]
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            futures = [
+                pool.submit(
+                    drain_units,
+                    units,
+                    _square,
+                    checkpoint,
+                    worker_id=f"w{i}",
+                    lease_ttl=30,
+                    poll_interval=0.01,
+                    claim_batch=4,
+                )
+                for i in range(3)
+            ]
+            all_stats = [f.result() for f in futures]
+        assert sum(s.executed for s in all_stats) == 20
+        assert checkpoint.completed() == {f"u{i}": i * i for i in range(20)}
+        keys = [
+            record["key"]
+            for path in checkpoint.result_paths()
+            for record in iter_result_records(path)
+        ]
+        assert sorted(keys) == sorted(f"u{i}" for i in range(20))
+
+    def test_batched_drain_keeps_finished_units_and_frees_the_rest_on_failure(
+        self, tmp_path
+    ):
+        """A worker that dies mid-batch keeps what it already recorded
+        (per-unit crash granularity) and releases the unfinished
+        remainder immediately for peers."""
+        checkpoint = RunCheckpoint(tmp_path / "run")
+        checkpoint.initialize({"kind": "t"})
+        units = [WorkUnit(key=f"u{i}", payload=i) for i in range(4)]
+
+        def breaks_on_u2(unit):
+            if unit.key == "u2":
+                raise OSError("mid-batch failure")
+            return int(unit.payload) ** 2
+
+        with pytest.raises(OSError, match="mid-batch"):
+            drain_units(
+                units, breaks_on_u2, checkpoint, worker_id="w1",
+                lease_ttl=3600, claim_batch=4,
+            )
+        # u0/u1 were recorded before the failure and stay recorded...
+        assert checkpoint.completed() == {"u0": 0, "u1": 1}
+        # ...and no lease lingers: a peer finishes the rest with no TTL wait.
+        stats = drain_units(
+            units, _square, checkpoint, worker_id="w2", lease_ttl=3600, claim_batch=4
+        )
+        assert stats.executed == 2 and stats.reclaimed == 0
+        assert checkpoint.completed() == {f"u{i}": i * i for i in range(4)}
+
     def test_worker_exception_releases_the_lease_immediately(self, tmp_path):
         """A Python-level failure must not strand the lease like a SIGKILL
         would: peers should be able to re-claim without waiting the TTL."""
@@ -614,6 +680,8 @@ class TestRunUnitsDistributedBackend:
     def test_local_backend_rejects_distributed_options(self):
         with pytest.raises(ValueError, match="lease_ttl"):
             run_units([WorkUnit(key="u", payload=1)], _square, lease_ttl=5)
+        with pytest.raises(ValueError, match="claim_batch"):
+            run_units([WorkUnit(key="u", payload=1)], _square, claim_batch=4)
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="backend"):
