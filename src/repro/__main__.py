@@ -312,7 +312,10 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--out", default="sweep.json", help="where to write the spec")
     q.add_argument("--name", default="my-sweep", help="sweep name to scaffold")
     q.add_argument(
-        "--mode", choices=["pisa", "benchmark"], default="pisa", help="sweep mode"
+        "--mode",
+        choices=["pisa", "benchmark", "dynamic"],
+        default="pisa",
+        help="sweep mode",
     )
     q.add_argument("--seed", type=int, default=0)
     q.add_argument("--force", action="store_true", help="overwrite an existing file")
@@ -837,6 +840,28 @@ def _scaffold_spec(name: str, mode: str, seed: int):
             sampling="sequential",
             seed=seed,
             description=description,
+        )
+    if mode == "dynamic":
+        from repro.core.dynamic import DynamicsSpec, FailureSpec, NoiseSpec
+
+        return SweepSpec(
+            name=name,
+            mode="dynamic",
+            schedulers=("HEFT", "CPoP", "FastestNode"),
+            source=SourceSpec("chains"),
+            num_instances=6,
+            seed=seed,
+            description=description
+            + " — dynamic mode replays every schedule under the `dynamics` "
+            "conditions (contention: none|fair|fifo; error/slowdown kind: "
+            "none|uniform|gaussian; failure fate: stall|reassign)",
+            dynamics=DynamicsSpec(
+                contention="fair",
+                error=NoiseSpec(kind="uniform", low=0.8, high=1.5),
+                slowdown=NoiseSpec(kind="none"),
+                failures=FailureSpec(count=0),
+                samples=3,
+            ),
         )
     return SweepSpec(
         name=name,

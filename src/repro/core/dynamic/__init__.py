@@ -1,0 +1,44 @@
+"""Dynamic replay of static schedules: a deterministic discrete-event layer.
+
+This package answers "what happens to a planned schedule when reality
+disagrees with the plan?"  :class:`DynamicsSpec` declares the disagreement
+(link contention, runtime-estimate error, node slowdown, node failure) and
+:func:`simulate_schedule` replays any :class:`~repro.core.schedule.Schedule`
+under it through a fully deterministic event queue — see
+:mod:`repro.core.dynamic.simulator` for the event model and the
+determinism and degenerate-equivalence contracts.
+
+Import this package directly (``from repro.core.dynamic import ...``);
+it sits *on top of* the static core and reuses
+:mod:`repro.stochastic.variables` for its noise distributions.
+"""
+
+from repro.core.dynamic.simulator import (
+    DynamicResult,
+    sample_seed_stream,
+    simulate_schedule,
+)
+from repro.core.dynamic.spec import (
+    CONTENTION_MODES,
+    FAILURE_FATES,
+    FAILURE_PICKS,
+    NOISE_KINDS,
+    DynamicsError,
+    DynamicsSpec,
+    FailureSpec,
+    NoiseSpec,
+)
+
+__all__ = [
+    "CONTENTION_MODES",
+    "FAILURE_FATES",
+    "FAILURE_PICKS",
+    "NOISE_KINDS",
+    "DynamicsError",
+    "DynamicsSpec",
+    "DynamicResult",
+    "FailureSpec",
+    "NoiseSpec",
+    "sample_seed_stream",
+    "simulate_schedule",
+]

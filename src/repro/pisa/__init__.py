@@ -33,6 +33,7 @@ from repro.pisa.constraints import (
 )
 from repro.pisa.initial import random_chain_instance
 from repro.pisa.pisa import PISA, PISAConfig, PISAResult, PairwiseResult, pairwise_comparison
+from repro.pisa.robustness import RobustnessGapPISA
 from repro.pisa.app_specific import PAPER_CCRS, AppSpecificSpace, app_specific_pairwise
 from repro.pisa.batch import batch_energy
 from repro.pisa.genetic import GeneticConfig, GeneticInstanceFinder, GeneticResult
@@ -62,6 +63,7 @@ __all__ = [
     "PISAConfig",
     "PISAResult",
     "PairwiseResult",
+    "RobustnessGapPISA",
     "pairwise_comparison",
     "PAPER_CCRS",
     "AppSpecificSpace",

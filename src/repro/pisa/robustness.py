@@ -1,0 +1,126 @@
+"""The robustness-gap objective: schedules that win on paper and lose in practice.
+
+:class:`RobustnessGapPISA` points the existing annealing/perturbation
+stack at a dynamic-aware energy.  Where plain :class:`~repro.pisa.pisa.PISA`
+maximizes the *static* makespan ratio of target over baseline, this
+objective maximizes
+
+    ``dynamic_ratio / static_ratio``
+
+where both ratios are target/baseline makespan ratios and the dynamic one
+is measured by replaying each scheduler's plan through
+:func:`repro.core.dynamic.simulate_schedule` under a fixed
+:class:`~repro.core.dynamic.DynamicsSpec`.  A large energy means the
+dynamics *reranked* the pair: the search is rewarded most where the
+target looks good statically (small denominator) but degrades under
+contention/noise/failures (large numerator) — exactly the "A beats B on
+paper but loses in practice" instances.
+
+Determinism: the replay seeds are derived from ``dynamics_seed`` once per
+object (:func:`repro.utils.rng.derive_seed` with fixed labels), and each
+sample's seed is shared by both schedulers (common random numbers).  The
+energy is therefore a pure function of the candidate instance — the same
+instance always scores the same, which simulated annealing's
+accept/reject bookkeeping relies on — and a whole sweep's energies are
+reproducible from the spec's seed alone.
+
+Infinite makespans (a failure stalls a task, or a plan routes mandatory
+data over a zero-strength link) are absorbed by the same
+:data:`~repro.benchmarking.metrics.RATIO_CAP` conventions as the static
+objective, so the annealer always sees finite energies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.benchmarking.metrics import RATIO_CAP, makespan_ratio
+from repro.core.dynamic.simulator import sample_seed_stream, simulate_schedule
+from repro.core.dynamic.spec import DynamicsSpec
+from repro.core.instance import ProblemInstance
+from repro.core.scheduler import Scheduler
+from repro.pisa.constraints import SearchConstraints
+from repro.pisa.perturbations import PerturbationSet
+from repro.pisa.pisa import PISA, PISAConfig
+from repro.utils.rng import derive_seed
+
+__all__ = ["RobustnessGapPISA"]
+
+
+class RobustnessGapPISA(PISA):
+    """Adversarial search for instances where dynamics flip a pair's ranking.
+
+    Drop-in :class:`~repro.pisa.pisa.PISA` subclass: same constructor
+    surface plus ``dynamics`` (the replay conditions) and
+    ``dynamics_seed`` (root of the replay seed derivation).  Everything
+    downstream — restart spawning, pair-sweep units, checkpoint codecs,
+    all three execution backends — works unchanged because only
+    :meth:`energy` differs.
+    """
+
+    def __init__(
+        self,
+        target: Scheduler | str,
+        baseline: Scheduler | str,
+        dynamics: DynamicsSpec,
+        dynamics_seed: int = 0,
+        perturbations: PerturbationSet | None = None,
+        config: PISAConfig | None = None,
+        initial_factory: Callable[[np.random.Generator], ProblemInstance] | None = None,
+        constraints: SearchConstraints | None = None,
+    ) -> None:
+        super().__init__(
+            target,
+            baseline,
+            perturbations=perturbations,
+            config=config,
+            initial_factory=initial_factory,
+            constraints=constraints,
+        )
+        if not isinstance(dynamics, DynamicsSpec):
+            raise TypeError(f"dynamics must be a DynamicsSpec, got {type(dynamics).__name__}")
+        if dynamics.is_static:
+            raise ValueError(
+                "the robustness gap needs active dynamics (contention, noise, "
+                "or failures); the all-defaults DynamicsSpec replays plans "
+                "exactly, making the gap identically 1"
+            )
+        self.dynamics = dynamics
+        self.dynamics_seed = int(dynamics_seed)
+        # Fixed per-object replay seeds: the energy must be a pure
+        # function of the instance (annealing re-compares energies), and
+        # both schedulers share each sample's seed (common random numbers).
+        if dynamics.needs_rng:
+            self._sample_seeds = sample_seed_stream(
+                derive_seed(self.dynamics_seed, "robustness-gap", self.target.name,
+                            self.baseline.name),
+                dynamics.samples,
+            )
+        else:
+            self._sample_seeds = [None] * dynamics.samples
+
+    # ------------------------------------------------------------------ #
+    def _mean_dynamic_makespan(self, schedule, instance: ProblemInstance) -> float:
+        total = 0.0
+        for seed in self._sample_seeds:
+            total += simulate_schedule(schedule, instance, self.dynamics, rng=seed).makespan
+        return total / len(self._sample_seeds)
+
+    def energy(self, instance: ProblemInstance) -> float:
+        """``dynamic_ratio / static_ratio``, capped to stay finite.
+
+        Both ratios go through :func:`makespan_ratio` (cap ``1e6``), and
+        the static denominator is floored at ``1 / RATIO_CAP``, so the
+        energy is bounded by ``RATIO_CAP**2`` — always finite, as the
+        annealer requires.
+        """
+        target_schedule = self.target.schedule(instance)
+        baseline_schedule = self.baseline.schedule(instance)
+        static = makespan_ratio(target_schedule.makespan, baseline_schedule.makespan)
+        dynamic = makespan_ratio(
+            self._mean_dynamic_makespan(target_schedule, instance),
+            self._mean_dynamic_makespan(baseline_schedule, instance),
+        )
+        return dynamic / max(static, 1.0 / RATIO_CAP)

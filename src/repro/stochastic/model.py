@@ -29,7 +29,6 @@ from repro.core.instance import ProblemInstance
 from repro.core.network import Network
 from repro.core.schedule import Schedule
 from repro.core.scheduler import Scheduler
-from repro.core.simulator import ScheduleBuilder
 from repro.core.task_graph import TaskGraph
 from repro.stochastic.variables import Deterministic, RandomVariable
 from repro.utils.rng import as_generator
@@ -135,15 +134,22 @@ def replay_schedule(schedule: Schedule, instance: ProblemInstance) -> Schedule:
 
     Keeps the task-to-node mapping and the per-node execution order of
     ``schedule`` but recomputes every start time under ``instance``'s
-    weights with earliest-start semantics.  Tasks are committed in the
-    original global start-time order, which is a linear extension of the
-    precedence order whenever ``schedule`` was valid for a same-structure
-    instance.
+    weights with earliest-start semantics.  Tasks run in the original
+    global start-time order (ties by ``str(task)``), which is a linear
+    extension of the precedence order whenever ``schedule`` was valid for
+    a same-structure instance.
+
+    Implemented as a degenerate replay through the discrete-event
+    simulator (:func:`repro.core.dynamic.simulate_schedule` with the
+    all-defaults spec): bit-identical to the historical
+    ``ScheduleBuilder`` recommit loop, and the single replay engine for
+    both this robustness evaluation and the dynamics sweeps.
     """
-    builder = ScheduleBuilder(instance, insertion=False)
-    for entry in sorted(schedule, key=lambda e: (e.start, str(e.task))):
-        builder.commit(entry.task, entry.node)
-    return builder.schedule()
+    # Imported here: repro.core.dynamic.spec pulls in repro.stochastic
+    # for its noise variables, so a module-level import would be circular.
+    from repro.core.dynamic import simulate_schedule
+
+    return simulate_schedule(schedule, instance).schedule()
 
 
 @dataclass(frozen=True)

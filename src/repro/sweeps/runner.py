@@ -35,8 +35,10 @@ import numpy as np
 
 from repro.benchmarking.harness import BenchmarkResult, instance_result
 from repro.benchmarking.heatmap import format_gradient, render_matrix
+from repro.core.dynamic import sample_seed_stream, simulate_schedule
 from repro.core.scheduler import get_scheduler, list_schedulers
 from repro.pisa.pisa import PISA, PairwiseResult
+from repro.pisa.robustness import RobustnessGapPISA
 from repro.runtime.checkpoint import CheckpointError, RunCheckpoint
 from repro.runtime.distributed import WorkerStats, drain_units
 from repro.runtime.executor import reject_distributed_options, run_units
@@ -77,7 +79,8 @@ class SweepResult:
     spec: SweepSpec
     pairwise: PairwiseResult | None = None  # PISA mode
     benchmark: BenchmarkResult | None = None  # benchmark mode: ratios vs best
-    makespans: dict[str, np.ndarray] | None = None  # benchmark mode: raw distributions
+    makespans: dict[str, np.ndarray] | None = None  # benchmark/dynamic: static makespans
+    dynamic: dict[str, np.ndarray] | None = None  # dynamic mode: (instances, samples)
 
     @property
     def report(self) -> str:
@@ -200,6 +203,87 @@ def _aggregate_benchmark(spec: SweepSpec, rows: list[dict]) -> tuple[BenchmarkRe
 
 
 # ---------------------------------------------------------------------- #
+# Dynamic-mode units
+# ---------------------------------------------------------------------- #
+def dynamic_unit(unit: WorkUnit) -> dict:
+    """Worker: schedule one instance, then replay every schedule under dynamics.
+
+    Each sample's replay seed is shared across schedulers (common random
+    numbers): in sample ``i`` every scheduler's plan faces the *same*
+    duration-error factors, slowdowns, and failure picks, so realized
+    differences are scheduling differences, not luck.
+    """
+    payload_kind, obj, scheduler_names, dynamics, seeds = unit.payload
+    if payload_kind == "dyn-factory":
+        instance = obj(unit.rng)
+        if dynamics.needs_rng:
+            # Drawn after the instance, from the unit's own spawned
+            # stream — jobs-invariant and resume-stable by construction.
+            seeds = sample_seed_stream(unit.rng, dynamics.samples)
+    else:
+        instance = obj
+    static: dict[str, float] = {}
+    realized: dict[str, list[float]] = {}
+    for name in scheduler_names:
+        schedule = get_scheduler(name).schedule(instance)
+        static[name] = schedule.makespan
+        realized[name] = [
+            simulate_schedule(
+                schedule,
+                instance,
+                dynamics,
+                rng=seeds[i] if seeds is not None else None,
+            ).makespan
+            for i in range(dynamics.samples)
+        ]
+    return {"instance": instance.name, "static": static, "dynamic": realized}
+
+
+def _dynamic_units(spec: SweepSpec, resolved: ResolvedSource, rng) -> list[WorkUnit]:
+    """Dynamic-mode fan-out: one unit per instance, like benchmark mode.
+
+    Sequentially-sampled units bake their replay seeds into the payload
+    at plan time (drawn from the same sequential stream, after the
+    instances), so every backend and worker sees identical payloads.
+    """
+    names = tuple(spec.schedulers)
+    dynamics = spec.dynamics
+    if spec.sampling == "spawn":
+        return [
+            WorkUnit(
+                key=f"{spec.name}[{i}]",
+                payload=("dyn-factory", resolved.factory, names, dynamics, None),
+                rng=gen,
+            )
+            for i, gen in enumerate(spawn(rng, spec.num_instances))
+        ]
+    instances = resolved.sequential(spec.num_instances, rng)
+    units = []
+    for i, instance in enumerate(instances):
+        seeds = sample_seed_stream(rng, dynamics.samples) if dynamics.needs_rng else None
+        units.append(
+            WorkUnit(
+                key=f"{spec.name}[{i}]",
+                payload=("dyn-instance", instance, names, dynamics, seeds),
+            )
+        )
+    return units
+
+
+def _aggregate_dynamic(
+    spec: SweepSpec, rows: list[dict]
+) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+    """Static makespans (instances,) and realized makespans (instances, samples)."""
+    static = {
+        s: np.asarray([row["static"][s] for row in rows]) for s in spec.schedulers
+    }
+    realized = {
+        s: np.asarray([row["dynamic"][s] for row in rows]) for s in spec.schedulers
+    }
+    return static, realized
+
+
+# ---------------------------------------------------------------------- #
 # Planning: spec -> units + worker + codecs (the distributable form)
 # ---------------------------------------------------------------------- #
 @dataclass
@@ -234,19 +318,31 @@ def _pisa_pairs(spec: SweepSpec, resolved: ResolvedSource) -> list[tuple[str, st
     constraints = (
         spec.constraints if spec.constraints is not None else resolved.default_constraints
     )
-    return [
-        (
-            target,
-            baseline,
-            PISA(
+    kwargs = dict(
+        perturbations=resolved.perturbations,
+        config=spec.config,
+        initial_factory=resolved.factory,
+        constraints=constraints,
+    )
+    if spec.dynamics is not None:
+        # The robustness-gap objective: replay seeds derive from the
+        # sweep seed, making the energy a pure function of the instance.
+        return [
+            (
                 target,
                 baseline,
-                perturbations=resolved.perturbations,
-                config=spec.config,
-                initial_factory=resolved.factory,
-                constraints=constraints,
-            ),
-        )
+                RobustnessGapPISA(
+                    target,
+                    baseline,
+                    dynamics=spec.dynamics,
+                    dynamics_seed=spec.seed,
+                    **kwargs,
+                ),
+            )
+            for target, baseline in spec.resolved_pairs()
+        ]
+    return [
+        (target, baseline, PISA(target, baseline, **kwargs))
         for target, baseline in spec.resolved_pairs()
     ]
 
@@ -274,6 +370,9 @@ def plan_sweep(
             decode=decode_unit_result,
             pairs=pairs,
         )
+    if spec.mode == "dynamic":
+        units = _dynamic_units(spec, resolved, gen)
+        return SweepPlan(spec=spec, units=units, worker=dynamic_unit, encode=None, decode=None)
     names = tuple(spec.schedulers)
     if spec.sampling == "spawn":
         units = _spawn_sample_units(
@@ -300,6 +399,9 @@ def _aggregate_plan(
                 progress(target, baseline, res.best_ratio)
         return SweepResult(spec=spec, pairwise=pairwise)
     rows = [results[f"{spec.name}[{i}]"] for i in range(spec.num_instances)]
+    if spec.mode == "dynamic":
+        static, realized = _aggregate_dynamic(spec, rows)
+        return SweepResult(spec=spec, makespans=static, dynamic=realized)
     benchmark, makespans = _aggregate_benchmark(spec, rows)
     return SweepResult(spec=spec, benchmark=benchmark, makespans=makespans)
 
@@ -508,6 +610,17 @@ def run_sweep(
         )
         return SweepResult(spec=spec, pairwise=pairwise)
 
+    if spec.mode == "dynamic":
+        units = _dynamic_units(spec, resolved, gen)
+        checkpoint = None
+        if run_dir is not None:
+            checkpoint = RunCheckpoint(run_dir)  # rows are already JSON-ready
+            checkpoint.initialize(_manifest(len(units)), resume=resume)
+        results = run_units(units, dynamic_unit, jobs=jobs, checkpoint=checkpoint)
+        rows = [results[f"{spec.name}[{i}]"] for i in range(spec.num_instances)]
+        static, realized = _aggregate_dynamic(spec, rows)
+        return SweepResult(spec=spec, makespans=static, dynamic=realized)
+
     # benchmark mode
     checkpoint = None
     if run_dir is not None:
@@ -690,16 +803,45 @@ def render_report(result: SweepResult) -> str:
             (baseline, target): res.best_ratio
             for (target, baseline), res in result.pairwise.results.items()
         }
+        objective = (
+            "robustness-gap energies (dynamic/static ratio)"
+            if spec.dynamics is not None
+            else "best makespan ratios"
+        )
         return render_matrix(
             values,
             row_labels=schedulers,
             col_labels=schedulers,
             title=(
-                f"sweep {spec.name!r} — PISA best makespan ratios "
+                f"sweep {spec.name!r} — PISA {objective} "
                 f"(row = base, column = target)"
             ),
             row_header="base",
         )
+    if result.dynamic is not None:
+        dyn = spec.dynamics
+        lines = [
+            f"sweep {spec.name!r} — dynamic replay over {spec.num_instances} "
+            f"instances x {dyn.samples} sample(s) "
+            f"(contention={dyn.contention}, error={dyn.error.kind}, "
+            f"slowdown={dyn.slowdown.kind}, failures={dyn.failures.count})"
+        ]
+        for scheduler in spec.schedulers:
+            static = result.makespans[scheduler]
+            realized = result.dynamic[scheduler]
+            unfinished = int(np.sum(~np.isfinite(realized)))
+            static_mean = float(static.mean())
+            realized_mean = float(realized.mean())
+            if unfinished or static_mean == 0.0:
+                degradation = "inf" if unfinished else "n/a"
+            else:
+                degradation = f"{realized_mean / static_mean:.4f}"
+            lines.append(
+                f"  {scheduler}: static mean {static_mean:.4f}, realized mean "
+                f"{realized_mean:.4f}, degradation x{degradation}, "
+                f"unfinished {unfinished}/{realized.size}"
+            )
+        return "\n".join(lines)
     assert result.benchmark is not None
     lines = [
         f"sweep {spec.name!r} — benchmark over {len(result.benchmark.per_instance)} "

@@ -8,9 +8,15 @@ instance source x restarts/samples*.  A :class:`SweepSpec` captures that
 operation as a frozen, JSON-serializable value:
 
 * ``mode="pisa"`` — one adversarial annealing search per (target,
-  baseline) pair x restart (Sections VI/VII).
+  baseline) pair x restart (Sections VI/VII).  With a ``dynamics``
+  field the objective becomes the *robustness gap* (see
+  :mod:`repro.pisa.robustness`).
 * ``mode="benchmark"`` — schedule ``num_instances`` sampled instances
   with every scheduler and compare makespan distributions (Section V).
+* ``mode="dynamic"`` — schedule ``num_instances`` sampled instances
+  with every scheduler, then replay each schedule under the spec's
+  ``dynamics`` (:class:`~repro.core.dynamic.DynamicsSpec`) and compare
+  realized makespans and degradation against the static plans.
 
 Specs round-trip losslessly through JSON (:meth:`SweepSpec.to_json` /
 :meth:`SweepSpec.from_json`), are schema-validated on load with
@@ -30,6 +36,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.dynamic.spec import DynamicsError, DynamicsSpec
 from repro.pisa.annealing import AnnealingConfig
 from repro.pisa.constraints import SearchConstraints
 from repro.pisa.pisa import PISAConfig
@@ -40,7 +47,7 @@ __all__ = ["SPEC_VERSION", "SpecError", "SourceSpec", "SweepSpec"]
 #: format changes so stale spec files fail with a clear message.
 SPEC_VERSION = 1
 
-MODES = ("pisa", "benchmark")
+MODES = ("pisa", "benchmark", "dynamic")
 SAMPLINGS = ("spawn", "sequential")
 SOURCE_KINDS = ("chains", "workflow", "dataset", "family")
 
@@ -368,6 +375,12 @@ class SweepSpec:
         Root seed of the sweep's RNG spawn tree.
     description:
         Free-form human note; carried through serialization.
+    dynamics:
+        The replay conditions (:class:`~repro.core.dynamic.DynamicsSpec`).
+        Required in ``dynamic`` mode.  Optional in ``pisa`` mode, where
+        it switches the annealing objective from the static makespan
+        ratio to the robustness gap (target beats baseline statically
+        but loses under these dynamics).  Rejected in ``benchmark`` mode.
     """
 
     name: str
@@ -381,6 +394,7 @@ class SweepSpec:
     sampling: str = "spawn"
     seed: int = 0
     description: str = ""
+    dynamics: DynamicsSpec | None = None
 
     # ------------------------------------------------------------------ #
     def __post_init__(self) -> None:
@@ -404,8 +418,12 @@ class SweepSpec:
                 "sampling",
                 f"must be one of {', '.join(repr(s) for s in SAMPLINGS)}, got {self.sampling!r}",
             )
+        if self.dynamics is not None and not isinstance(self.dynamics, DynamicsSpec):
+            _fail("dynamics", f"must be a DynamicsSpec, got {_type_name(self.dynamics)}")
         if self.mode == "pisa":
             self._validate_pisa()
+        elif self.mode == "dynamic":
+            self._validate_dynamic()
         else:
             self._validate_benchmark()
 
@@ -490,6 +508,46 @@ class SweepSpec:
                 "have no effect in benchmark mode (no search to constrain); "
                 'remove them or use "auto"',
             )
+        if self.dynamics is not None:
+            _fail(
+                "dynamics",
+                'has no effect in benchmark mode (static makespans only); use '
+                'mode "dynamic" to replay schedules under dynamics',
+            )
+
+    def _validate_dynamic(self) -> None:
+        if self.pairs is not None:
+            _fail("pairs", "explicit pairs are a PISA-mode concept; dynamic mode "
+                           "replays all `schedulers` on shared instances")
+        if not self.schedulers:
+            _fail("schedulers", "dynamic mode needs at least 1 scheduler")
+        if not isinstance(self.num_instances, int) or isinstance(self.num_instances, bool):
+            _fail("num_instances", f"must be an integer, got {self.num_instances!r}")
+        if self.num_instances < 1:
+            _fail("num_instances", f"must be >= 1, got {self.num_instances}")
+        if self.source.kind == "dataset" and self.sampling != "sequential":
+            _fail(
+                "sampling",
+                'dataset sources generate instances sequentially; set sampling to '
+                '"sequential"',
+            )
+        if self.config != PISAConfig():
+            _fail(
+                "config",
+                "has no effect in dynamic mode (no annealing runs); remove it",
+            )
+        if self.constraints is not None:
+            _fail(
+                "constraints",
+                "have no effect in dynamic mode (no search to constrain); "
+                'remove them or use "auto"',
+            )
+        if self.dynamics is None:
+            _fail(
+                "dynamics",
+                'dynamic mode replays schedules under a dynamics spec; add a '
+                '"dynamics" object (e.g. {"contention": "fair"})',
+            )
 
     # ------------------------------------------------------------------ #
     # The ordered pair list this spec sweeps (PISA mode).
@@ -539,6 +597,7 @@ class SweepSpec:
             "num_instances": self.num_instances,
             "sampling": self.sampling,
             "seed": self.seed,
+            "dynamics": self.dynamics.to_dict() if self.dynamics is not None else None,
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -571,14 +630,22 @@ class SweepSpec:
         num_instances = _take(data, "num_instances", where, types=int, default=10)
         sampling = _take(data, "sampling", where, types=str, default="spawn", choices=SAMPLINGS)
         seed = _take(data, "seed", where, types=int, default=0)
+        dynamics_data = data.pop("dynamics", None)
         _reject_unknown(
             data,
             where,
             (
                 "version", "name", "description", "mode", "schedulers", "pairs",
                 "source", "config", "constraints", "num_instances", "sampling", "seed",
+                "dynamics",
             ),
         )
+        dynamics = None
+        if dynamics_data is not None:
+            try:
+                dynamics = DynamicsSpec.from_dict(dynamics_data, path=f"{where}.dynamics")
+            except DynamicsError as exc:
+                raise SpecError(str(exc)) from None
         source = (
             SourceSpec.from_dict(source_data, path=f"{where}.source")
             if source_data is not None
@@ -603,6 +670,7 @@ class SweepSpec:
                 sampling=sampling,
                 seed=seed,
                 description=description,
+                dynamics=dynamics,
             )
         except SpecError as exc:
             raise SpecError(f"{where}.{exc}" if not str(exc).startswith(where) else str(exc)) from None
