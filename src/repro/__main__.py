@@ -174,6 +174,13 @@ def build_parser() -> argparse.ArgumentParser:
         "amortizes per-unit round trips on the distributed/coordinator "
         "backends while results still record unit by unit",
     )
+    q.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-phase timings (compile / schedule / perturb) "
+        "after the run; single-process only (--jobs 1, --backend local) "
+        "because the accumulators are process-local",
+    )
 
     q = sweep_sub.add_parser(
         "serve",
@@ -561,6 +568,20 @@ def _cmd_sweep(args) -> int:
             return 2
     from repro.runtime.backends import CoordinatorError, CoordinatorProtocolError
 
+    if args.profile and (args.jobs != 1 or args.backend != "local"):
+        print(
+            "error: --profile is single-process only (--jobs 1, "
+            "--backend local); worker processes do not report phase "
+            "timings back",
+            file=sys.stderr,
+        )
+        return 2
+    if args.profile:
+        from repro.utils import phases
+
+        phases.reset()
+        phases.enable()
+
     try:
         result = run_sweep(
             spec,
@@ -581,7 +602,29 @@ def _cmd_sweep(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(render_report(result))
+    if args.profile:
+        from repro.utils import phases
+
+        phases.disable()
+        print(_render_phase_profile(phases.snapshot()), file=sys.stderr)
     return 0
+
+
+def _render_phase_profile(snapshot: dict) -> str:
+    """Format the compile/schedule/perturb accumulators as a small table."""
+    if not snapshot:
+        return "profile: no instrumented phases ran"
+    total = sum(entry["seconds"] for entry in snapshot.values())
+    lines = ["profile (per-phase wall time inside work units):"]
+    for name, entry in sorted(snapshot.items(), key=lambda kv: -kv[1]["seconds"]):
+        secs, calls = entry["seconds"], int(entry["calls"])
+        share = 100.0 * secs / total if total > 0 else 0.0
+        lines.append(
+            f"  {name:<10} {secs:9.3f}s  {share:5.1f}%  "
+            f"{calls:>8} calls  {secs / calls * 1e6:9.1f} us/call"
+        )
+    lines.append(f"  {'total':<10} {total:9.3f}s")
+    return "\n".join(lines)
 
 
 def _cmd_sweep_work(args) -> int:

@@ -48,20 +48,41 @@ from __future__ import annotations
 
 import math
 from collections.abc import Hashable
+from time import perf_counter
 
 import numpy as np
 
 from repro.core.exceptions import InvalidInstanceError
 from repro.core.instance import ProblemInstance
+from repro.utils import phases
 
 __all__ = [
     "CompiledInstance",
     "compile_instance",
     "argmin_ranked",
+    "compile_stats",
+    "reset_compile_stats",
 ]
 
 Task = Hashable
 Node = Hashable
+
+#: Kernel construction counters, for benchmarks reporting reuse rates:
+#: ``full`` counts from-scratch table builds, ``delta`` copy-on-write
+#: derivations (:meth:`CompiledInstance.apply_delta`), ``cache_hits``
+#: :func:`compile_instance` calls answered by the per-instance cache.
+_STATS = {"full": 0, "delta": 0, "cache_hits": 0}
+
+
+def compile_stats() -> dict[str, int]:
+    """A snapshot of the kernel-construction counters (see :data:`_STATS`)."""
+    return dict(_STATS)
+
+
+def reset_compile_stats() -> None:
+    """Zero the kernel-construction counters."""
+    for key in _STATS:
+        _STATS[key] = 0
 
 
 def _reject(instance: ProblemInstance) -> None:
@@ -116,6 +137,8 @@ class CompiledInstance:
         "strength_row_has_zero",
         "cost_list",
         "_topo_order",
+        "_link_uv",
+        "_batch_cache",
         "_mean_inv_speed",
         "_inv_strength_sum",
         "_num_links",
@@ -262,6 +285,17 @@ class CompiledInstance:
         self._num_links = len(links)
         self._links_have_zero = have_zero
         self._topo_order: list[Task] | None = None
+        # Link ids in graph edge order — the iteration order of the
+        # reference inverse-strength fold, kept so apply_delta can redo
+        # the fold bit-identically after a strength change.
+        self._link_uv: tuple[tuple[int, int], ...] = tuple(
+            (node_id[u], node_id[v]) for u, v, _ in links
+        )
+        # Structure-only artifacts (padded predecessor/successor arrays,
+        # tie-break orders) lazily built by the batched lockstep kernel;
+        # shared across delta clones, which never change structure.
+        self._batch_cache: dict = {}
+        _STATS["full"] += 1
 
     # ------------------------------------------------------------------ #
     # Cache validity
@@ -274,6 +308,138 @@ class CompiledInstance:
             and self._tg_version == instance.task_graph.version
             and self._net_version == instance.network.version
         )
+
+    # ------------------------------------------------------------------ #
+    # Delta compilation (copy-on-write of one table cell)
+    # ------------------------------------------------------------------ #
+    def apply_delta(self, delta, instance: ProblemInstance | None = None):
+        """A sibling compilation differing from this one by one weight.
+
+        ``delta`` is a :class:`repro.pisa.perturbations.Delta`; the clone
+        shares every structure artifact (task/node tuples, id maps,
+        predecessor lists, tie-break orders, the batch cache) and copies
+        only the tables the changed cell touches, recomputing the
+        affected rows/columns and scalar aggregates with exactly the
+        reference arithmetic — so the result is bit-identical to a fresh
+        :func:`compile_instance` of the perturbed instance (pinned by the
+        hypothesis suite in ``tests/test_delta_compile.py``).
+
+        ``instance``, when given, must be the materialized perturbed copy;
+        the clone binds to it and installs itself as its compile cache.
+        When ``None`` the clone is *unbound* (tables only) — the
+        speculative annealer evaluates unbound siblings and binds only
+        the accepted one (:meth:`bind`).
+
+        Returns ``None`` when the delta cannot be applied — unknown kind
+        or key, or a value the inline validators would reject — in which
+        case the caller falls back to a full compile (which raises the
+        canonical validation error if the value really is illegal).
+        """
+        t0 = perf_counter() if phases.enabled else 0.0
+        kind = delta.kind
+        value = delta.value
+        clone = CompiledInstance.__new__(CompiledInstance)
+        for name in CompiledInstance.__slots__:
+            setattr(clone, name, getattr(self, name))
+
+        if kind == "task_weight":
+            tid = self.task_id.get(delta.key[0])
+            if tid is None or not (value >= 0.0):
+                return None
+            cost = self.cost.copy()
+            cost[tid] = value
+            exec_tbl = self.exec_tbl.copy()
+            with np.errstate(invalid="ignore"):
+                exec_tbl[tid] = value / self.speed
+            clone.cost = cost
+            cost_list = list(self.cost_list)
+            cost_list[tid] = float(cost[tid])
+            clone.cost_list = cost_list
+            clone.exec_tbl = exec_tbl
+            exec_list = list(self.exec_list)
+            exec_list[tid] = exec_tbl[tid].tolist()
+            clone.exec_list = exec_list
+            clone.exec_has_nan = bool(np.isnan(exec_tbl).any())
+        elif kind == "dep_weight":
+            sid = self.task_id.get(delta.key[0])
+            did = self.task_id.get(delta.key[1])
+            if sid is None or did is None or (sid, did) not in self.data:
+                return None
+            if not (value >= 0.0):
+                return None
+            data = dict(self.data)
+            data[(sid, did)] = float(value)
+            clone.data = data
+            pred_edges = list(self.pred_edges)
+            pred_edges[did] = tuple((p, data[(p, did)]) for p in self.pred_ids[did])
+            clone.pred_edges = tuple(pred_edges)
+        elif kind == "node_speed":
+            vid = self.node_id.get(delta.key[0])
+            if vid is None or not (value > 0.0):
+                return None
+            speed = self.speed.copy()
+            speed[vid] = value
+            exec_tbl = self.exec_tbl.copy()
+            with np.errstate(invalid="ignore"):
+                exec_tbl[:, vid] = self.cost / value
+            clone.speed = speed
+            clone.exec_tbl = exec_tbl
+            clone.exec_list = exec_tbl.tolist()
+            clone.exec_has_nan = bool(np.isnan(exec_tbl).any())
+            # Reference fold order: sum of inverses over nodes in order.
+            clone._mean_inv_speed = sum(1.0 / s for s in speed.tolist()) / len(self.nodes)
+        elif kind == "link_strength":
+            uid = self.node_id.get(delta.key[0])
+            vid = self.node_id.get(delta.key[1])
+            if uid is None or vid is None or uid == vid or not (value >= 0.0):
+                return None
+            strength = self.strength.copy()
+            strength[uid, vid] = value
+            strength[vid, uid] = value
+            clone.strength = strength
+            clone.strength_row_has_zero = (strength == 0.0).any(axis=1)
+            # Redo the inverse-strength fold in graph edge order — a
+            # sequential float sum cannot be patched incrementally.
+            inv_sum = 0.0
+            have_zero = False
+            for a, b in self._link_uv:
+                s = float(strength[a, b])
+                if s == 0.0:
+                    have_zero = True
+                elif not math.isinf(s):
+                    inv_sum += 1.0 / s
+            clone._inv_strength_sum = inv_sum
+            clone._links_have_zero = have_zero
+        else:
+            return None
+
+        if instance is not None:
+            clone.bind(instance)
+        else:
+            clone.instance = None
+            clone._task_graph = None
+            clone._network = None
+            clone._tg_version = -1
+            clone._net_version = -1
+        _STATS["delta"] += 1
+        if phases.enabled:
+            phases.add("compile", perf_counter() - t0)
+        return clone
+
+    def bind(self, instance: ProblemInstance) -> None:
+        """Attach this compilation to ``instance`` and become its cache.
+
+        Used after :meth:`apply_delta` produced an unbound clone and the
+        candidate was accepted (its :class:`ProblemInstance` materialized
+        only then).  The caller asserts the tables reflect ``instance``'s
+        current graphs.
+        """
+        self.instance = instance
+        self._task_graph = instance.task_graph
+        self._network = instance.network
+        self._tg_version = instance.task_graph.version
+        self._net_version = instance.network.version
+        instance._compiled_cache = self
 
     # ------------------------------------------------------------------ #
     # Scalar conveniences (identical semantics to simulator.comm_time)
@@ -330,6 +496,11 @@ class CompiledInstance:
         """
         order = self._topo_order
         if order is None:
+            if self._task_graph is None:
+                raise RuntimeError(
+                    "unbound delta compilation has no task graph to sort; "
+                    "bind() it or memoize the parent's order first"
+                )
             order = self._task_graph.topological_order()
             self._topo_order = order
         return order
@@ -383,7 +554,11 @@ def compile_instance(instance: ProblemInstance) -> CompiledInstance:
     """
     cached = getattr(instance, "_compiled_cache", None)
     if cached is not None and cached.matches(instance):
+        _STATS["cache_hits"] += 1
         return cached
+    t0 = perf_counter() if phases.enabled else 0.0
     compiled = CompiledInstance(instance)
+    if phases.enabled:
+        phases.add("compile", perf_counter() - t0)
     instance._compiled_cache = compiled
     return compiled

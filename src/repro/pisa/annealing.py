@@ -35,7 +35,29 @@ import numpy as np
 
 from repro.utils.rng import as_generator
 
-__all__ = ["AnnealingConfig", "AnnealingStep", "AnnealingResult", "SimulatedAnnealing"]
+__all__ = [
+    "AnnealingConfig",
+    "AnnealingStep",
+    "AnnealingResult",
+    "SimulatedAnnealing",
+    "require_finite_energy",
+]
+
+
+def require_finite_energy(value: float, initial: bool = False) -> None:
+    """Raise the canonical ``ValueError`` when ``value`` is NaN or infinite.
+
+    The single choke point for energy validation: the serial annealer
+    calls it per iteration (its batch is one candidate), the speculative
+    batched annealer (:mod:`repro.pisa.batch`) validates a whole batch
+    with one vectorized ``np.isfinite`` and only falls back to this
+    per-candidate raise — with the same message the serial path would
+    have produced — when the batch flag trips for a consumed candidate.
+    """
+    if math.isnan(value) or math.isinf(value):
+        if initial:
+            raise ValueError(f"energy of the initial state must be finite, got {value}")
+        raise ValueError(f"energy must be finite, got {value}")
 
 
 @dataclass(frozen=True)
@@ -130,8 +152,7 @@ class SimulatedAnnealing:
 
         current = initial
         current_energy = float(self.energy(initial))
-        if math.isnan(current_energy) or math.isinf(current_energy):
-            raise ValueError(f"energy of the initial state must be finite, got {current_energy}")
+        require_finite_energy(current_energy, initial=True)
         best, best_energy = current, current_energy
         initial_energy = current_energy
 
@@ -141,8 +162,7 @@ class SimulatedAnnealing:
         while temperature > cfg.t_min and iteration < cfg.max_iterations:
             candidate = self.perturb(current, gen)
             candidate_energy = float(self.energy(candidate))
-            if math.isnan(candidate_energy) or math.isinf(candidate_energy):
-                raise ValueError(f"energy must be finite, got {candidate_energy}")
+            require_finite_energy(candidate_energy)
 
             if candidate_energy > best_energy:
                 best, best_energy = candidate, candidate_energy

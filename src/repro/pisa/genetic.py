@@ -153,9 +153,11 @@ class GeneticInstanceFinder:
                     child = self.perturbations.perturb(child, gen)
                 next_population.append(child)
             population = next_population
-            # Batched per-generation evaluation: one compile per individual
-            # shared by the target and baseline schedules (elites carry
-            # their compilation across generations).
+            # Batched per-generation evaluation: structure-identical
+            # individuals (weight-mutated descendants of one seed) stack
+            # into one lockstep kernel pass; the rest compile once and
+            # share tables between both schedules (elites carry their
+            # compilation across generations).
             fitness = batch_energy(self.target, self.baseline, population).tolist()
             gen_best_idx = max(range(cfg.population_size), key=lambda i: fitness[i])
             if fitness[gen_best_idx] > best_ratio:

@@ -26,19 +26,42 @@ Implementation notes
   natural choice.
 * When an operator has no legal move (e.g. Remove Dependency on an empty
   edge set), it reports itself inapplicable and the selector skips it.
+
+Plan / materialize split
+------------------------
+Every operator exposes two equivalent surfaces:
+
+* :meth:`Perturbation.apply` — the classic form: copy, mutate, return.
+* :meth:`Perturbation.plan` — draw *exactly the same* random numbers but
+  defer the copy: the returned :class:`PlannedMove` records the move (as
+  a structured :class:`Delta` when it is a single weight change) and
+  materializes the perturbed instance only on demand.
+
+The split is what makes speculative batched annealing cheap: proposing a
+candidate costs only the RNG draws (~µs), the graph copy (~100s of µs)
+is paid only for candidates that are actually accepted or need a serial
+evaluation, and the :class:`Delta` feeds
+:meth:`repro.core.compiled.CompiledInstance.apply_delta` so evaluation
+reuses the parent's compiled tables.  ``apply`` is implemented as
+``plan(...).materialize(...)``, so the two paths cannot drift.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
 from repro.core.instance import ProblemInstance
+from repro.utils import phases
 from repro.utils.topo import is_dag_after_edge
 
 __all__ = [
+    "Delta",
+    "PlannedMove",
     "Perturbation",
     "ChangeNetworkNodeWeight",
     "ChangeNetworkEdgeWeight",
@@ -53,6 +76,62 @@ __all__ = [
 #: Speeds must stay strictly positive under the related-machines model.
 MIN_NODE_SPEED = 1e-6
 
+#: Delta kinds understood by ``CompiledInstance.apply_delta``.
+DELTA_KINDS = ("task_weight", "dep_weight", "node_speed", "link_strength")
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One weight change: the cell a perturbation touched and its new value.
+
+    ``kind`` selects the table (see :data:`DELTA_KINDS`); ``key`` names
+    the cell in graph terms — ``(task,)``, ``(src, dst)``, ``(node,)`` or
+    ``(u, v)``.  Structural moves (add/remove dependency) have no delta:
+    they change table *shapes*, so they recompile from scratch.
+    """
+
+    kind: str
+    key: tuple
+    value: float
+
+
+def apply_delta_mutation(instance: ProblemInstance, delta: Delta) -> None:
+    """Mutate ``instance`` in place per ``delta`` (the canonical setters)."""
+    if delta.kind == "task_weight":
+        instance.task_graph.set_cost(delta.key[0], delta.value)
+    elif delta.kind == "dep_weight":
+        instance.task_graph.set_data_size(delta.key[0], delta.key[1], delta.value)
+    elif delta.kind == "node_speed":
+        instance.network.set_speed(delta.key[0], delta.value)
+    elif delta.kind == "link_strength":
+        instance.network.set_strength(delta.key[0], delta.key[1], delta.value)
+    else:  # pragma: no cover - Delta construction is internal
+        raise ValueError(f"unknown delta kind {delta.kind!r}")
+
+
+@dataclass(frozen=True)
+class PlannedMove:
+    """A perturbation whose randomness is already drawn but whose copy is not.
+
+    ``delta`` is the structured description when the move is a single
+    weight change (``None`` for structural moves and the identity move).
+    :meth:`materialize` produces the perturbed copy — bit-identical to
+    what :meth:`Perturbation.apply` would have returned under the same
+    generator state, because ``apply`` *is* ``plan().materialize()``.
+    """
+
+    op_name: str
+    delta: Delta | None = None
+    mutate: Callable[[ProblemInstance], None] | None = field(default=None, compare=False)
+
+    def materialize(self, parent: ProblemInstance) -> ProblemInstance:
+        out = parent.copy()
+        if self.delta is not None:
+            apply_delta_mutation(out, self.delta)
+        elif self.mutate is not None:
+            self.mutate(out)
+        return out
+
 
 class Perturbation(ABC):
     """One atomic instance-space move."""
@@ -64,8 +143,12 @@ class Perturbation(ABC):
         """Can this operator do anything on ``instance``?"""
 
     @abstractmethod
+    def plan(self, instance: ProblemInstance, rng: np.random.Generator) -> PlannedMove:
+        """Draw the move without copying ``instance`` (see module docs)."""
+
     def apply(self, instance: ProblemInstance, rng: np.random.Generator) -> ProblemInstance:
         """Return a perturbed *copy* of ``instance``."""
+        return self.plan(instance, rng).materialize(instance)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
@@ -103,12 +186,11 @@ class ChangeNetworkNodeWeight(_WeightPerturbation):
     def applicable(self, instance: ProblemInstance) -> bool:
         return len(instance.network) > 0
 
-    def apply(self, instance: ProblemInstance, rng: np.random.Generator) -> ProblemInstance:
-        out = instance.copy()
-        nodes = out.network.nodes
+    def plan(self, instance: ProblemInstance, rng: np.random.Generator) -> PlannedMove:
+        nodes = instance.network.nodes
         node = nodes[int(rng.integers(len(nodes)))]
-        out.network.set_speed(node, self._nudge(out.network.speed(node), rng, floor=MIN_NODE_SPEED))
-        return out
+        value = self._nudge(instance.network.speed(node), rng, floor=MIN_NODE_SPEED)
+        return PlannedMove(self.name, delta=Delta("node_speed", (node,), value))
 
 
 class ChangeNetworkEdgeWeight(_WeightPerturbation):
@@ -119,12 +201,11 @@ class ChangeNetworkEdgeWeight(_WeightPerturbation):
     def applicable(self, instance: ProblemInstance) -> bool:
         return len(instance.network.links) > 0
 
-    def apply(self, instance: ProblemInstance, rng: np.random.Generator) -> ProblemInstance:
-        out = instance.copy()
-        links = out.network.links
+    def plan(self, instance: ProblemInstance, rng: np.random.Generator) -> PlannedMove:
+        links = instance.network.links
         u, v = links[int(rng.integers(len(links)))]
-        out.network.set_strength(u, v, self._nudge(out.network.strength(u, v), rng))
-        return out
+        value = self._nudge(instance.network.strength(u, v), rng)
+        return PlannedMove(self.name, delta=Delta("link_strength", (u, v), value))
 
 
 class ChangeTaskWeight(_WeightPerturbation):
@@ -135,12 +216,11 @@ class ChangeTaskWeight(_WeightPerturbation):
     def applicable(self, instance: ProblemInstance) -> bool:
         return len(instance.task_graph) > 0
 
-    def apply(self, instance: ProblemInstance, rng: np.random.Generator) -> ProblemInstance:
-        out = instance.copy()
-        tasks = out.task_graph.tasks
+    def plan(self, instance: ProblemInstance, rng: np.random.Generator) -> PlannedMove:
+        tasks = instance.task_graph.tasks
         task = tasks[int(rng.integers(len(tasks)))]
-        out.task_graph.set_cost(task, self._nudge(out.task_graph.cost(task), rng))
-        return out
+        value = self._nudge(instance.task_graph.cost(task), rng)
+        return PlannedMove(self.name, delta=Delta("task_weight", (task,), value))
 
 
 class ChangeDependencyWeight(_WeightPerturbation):
@@ -151,14 +231,11 @@ class ChangeDependencyWeight(_WeightPerturbation):
     def applicable(self, instance: ProblemInstance) -> bool:
         return instance.task_graph.num_dependencies > 0
 
-    def apply(self, instance: ProblemInstance, rng: np.random.Generator) -> ProblemInstance:
-        out = instance.copy()
-        deps = out.task_graph.dependencies
+    def plan(self, instance: ProblemInstance, rng: np.random.Generator) -> PlannedMove:
+        deps = instance.task_graph.dependencies
         src, dst = deps[int(rng.integers(len(deps)))]
-        out.task_graph.set_data_size(
-            src, dst, self._nudge(out.task_graph.data_size(src, dst), rng)
-        )
-        return out
+        value = self._nudge(instance.task_graph.data_size(src, dst), rng)
+        return PlannedMove(self.name, delta=Delta("dep_weight", (src, dst), value))
 
 
 @dataclass(repr=False)
@@ -173,14 +250,14 @@ class AddDependency(Perturbation):
     def applicable(self, instance: ProblemInstance) -> bool:
         return len(instance.task_graph) >= 2
 
-    def apply(self, instance: ProblemInstance, rng: np.random.Generator) -> ProblemInstance:
-        out = instance.copy()
-        tg = out.task_graph
+    def plan(self, instance: ProblemInstance, rng: np.random.Generator) -> PlannedMove:
+        tg = instance.task_graph
         tasks = list(tg.tasks)
         # Paper: pick t uniformly, then a uniformly random legal t'.  If t
         # has no legal partner, fall through to the next candidate source
         # (in random order) so the operator is a no-op only when the graph
-        # admits no new edge at all.
+        # admits no new edge at all.  All draws read the parent graph only
+        # (legality is a structural question, identical on any copy).
         order = list(rng.permutation(len(tasks)))
         for src_idx in order:
             src = tasks[src_idx]
@@ -193,9 +270,13 @@ class AddDependency(Perturbation):
             ]
             if partners:
                 dst = partners[int(rng.integers(len(partners)))]
-                tg.add_dependency(src, dst, float(rng.uniform(self.low, self.high)))
-                return out
-        return out  # complete DAG: nothing to add
+                weight = float(rng.uniform(self.low, self.high))
+
+                def mutate(out: ProblemInstance, _s=src, _d=dst, _w=weight) -> None:
+                    out.task_graph.add_dependency(_s, _d, _w)
+
+                return PlannedMove(self.name, mutate=mutate)
+        return PlannedMove(self.name)  # complete DAG: nothing to add
 
 
 class RemoveDependency(Perturbation):
@@ -206,12 +287,14 @@ class RemoveDependency(Perturbation):
     def applicable(self, instance: ProblemInstance) -> bool:
         return instance.task_graph.num_dependencies > 0
 
-    def apply(self, instance: ProblemInstance, rng: np.random.Generator) -> ProblemInstance:
-        out = instance.copy()
-        deps = out.task_graph.dependencies
+    def plan(self, instance: ProblemInstance, rng: np.random.Generator) -> PlannedMove:
+        deps = instance.task_graph.dependencies
         src, dst = deps[int(rng.integers(len(deps)))]
-        out.task_graph.remove_dependency(src, dst)
-        return out
+
+        def mutate(out: ProblemInstance, _s=src, _d=dst) -> None:
+            out.task_graph.remove_dependency(_s, _d)
+
+        return PlannedMove(self.name, mutate=mutate)
 
 
 class PerturbationSet:
@@ -229,11 +312,23 @@ class PerturbationSet:
         self.operators = list(operators)
 
     def perturb(self, instance: ProblemInstance, rng: np.random.Generator) -> ProblemInstance:
+        t0 = perf_counter() if phases.enabled else 0.0
+        mutated = self.plan(instance, rng).materialize(instance)
+        if phases.enabled:
+            phases.add("perturb", perf_counter() - t0)
+        return mutated
+
+    def plan(self, instance: ProblemInstance, rng: np.random.Generator) -> PlannedMove:
+        """Draw one move (same RNG stream as :meth:`perturb`) without copying.
+
+        The identity move (no applicable operator) materializes to a plain
+        copy, matching what :meth:`perturb` always returned in that case.
+        """
         candidates = [op for op in self.operators if op.applicable(instance)]
         if not candidates:
-            return instance.copy()
+            return PlannedMove("identity")
         op = candidates[int(rng.integers(len(candidates)))]
-        return op.apply(instance, rng)
+        return op.plan(instance, rng)
 
     def without(self, *names: str) -> "PerturbationSet":
         """A copy of this set minus the named operators (Section VII)."""

@@ -17,10 +17,12 @@ from __future__ import annotations
 import math
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
 from repro.benchmarking.metrics import makespan_ratio
+from repro.core.batched import pair_supported
 from repro.core.instance import ProblemInstance
 from repro.core.scheduler import Scheduler, get_scheduler
 from repro.pisa.annealing import AnnealingConfig, AnnealingResult, SimulatedAnnealing
@@ -32,6 +34,7 @@ from repro.pisa.constraints import (
 )
 from repro.pisa.initial import random_chain_instance
 from repro.pisa.perturbations import PerturbationSet, default_perturbations
+from repro.utils import phases
 from repro.utils.rng import as_generator, spawn
 
 __all__ = ["PISAConfig", "PISAResult", "PISA", "pairwise_comparison", "PairwiseResult"]
@@ -46,11 +49,18 @@ class PISAConfig:
     per restart at the paper's schedule).  The ratios are unaffected, so
     runtime work units default to history-off; the Fig. 5/6 trajectory
     analyses (and ``SweepSpec`` runs that request it) switch it on.
+
+    ``batch`` routes restarts through the speculative batched annealer
+    (:class:`~repro.pisa.batch.SpeculativeAnnealer`) whenever the
+    scheduler pair has lockstep kernels — bit-identical trajectories
+    (pinned by ``tests/test_batched_annealing.py``), order-of-magnitude
+    faster.  Switch it off to force the serial reference loop.
     """
 
     annealing: AnnealingConfig = field(default_factory=AnnealingConfig)
     restarts: int = 5
     keep_history: bool = False
+    batch: bool = True
 
     def __post_init__(self) -> None:
         if self.restarts < 1:
@@ -144,8 +154,11 @@ class PISA:
         :class:`~repro.core.compiled.CompiledInstance` kernel — the
         candidate is compiled once and scheduled twice.
         """
+        t0 = perf_counter() if phases.enabled else 0.0
         target_ms = self.target.schedule(instance).makespan
         baseline_ms = self.baseline.schedule(instance).makespan
+        if phases.enabled:
+            phases.add("schedule", perf_counter() - t0)
         return makespan_ratio(target_ms, baseline_ms)
 
     def run_restart(self, rng: int | np.random.Generator | None = None) -> AnnealingResult:
@@ -156,12 +169,24 @@ class PISA:
         restarts into a :class:`PISAResult`.
         """
         gen = as_generator(rng)
-        annealer = SimulatedAnnealing(
-            energy=self.energy,
-            perturb=self.perturbations.perturb,
-            config=self.config.annealing,
-            keep_history=self.config.keep_history,
-        )
+        if self.config.batch and pair_supported(self.target.name, self.baseline.name):
+            from repro.pisa.batch import SpeculativeAnnealer
+
+            annealer: SimulatedAnnealing | SpeculativeAnnealer = SpeculativeAnnealer(
+                target=self.target,
+                baseline=self.baseline,
+                perturbations=self.perturbations,
+                energy=self.energy,
+                config=self.config.annealing,
+                keep_history=self.config.keep_history,
+            )
+        else:
+            annealer = SimulatedAnnealing(
+                energy=self.energy,
+                perturb=self.perturbations.perturb,
+                config=self.config.annealing,
+                keep_history=self.config.keep_history,
+            )
         initial = apply_initial_constraints(self.initial_factory(gen), self.constraints)
         return annealer.run(initial, rng=gen)
 

@@ -1,0 +1,56 @@
+"""Opt-in phase timers for ``repro sweep run --profile``.
+
+Hot-loop code records where time goes — compile / schedule / perturb —
+through module-level accumulators that cost one attribute load and a
+branch when disabled:
+
+    from repro.utils import phases
+    ...
+    t0 = perf_counter() if phases.enabled else 0.0
+    work()
+    if phases.enabled:
+        phases.add("schedule", perf_counter() - t0)
+
+The accumulators are process-local; the sweep runner enables them only
+for single-process runs (``jobs=1``) where the totals are meaningful.
+"""
+
+from __future__ import annotations
+
+__all__ = ["enabled", "enable", "disable", "reset", "add", "snapshot"]
+
+#: Read directly by instrumented hot paths; toggle via enable()/disable().
+enabled = False
+
+_totals: dict[str, float] = {}
+_counts: dict[str, int] = {}
+
+
+def enable() -> None:
+    """Turn phase accounting on (leaves accumulated totals in place)."""
+    global enabled
+    enabled = True
+
+
+def disable() -> None:
+    global enabled
+    enabled = False
+
+
+def reset() -> None:
+    """Zero the accumulators (does not change the enabled flag)."""
+    _totals.clear()
+    _counts.clear()
+
+
+def add(name: str, seconds: float) -> None:
+    """Accumulate ``seconds`` under phase ``name``."""
+    _totals[name] = _totals.get(name, 0.0) + seconds
+    _counts[name] = _counts.get(name, 0) + 1
+
+
+def snapshot() -> dict[str, dict[str, float]]:
+    """``{phase: {"seconds": total, "calls": n}}``, sorted by phase name."""
+    return {
+        name: {"seconds": _totals[name], "calls": _counts[name]} for name in sorted(_totals)
+    }

@@ -1,0 +1,239 @@
+"""Speculative batched annealer: bit-identical to the serial loop.
+
+The golden property of `repro.pisa.batch.SpeculativeAnnealer` is that
+batching is *invisible*: for any seed, schedule, and scheduler pair, the
+trajectory — every candidate energy, acceptance decision, temperature,
+best energy, and the generator state at every point — is exactly the
+serial `SimulatedAnnealing` run.  These tests pin that across all fig4
+ordered pairs (kernel-backed pairs batch; the rest delegate serially),
+plus the NaN regression for the hoisted finiteness validation and the
+grouped `batch_energy` rework.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.pisa.annealing import (
+    AnnealingConfig,
+    SimulatedAnnealing,
+    require_finite_energy,
+)
+from repro.pisa.batch import SpeculativeAnnealer, batch_energy
+from repro.pisa.initial import random_chain_instance
+from repro.pisa.pisa import PISA, PISAConfig
+from repro.schedulers import PAPER_SCHEDULERS
+from repro.utils.rng import as_generator
+
+KERNEL_TRIO = ("HEFT", "MinMin", "MaxMin")
+
+
+def _run_pair(target, baseline, cfg, seed, batch):
+    pisa = PISA(
+        target,
+        baseline,
+        config=PISAConfig(annealing=cfg, restarts=1, keep_history=True, batch=batch),
+    )
+    return pisa, pisa.run_restart(rng=seed)
+
+
+def _assert_same_trajectory(serial, batched):
+    assert batched.initial_energy == serial.initial_energy
+    assert batched.best_energy == serial.best_energy
+    assert batched.iterations == serial.iterations
+    assert len(batched.history) == len(serial.history)
+    for a, b in zip(serial.history, batched.history):
+        assert (a.iteration, a.temperature, a.candidate_energy, a.accepted, a.best_energy) == (
+            b.iteration,
+            b.temperature,
+            b.candidate_energy,
+            b.accepted,
+            b.best_energy,
+        )
+
+
+@pytest.mark.parametrize(
+    "target,baseline",
+    [(t, b) for t, b in itertools.permutations(KERNEL_TRIO, 2)],
+)
+def test_kernel_pairs_trajectory_identical(target, baseline):
+    """The lockstep-backed pairs, on a schedule long enough to cross the
+    accept-heavy -> reject-heavy transition (serial-mode and kernel-mode
+    rounds both execute, with several window adaptations)."""
+    cfg = AnnealingConfig(alpha=0.95)
+    for seed in (0, 1):
+        pisa_s, serial = _run_pair(target, baseline, cfg, seed, batch=False)
+        _, batched = _run_pair(target, baseline, cfg, seed, batch=True)
+        _assert_same_trajectory(serial, batched)
+        # The best instances are value-identical: same energy under the
+        # serial evaluation path.
+        assert pisa_s.energy(batched.best_state) == pisa_s.energy(serial.best_state)
+
+
+def test_all_fig4_pairs_trajectory_identical():
+    """Every ordered pair of the 15 paper schedulers, short schedule."""
+    cfg = AnnealingConfig(alpha=0.75)  # ~16 iterations
+    for target, baseline in itertools.permutations(PAPER_SCHEDULERS, 2):
+        _, serial = _run_pair(target, baseline, cfg, 3, batch=False)
+        _, batched = _run_pair(target, baseline, cfg, 3, batch=True)
+        _assert_same_trajectory(serial, batched)
+
+
+def test_generator_state_identical_after_run():
+    """The rewind protocol leaves the generator exactly where the serial
+    run would have: the next draws after the run agree."""
+    cfg = AnnealingConfig(alpha=0.9)
+    for seed in range(3):
+        tails = []
+        for batch in (False, True):
+            pisa = PISA(
+                "HEFT",
+                "MinMin",
+                config=PISAConfig(annealing=cfg, restarts=1, batch=batch),
+            )
+            gen = as_generator(seed)
+            pisa.run_restart(rng=gen)
+            tails.append(gen.random(8).tolist())
+        assert tails[0] == tails[1]
+
+
+def test_metropolis_acceptance_identical():
+    cfg = AnnealingConfig(alpha=0.9, acceptance="metropolis")
+    _, serial = _run_pair("MinMin", "MaxMin", cfg, 11, batch=False)
+    _, batched = _run_pair("MinMin", "MaxMin", cfg, 11, batch=True)
+    _assert_same_trajectory(serial, batched)
+
+
+# --------------------------------------------------------------------- #
+# Finiteness validation (hoisted to the batch boundary)
+# --------------------------------------------------------------------- #
+def test_require_finite_energy_messages():
+    require_finite_energy(1.5)  # finite: no-op
+    with pytest.raises(ValueError, match="energy must be finite, got nan"):
+        require_finite_energy(float("nan"))
+    with pytest.raises(ValueError, match="energy must be finite, got inf"):
+        require_finite_energy(float("inf"))
+    with pytest.raises(ValueError, match="energy of the initial state must be finite"):
+        require_finite_energy(float("nan"), initial=True)
+
+
+def test_serial_annealer_still_raises_on_nan():
+    """Regression for the hoist: the serial loop must keep raising."""
+    calls = {"n": 0}
+
+    def energy(state):
+        calls["n"] += 1
+        return 1.0 if calls["n"] <= 3 else float("nan")
+
+    annealer = SimulatedAnnealing(
+        energy=energy, perturb=lambda s, rng: s, config=AnnealingConfig(alpha=0.5)
+    )
+    with pytest.raises(ValueError, match="energy must be finite, got nan"):
+        annealer.run(object(), rng=0)
+
+
+def test_serial_annealer_raises_on_nonfinite_initial():
+    annealer = SimulatedAnnealing(
+        energy=lambda s: float("inf"), perturb=lambda s, rng: s
+    )
+    with pytest.raises(ValueError, match="energy of the initial state must be finite"):
+        annealer.run(object(), rng=0)
+
+
+def test_batched_annealer_raises_on_nan(monkeypatch):
+    """A NaN energy inside a speculative batch surfaces with the serial
+    message, via the vectorized batch-boundary check."""
+    import repro.pisa.batch as batch_mod
+
+    real_ratio = batch_mod.makespan_ratio
+    calls = {"n": 0}
+
+    def poisoned(target_ms, baseline_ms):
+        calls["n"] += 1
+        if calls["n"] <= 1:  # let the initial-state evaluation through
+            return real_ratio(target_ms, baseline_ms)
+        return float("nan")
+
+    monkeypatch.setattr(batch_mod, "makespan_ratio", poisoned)
+    pisa = PISA(
+        "HEFT",
+        "MinMin",
+        config=PISAConfig(annealing=AnnealingConfig(alpha=0.95), restarts=1, batch=True),
+    )
+    with pytest.raises(ValueError, match="energy must be finite, got nan"):
+        pisa.run_restart(rng=0)
+
+
+def test_batched_annealer_raises_on_nonfinite_initial(monkeypatch):
+    import repro.pisa.batch as batch_mod
+
+    monkeypatch.setattr(batch_mod, "makespan_ratio", lambda t, b: float("nan"))
+    pisa = PISA(
+        "HEFT",
+        "MinMin",
+        config=PISAConfig(annealing=AnnealingConfig(alpha=0.95), restarts=1, batch=True),
+    )
+    with pytest.raises(ValueError, match="energy of the initial state must be finite"):
+        pisa.run_restart(rng=0)
+
+
+# --------------------------------------------------------------------- #
+# Grouped batch_energy
+# --------------------------------------------------------------------- #
+def test_batch_energy_grouped_identical_to_scalar():
+    pisa = PISA("HEFT", "MinMin")
+    gen = as_generator(2)
+    seed_inst = random_chain_instance(gen)
+    # Weight siblings (structure-identical, stacked through the kernel)
+    # plus structural mutants (serial path) in one population.
+    population = [seed_inst]
+    for _ in range(12):
+        population.append(pisa.perturbations.perturb(seed_inst, gen))
+    got = batch_energy("HEFT", "MinMin", population)
+    want = np.array([pisa.energy(p) for p in population])
+    assert got.tolist() == want.tolist()
+
+
+def test_batch_energy_unsupported_pair_identical():
+    pisa = PISA("HEFT", "CPoP")
+    gen = as_generator(4)
+    seed_inst = random_chain_instance(gen)
+    population = [seed_inst] + [
+        pisa.perturbations.perturb(seed_inst, gen) for _ in range(5)
+    ]
+    got = batch_energy("HEFT", "CPoP", population)
+    want = np.array([pisa.energy(p) for p in population])
+    assert got.tolist() == want.tolist()
+
+
+def test_unsupported_pair_delegates_to_serial():
+    annealer = SpeculativeAnnealer(
+        target="HEFT",
+        baseline="CPoP",
+        perturbations=PISA("HEFT", "CPoP").perturbations,
+        energy=PISA("HEFT", "CPoP").energy,
+        config=AnnealingConfig(alpha=0.8),
+    )
+    gen = as_generator(6)
+    initial = random_chain_instance(gen)
+    result = annealer.run(initial, rng=gen)
+    assert math.isfinite(result.best_energy)
+
+
+# --------------------------------------------------------------------- #
+# Config plumbing
+# --------------------------------------------------------------------- #
+def test_pisa_config_batch_round_trips_through_spec():
+    from repro.sweeps.spec import _config_from_dict, _config_to_dict
+
+    for flag in (True, False):
+        cfg = PISAConfig(batch=flag)
+        data = _config_to_dict(cfg)
+        assert data["batch"] is flag
+        assert _config_from_dict(data, "config").batch is flag
+    # Default stays on when the key is absent (older spec files).
+    assert _config_from_dict({"restarts": 2}, "config").batch is True

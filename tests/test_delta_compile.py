@@ -1,0 +1,174 @@
+"""Delta-compilation contract: ``apply_delta`` == a fresh compile.
+
+The speculative annealer evaluates perturbed candidates on tables built
+by :meth:`CompiledInstance.apply_delta` instead of recompiling, so the
+clone must be *bit-identical* to ``compile_instance`` of the perturbed
+instance — every table, list mirror, and scalar aggregate — for every
+delta kind a perturbation can emit.  Hypothesis drives instances and
+deltas; equality is exact (``==``), never approximate.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiled import compile_instance, compile_stats, reset_compile_stats
+from repro.pisa.perturbations import MIN_NODE_SPEED, Delta, apply_delta_mutation
+
+from tests.strategies import instances
+
+#: Every array/list/scalar a delta clone could plausibly get wrong.
+_COMPARED = (
+    "cost",
+    "cost_list",
+    "speed",
+    "exec_tbl",
+    "exec_list",
+    "exec_has_nan",
+    "strength",
+    "strength_row_has_zero",
+    "data",
+    "pred_edges",
+    "_mean_inv_speed",
+    "_inv_strength_sum",
+    "_links_have_zero",
+)
+
+_values = st.floats(min_value=0.0, max_value=2.0, allow_nan=False, allow_infinity=False)
+
+
+def _assert_clone_equals_fresh(parent_inst, delta: Delta) -> None:
+    parent = compile_instance(parent_inst)
+    clone = parent.apply_delta(delta)
+    assert clone is not None, f"apply_delta rejected a legal delta {delta}"
+
+    perturbed = parent_inst.copy()
+    apply_delta_mutation(perturbed, delta)
+    fresh = compile_instance(perturbed)
+
+    for name in _COMPARED:
+        got, want = getattr(clone, name), getattr(fresh, name)
+        if isinstance(want, np.ndarray):
+            assert got.shape == want.shape, name
+            # Bit-exact: NaN-free by construction here, == suffices.
+            assert (got == want).all(), f"{name} diverged for {delta}"
+        else:
+            assert got == want, f"{name} diverged for {delta}"
+    # Structure is shared by construction; assert it anyway (cheap).
+    assert clone.tasks == fresh.tasks
+    assert clone.nodes == fresh.nodes
+    assert clone.pred_ids == fresh.pred_ids
+
+
+@settings(max_examples=60, deadline=None)
+@given(inst=instances(min_tasks=1, max_tasks=6), value=_values, data=st.data())
+def test_task_weight_delta_matches_fresh_compile(inst, value, data):
+    tasks = inst.task_graph.tasks
+    task = data.draw(st.sampled_from(list(tasks)))
+    _assert_clone_equals_fresh(inst, Delta("task_weight", (task,), value))
+
+
+@settings(max_examples=60, deadline=None)
+@given(inst=instances(min_tasks=2, max_tasks=6), value=_values, data=st.data())
+def test_dep_weight_delta_matches_fresh_compile(inst, value, data):
+    deps = inst.task_graph.dependencies
+    if not deps:
+        return
+    src, dst = data.draw(st.sampled_from(list(deps)))
+    _assert_clone_equals_fresh(inst, Delta("dep_weight", (src, dst), value))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    inst=instances(min_tasks=1, max_tasks=5, min_nodes=1, max_nodes=4),
+    value=st.floats(
+        min_value=MIN_NODE_SPEED, max_value=2.0, allow_nan=False, allow_infinity=False
+    ),
+    data=st.data(),
+)
+def test_node_speed_delta_matches_fresh_compile(inst, value, data):
+    node = data.draw(st.sampled_from(list(inst.network.nodes)))
+    _assert_clone_equals_fresh(inst, Delta("node_speed", (node,), value))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    inst=instances(min_tasks=1, max_tasks=5, min_nodes=2, max_nodes=4),
+    value=_values,
+    data=st.data(),
+)
+def test_link_strength_delta_matches_fresh_compile(inst, value, data):
+    links = inst.network.links
+    if not links:
+        return
+    u, v = data.draw(st.sampled_from(list(links)))
+    _assert_clone_equals_fresh(inst, Delta("link_strength", (u, v), value))
+
+
+# --------------------------------------------------------------------- #
+# Rejections and bookkeeping
+# --------------------------------------------------------------------- #
+def _tiny_instance():
+    from repro import Network, ProblemInstance, TaskGraph
+
+    tg = TaskGraph()
+    tg.add_task("a", 1.0)
+    tg.add_task("b", 0.5)
+    tg.add_dependency("a", "b", 0.25)
+    net = Network()
+    net.add_node("x", 1.0)
+    net.add_node("y", 2.0)
+    net.set_strength("x", "y", 1.0)
+    return ProblemInstance(net, tg, name="tiny")
+
+
+@pytest.mark.parametrize(
+    "delta",
+    [
+        Delta("task_weight", ("missing",), 1.0),
+        Delta("task_weight", ("a",), -0.5),
+        Delta("dep_weight", ("a", "missing"), 1.0),
+        Delta("dep_weight", ("b", "a"), 1.0),  # not an edge
+        Delta("node_speed", ("x",), 0.0),  # speeds must stay positive
+        Delta("node_speed", ("missing",), 1.0),
+        Delta("link_strength", ("x", "x"), 1.0),  # self-link
+        Delta("link_strength", ("x", "y"), -1.0),
+        Delta("no_such_kind", ("a",), 1.0),
+    ],
+)
+def test_apply_delta_rejects_illegal(delta):
+    compiled = compile_instance(_tiny_instance())
+    assert compiled.apply_delta(delta) is None
+
+
+def test_compile_stats_counters():
+    reset_compile_stats()
+    inst = _tiny_instance()
+    compiled = compile_instance(inst)  # full
+    compile_instance(inst)  # cache hit
+    clone = compiled.apply_delta(Delta("task_weight", ("a",), 0.75))
+    assert clone is not None
+    stats = compile_stats()
+    assert stats["full"] == 1
+    assert stats["cache_hits"] == 1
+    assert stats["delta"] == 1
+
+
+def test_unbound_clone_binds_on_accept():
+    inst = _tiny_instance()
+    compiled = compile_instance(inst)
+    delta = Delta("task_weight", ("a",), 0.75)
+    clone = compiled.apply_delta(delta)
+    assert clone.instance is None  # unbound: tables only
+    perturbed = inst.copy()
+    apply_delta_mutation(perturbed, delta)
+    clone.bind(perturbed)
+    assert clone.instance is perturbed
+    # bind() installs the clone as the instance's compile cache.
+    assert compile_instance(perturbed) is clone
+    assert clone.matches(perturbed)
