@@ -32,6 +32,12 @@ and ``benchmarks/compare.py`` gates against the committed
   at 8 workers — must stay >= 10x, which is the whole point of the
   batched protocol + persistent connections + group-commit journaling
   stack.  The full curve lands in ``runtime.json`` for trend tracking.
+* **Coordinator restart** — reconstructing coordinator state from a
+  ~50k-event journal history: full replay (shard scan + every journal
+  event, the pre-snapshot behavior) vs snapshot-seeded restart (newest
+  ``snapshot.<seq>.json`` + only the segments after it).  Gated >= 10x:
+  the snapshot chain is what keeps the lossless-SIGKILL restart (and a
+  warm standby's takeover) O(live state) instead of O(history).
 """
 
 from __future__ import annotations
@@ -498,4 +504,102 @@ def test_coordinator_scaling_curve(report_dir, tmp_path):
     assert speedup >= SCALING_TARGET, (
         f"batched protocol only {speedup:.1f}x over legacy at {peak_workers} "
         f"workers ({legacy_rate:.0f} -> {batched_rate:.0f} units/s)"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Coordinator restart: snapshot-seeded vs full-journal replay
+# ---------------------------------------------------------------------- #
+RESTART_UNITS = 25_000  # claim + record per unit = a ~50k-event history
+RESTART_TARGET = 10.0
+
+
+def test_coordinator_restart_speedup(report_dir, tmp_path):
+    """Restart cost on a long sweep's history: snapshot vs full replay.
+
+    The run directory is seeded with the artifacts a 25k-unit sweep
+    leaves behind — one shard holding every result and a journal with a
+    claim + record event per unit (~50k events).  A :class:`Coordinator`
+    constructed against that directory *is* the restart path, so the
+    construction time is measured directly: first with no snapshot on
+    disk (the pre-segmentation full replay: shard scan + every journal
+    event), then after one ``roll_journal()`` published a snapshot
+    (exactly what a serving coordinator does at every rollover).  Both
+    restarts must reconstruct identical state, and the snapshot path
+    must be >= 10x faster — that ratio is what keeps the
+    lossless-SIGKILL guarantee (and warm-standby takeover) O(live
+    state) as histories grow.
+    """
+    from repro.runtime import RunCheckpoint
+    from repro.runtime.checkpoint import append_jsonl_many, journal_segment_path
+    from repro.runtime.coordinator import Coordinator
+
+    keys = [f"u{i:05d}" for i in range(RESTART_UNITS)]
+    manifest = {"kind": "sweep", "spec": {"name": "bench-restart"}, "units": len(keys)}
+    run_dir = tmp_path / "restart-run"
+    checkpoint = RunCheckpoint(run_dir)
+    checkpoint.initialize(manifest, resume=True)
+
+    checkpoint.record_many(((key, {"k": key, "v": 1.0}) for key in keys), shard="bench-w0")
+    events: list[dict] = []
+    for key in keys:
+        events.append(
+            {
+                "event": "claim",
+                "unit": key,
+                "worker": "bench-w0",
+                "token": "0123456789abcdef",
+                "ttl": 120.0,
+                "reclaimed": False,
+            }
+        )
+        events.append({"event": "record", "unit": key, "worker": "bench-w0"})
+    append_jsonl_many(journal_segment_path(run_dir, 0), events)
+
+    def restart() -> Coordinator:
+        # A huge threshold so the timed construction never rolls itself.
+        return Coordinator(run_dir, unit_keys=keys, segment_bytes=1 << 30)
+
+    def timed_restarts() -> tuple[Coordinator, float]:
+        best = math.inf
+        coordinator = None
+        for _ in range(TIMING_REPS):
+            if coordinator is not None:
+                coordinator.close()
+            coordinator, elapsed = _timed(restart)
+            best = min(best, elapsed)
+        return coordinator, best
+
+    # Full replay first: once a snapshot exists, this path is gone.
+    full, t_full = timed_restarts()
+    assert len(full.completed_keys()) == RESTART_UNITS
+    full_counts = full.status_payload()["shard_counts"]
+    full.close()
+
+    seeder = restart()
+    seeder.roll_journal()
+    seeder.close()
+
+    snapshotted, t_snapshot = timed_restarts()
+    assert len(snapshotted.completed_keys()) == RESTART_UNITS
+    assert snapshotted.status_payload()["shard_counts"] == full_counts, (
+        "snapshot restart reconstructed different state than full replay"
+    )
+    snapshotted.close()
+
+    speedup = t_full / t_snapshot if t_snapshot > 0 else math.inf
+    _write_timings(
+        report_dir,
+        "coordinator_restart",
+        {
+            "units": RESTART_UNITS,
+            "journal_events": len(events),
+            "full_replay_seconds": round(t_full, 4),
+            "snapshot_seconds": round(t_snapshot, 4),
+            "speedup": round(speedup, 3),
+        },
+    )
+    assert speedup >= RESTART_TARGET, (
+        f"snapshot restart only {speedup:.1f}x over full replay "
+        f"({t_full:.3f}s -> {t_snapshot:.3f}s on {len(events)} events)"
     )

@@ -214,6 +214,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit once every unit of the run is recorded (default: serve "
         "until interrupted)",
     )
+    q.add_argument(
+        "--segment-bytes",
+        type=int,
+        default=None,
+        help="journal segment size before rolling to a new "
+        "coordinator.<seq>.jsonl and snapshotting (default 4 MiB); "
+        "smaller segments mean cheaper restarts and more snapshot churn",
+    )
+    q.add_argument(
+        "--standby",
+        action="store_true",
+        help="warm standby: watch the primary coordinator on --port and, "
+        "when its port is free and its advisory lease has gone stale, "
+        "replay snapshot+journal and take over the same port (requires "
+        "an explicit --port)",
+    )
 
     q = sweep_sub.add_parser(
         "work",
@@ -761,12 +777,24 @@ def _cmd_sweep_work(args) -> int:
 
 def _cmd_sweep_serve(args) -> int:
     from repro.runtime.checkpoint import CheckpointError, RunCheckpoint
-    from repro.runtime.coordinator import serve_coordinator
+    from repro.runtime.coordinator import serve_coordinator, standby_coordinator
     from repro.runtime.distributed import DEFAULT_LEASE_TTL
     from repro.sweeps import SpecError, SweepSpec, load_run_plan, plan_sweep
 
     if args.ttl is not None and args.ttl <= 0:
         print(f"error: --ttl must be positive, got {args.ttl}", file=sys.stderr)
+        return 2
+    if args.segment_bytes is not None and args.segment_bytes <= 0:
+        print(
+            f"error: --segment-bytes must be positive, got {args.segment_bytes}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.standby and args.port <= 0:
+        print(
+            "error: --standby needs the primary's port; pass an explicit --port",
+            file=sys.stderr,
+        )
         return 2
     try:
         if args.spec is not None:
@@ -776,13 +804,35 @@ def _cmd_sweep_serve(args) -> int:
             checkpoint.initialize(plan.manifest(), resume=True)
         else:
             plan = load_run_plan(args.run_dir)
-        server = serve_coordinator(
-            args.run_dir,
-            host=args.host,
-            port=args.port,
-            ttl=args.ttl if args.ttl is not None else DEFAULT_LEASE_TTL,
-            unit_keys=[u.key for u in plan.units],
-        )
+        if args.standby:
+            print(
+                f"standby watching {args.host}:{args.port} for {args.run_dir} "
+                "(takes over when the primary's port frees and its advisory "
+                "lease goes stale)",
+                flush=True,
+            )
+            try:
+                server = standby_coordinator(
+                    args.run_dir,
+                    host=args.host,
+                    port=args.port,
+                    ttl=args.ttl if args.ttl is not None else DEFAULT_LEASE_TTL,
+                    unit_keys=[u.key for u in plan.units],
+                    segment_bytes=args.segment_bytes,
+                )
+            except KeyboardInterrupt:
+                return 0
+            if server is None:
+                return 0
+        else:
+            server = serve_coordinator(
+                args.run_dir,
+                host=args.host,
+                port=args.port,
+                ttl=args.ttl if args.ttl is not None else DEFAULT_LEASE_TTL,
+                unit_keys=[u.key for u in plan.units],
+                segment_bytes=args.segment_bytes,
+            )
     except (SpecError, CheckpointError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

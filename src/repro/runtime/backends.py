@@ -724,6 +724,12 @@ class HttpWorkBackend:
         without losing their place.  Backoff is exponential with jitter,
         and each pause probes the coordinator's port so a restarted
         coordinator is rejoined promptly instead of after the full pause.
+        The same probe makes warm-standby failover (``repro sweep serve
+        --standby``) transparent: the standby replays snapshot+journal
+        and binds the *same* port, so from here a takeover is
+        indistinguishable from a restart — lease tokens survive the
+        journal, so in-flight batches keep renewing and recording
+        against the new primary without re-claiming.
     persistent:
         ``False`` closes the connection after every round trip — the
         pre-batching wire behavior, kept for benchmark baselines and as

@@ -53,15 +53,84 @@ __all__ = [
     "RunCheckpoint",
     "append_jsonl",
     "iter_jsonl",
+    "iter_jsonl_segments",
     "iter_result_records",
+    "journal_segment_path",
+    "journal_segments",
+    "journal_snapshots",
     "result_file_paths",
     "safe_filename",
+    "snapshot_path",
 ]
 
 logger = logging.getLogger(__name__)
 
 #: Glob matching per-worker result shards next to ``units.jsonl``.
 SHARD_GLOB = "units-*.jsonl"
+
+#: Coordinator journal segment naming.  Segment 0 is the bare
+#: ``coordinator.jsonl`` (every pre-segmentation run directory is a
+#: valid one-segment chain); rolled segments are
+#: ``coordinator.000001.jsonl``, ``coordinator.000002.jsonl``, ...
+#: A ``snapshot.<seq>.json`` captures the coordinator's full state as
+#: of the *end* of segment ``<seq>``, so restart = newest valid
+#: snapshot + replay of the segments after it.  The path layout lives
+#: here (below the coordinator) so ``runs gc`` and fresh-initialization
+#: can be segment-aware without importing the coordinator.
+JOURNAL_SEGMENT_0 = "coordinator.jsonl"
+_SEGMENT_RE = re.compile(r"^coordinator\.(\d{6})\.jsonl$")
+_SNAPSHOT_RE = re.compile(r"^snapshot\.(\d{6})\.json$")
+
+
+def journal_segment_path(run_dir: str | Path, seq: int) -> Path:
+    """The path of coordinator journal segment ``seq`` in ``run_dir``."""
+    run_dir = Path(run_dir)
+    if seq == 0:
+        return run_dir / JOURNAL_SEGMENT_0
+    return run_dir / f"coordinator.{seq:06d}.jsonl"
+
+
+def journal_segments(run_dir: str | Path) -> list[tuple[int, Path]]:
+    """Existing journal segments of ``run_dir`` as ``(seq, path)``, ascending."""
+    run_dir = Path(run_dir)
+    out: list[tuple[int, Path]] = []
+    legacy = run_dir / JOURNAL_SEGMENT_0
+    if legacy.is_file():
+        out.append((0, legacy))
+    for path in run_dir.glob("coordinator.*.jsonl"):
+        match = _SEGMENT_RE.match(path.name)
+        if match and path.is_file():
+            out.append((int(match.group(1)), path))
+    return sorted(out)
+
+
+def snapshot_path(run_dir: str | Path, seq: int) -> Path:
+    """The snapshot covering all events of journal segments ``<= seq``."""
+    return Path(run_dir) / f"snapshot.{seq:06d}.json"
+
+
+def journal_snapshots(run_dir: str | Path) -> list[tuple[int, Path]]:
+    """Existing coordinator snapshots as ``(seq, path)``, ascending."""
+    out: list[tuple[int, Path]] = []
+    for path in Path(run_dir).glob("snapshot.*.json"):
+        match = _SNAPSHOT_RE.match(path.name)
+        if match and path.is_file():
+            out.append((int(match.group(1)), path))
+    return sorted(out)
+
+
+def iter_jsonl_segments(
+    paths: "list[Path]", *, log: bool = True, what: str = "record"
+) -> Iterator[Any]:
+    """Chain :func:`iter_jsonl` over an ordered list of segment files.
+
+    The same torn-line tolerance applies per segment: a tail torn by a
+    kill mid-rollover is skipped in *its* segment and reading continues
+    with the next one, so one damaged boundary never hides the events
+    that follow it.
+    """
+    for path in paths:
+        yield from iter_jsonl(path, log=log, what=what)
 
 
 class CheckpointError(ValueError):
@@ -267,11 +336,17 @@ class RunCheckpoint:
         self._write_manifest(manifest)
         self.units_path.write_text("")
         # A fresh run over a previously-abandoned directory must not
-        # inherit its (empty — the refusal above covers non-empty) shards
-        # or its dead lease files.
-        for shard in self.run_dir.glob(SHARD_GLOB):
+        # inherit its (empty — the refusal above covers non-empty) shards,
+        # its dead lease files, or the previous sweep's coordinator
+        # journal chain — replaying another experiment's journal segments
+        # or snapshot into a fresh coordinator would resurrect its leases
+        # and completion set.
+        stale: list[Path] = list(self.run_dir.glob(SHARD_GLOB))
+        stale += [path for _, path in journal_segments(self.run_dir)]
+        stale += [path for _, path in journal_snapshots(self.run_dir)]
+        for path in stale:
             try:
-                shard.unlink()
+                path.unlink()
             except OSError:
                 pass
         leases = self.run_dir / "leases"

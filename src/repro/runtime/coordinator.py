@@ -29,21 +29,55 @@ deterministic RNG stream), so the shards on disk never need merge-time
 deduplication, though the merged read tolerates it anyway.
 
 **Write-ahead journal with group commit.**  Every lease state transition
-(claim, expire, release, record) is appended to ``coordinator.jsonl``
-in the run directory and **fsynced before it is acknowledged**.  The
-fsync is amortized: transitions enqueue their journal line under the
+(claim, expire, release, record) is appended to the active journal
+segment in the run directory and **fsynced before it is acknowledged**.
+The fsync is amortized: transitions enqueue their journal line under the
 state lock (so journal order equals state order), then the first waiter
 to reach the commit path drains the whole queue with one
 write+flush+fsync while later arrivals block on a condition — N
 concurrent transitions cost one disk flush, not N
 (:class:`_GroupCommitJournal`).  A SIGKILLed coordinator restarts
-losslessly: completed results reload from the shards, the lease table
-replays from the journal (heartbeats reset to the restart instant,
-granting in-flight holders one fresh TTL of grace — the same direction
-the filesystem protocol errs).  The journal is read with the shared
-torn-line-tolerant reader, so a line torn by the kill is skipped, not
-fatal: the worst case is one lease forgotten, which a worker simply
-re-claims.
+losslessly: the lease table and completion set replay from the journal
+(heartbeats reset to the restart instant, granting in-flight holders one
+fresh TTL of grace — the same direction the filesystem protocol errs).
+The journal is read with the shared torn-line-tolerant reader, so a line
+torn by the kill is skipped, not fatal: the worst case is one lease
+forgotten, which a worker simply re-claims.
+
+**Segmented journal + snapshots: O(live) restart.**  A single
+append-only journal makes restart replay O(entire sweep history) — a
+million-unit sweep would turn the lossless restart from milliseconds
+into minutes.  The journal therefore *rolls*: when the active segment
+crosses ``segment_bytes``, the triggering operation seals it, switches
+appends to ``coordinator.<seq+1>.jsonl``, and — once every sealed event
+is durable — publishes an atomic ``snapshot.<seq>.json`` holding the
+full coordinator state (completion set, shard counts, lease table with
+tokens, and a manifest hash binding the snapshot to this experiment).
+Restart loads the newest *valid* snapshot and replays only the segments
+after it: O(live state), not O(history).  A torn or mismatched snapshot
+falls back to the previous one, ultimately to a full replay of every
+surviving segment; segments covered by the two newest snapshots are
+reaped, so the fallback chain is always intact on disk.  Replay is
+prefix-idempotent (claims overwrite, releases/expiries pop, records are
+guarded), so a snapshot that includes effects of a not-yet-acknowledged
+event is safe — the event's replay on top of it converges to the same
+state.
+
+**Warm standby.**  The snapshot + segment chain is exactly what a
+second process needs to take over: ``repro sweep serve --standby``
+(:func:`standby_coordinator`) watches the primary — advisory lease
+fresh *or* port accepting connections means alive — and on primary
+death replays the chain and binds the same port.  Ownership tokens
+survive in the snapshot/journal, so in-flight workers' renewals keep
+working across the handoff, and ``HttpWorkBackend``'s reconnect probe
+rejoins the new primary transparently.
+
+**Restored leases are flagged.**  After any restart every surviving
+lease's heartbeat resets to the restart instant, so ``GET /status``
+would report ``heartbeat_age ≈ 0`` for workers that died during the
+outage.  Leases rebuilt from snapshot/journal therefore carry
+``"restored": true`` in the status payload until their first real
+renewal (or a holder re-claim) proves the worker alive.
 
 **Batched claims.**  ``POST /claim-batch`` leases up to N units to one
 worker under a single ownership token and a single journal record;
@@ -74,6 +108,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from hashlib import sha1
 from pathlib import Path
 from typing import Any
 
@@ -96,23 +131,45 @@ from repro.runtime.checkpoint import (
     _ends_with_newline,
     iter_jsonl,
     iter_result_records,
+    journal_segment_path,
+    journal_segments,
+    journal_snapshots,
+    snapshot_path,
 )
-from repro.runtime.distributed import DEFAULT_LEASE_TTL, STATUS_SCHEMA_VERSION, LeaseDir
+from repro.runtime.distributed import (
+    DEFAULT_LEASE_TTL,
+    STATUS_SCHEMA_VERSION,
+    LeaseDir,
+    lease_seems_live,
+)
 
 __all__ = [
     "ADVISORY_LEASE_UNIT",
+    "DEFAULT_SEGMENT_BYTES",
     "JOURNAL_NAME",
+    "SNAPSHOT_SCHEMA_VERSION",
     "Coordinator",
     "CoordinatorHTTPServer",
     "UnknownUnitError",
     "serve_coordinator",
     "running_coordinator",
+    "standby_coordinator",
 ]
 
 logger = logging.getLogger(__name__)
 
-#: Journal file name inside the coordinator's run directory.
+#: Journal file name inside the coordinator's run directory (segment 0;
+#: rolled segments are ``coordinator.<seq>.jsonl``, see
+#: :func:`repro.runtime.checkpoint.journal_segment_path`).
 JOURNAL_NAME = "coordinator.jsonl"
+#: Roll the journal (and snapshot the state) once the active segment
+#: crosses this many bytes.  ~4 MiB keeps restart replay bounded by a
+#: few tens of thousands of events regardless of sweep size, while a
+#: small sweep never rolls at all (one segment, no snapshot — exactly
+#: the pre-segmentation layout).
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+#: Version tag of the ``snapshot.<seq>.json`` format.
+SNAPSHOT_SCHEMA_VERSION = 1
 #: The advisory lease a serving coordinator holds in its run directory's
 #: ``leases/`` dir.  Coordinator workers leave no lease files (their
 #: leases live in server memory), so without this marker the lease-aware
@@ -148,6 +205,20 @@ class _LeaseEntry:
     ttl: float
     reclaimed: bool
     heartbeat: float  # coordinator-monotonic instant of the last beat
+    #: True while this entry exists only because a restart replayed it —
+    #: its heartbeat is the restart instant, not proof the worker lives.
+    #: Cleared by the first real renewal or holder re-claim.
+    restored: bool = False
+
+
+@dataclass
+class _PendingSnapshot:
+    """A sealed segment's snapshot, captured under the state lock and
+    published (written + old segments reaped) outside it."""
+
+    seq: int  # the segment this snapshot covers through
+    ticket: int  # last journal ticket of the sealed segment
+    state: dict  # the JSON-serializable snapshot body
 
 
 class _GroupCommitJournal:
@@ -167,25 +238,60 @@ class _GroupCommitJournal:
     (their waiters re-raise the write error); later enqueues proceed —
     the torn-line-tolerant journal reader makes a partially-written
     batch a recoverable event, not corruption.
+
+    **Rolling.**  :meth:`roll` (called under the same state lock as
+    :meth:`enqueue`) switches subsequent appends to a new segment file by
+    planting a roll marker in the buffer — the commit leader fsyncs and
+    closes the sealed segment when it reaches the marker, then opens the
+    new one.  Because the marker sits *between* buffered lines, journal
+    order across segment boundaries still equals state order, and the
+    caller can snapshot the state it captured at roll time once the
+    sealed segment's last ticket is durable.
     """
 
     def __init__(self, path: str | Path) -> None:
-        self.path = Path(path)
+        self.path = Path(path)  # the active (newest) segment
+        #: Bytes in the active segment, counting buffered-but-unwritten
+        #: lines; read by the coordinator (under its state lock, the same
+        #: lock serializing enqueue/roll) to decide when to roll.
+        try:
+            self.segment_bytes = self.path.stat().st_size
+        except OSError:
+            self.segment_bytes = 0
         self._cond = threading.Condition()
-        self._pending: list[bytes] = []
-        self._enqueued = 0  # tickets handed out
+        # Buffer items: ("line", bytes) or ("roll", Path).
+        self._pending: list[tuple[str, Any]] = []
+        self._enqueued = 0  # line tickets handed out
         self._durable = 0  # tickets whose bytes are fsynced (or poisoned)
         self._writing = False  # a leader is inside write+fsync
         self._failed: tuple[int, Exception] | None = None  # (through_ticket, cause)
         self._fh: Any | None = None
+        self._commit_path = self.path  # segment the leader is appending to
 
     def enqueue(self, event: dict) -> int:
         """Buffer one event; caller must hold the state lock."""
         line = (json.dumps(event) + "\n").encode()
         with self._cond:
-            self._pending.append(line)
+            self._pending.append(("line", line))
             self._enqueued += 1
+            self.segment_bytes += len(line)
             return self._enqueued
+
+    def last_ticket(self) -> int:
+        """The most recently issued ticket (0 if nothing was enqueued)."""
+        with self._cond:
+            return self._enqueued
+
+    def roll(self, new_path: str | Path) -> None:
+        """Seal the active segment and append to ``new_path`` from now on.
+
+        Caller must hold the state lock (like :meth:`enqueue`), so the
+        roll lands at a well-defined point of the event order.
+        """
+        with self._cond:
+            self._pending.append(("roll", Path(new_path)))
+            self.path = Path(new_path)
+            self.segment_bytes = 0
 
     def wait_durable(self, ticket: int) -> None:
         """Block until ``ticket``'s event is on disk (leader/follower)."""
@@ -201,9 +307,9 @@ class _GroupCommitJournal:
                 batch = self._pending
                 self._pending = []
                 self._writing = True
-                through = self._durable + len(batch)
+                through = self._durable + sum(1 for kind, _ in batch if kind == "line")
             try:
-                self._commit(b"".join(batch))
+                self._commit(batch)
             except Exception as exc:  # noqa: BLE001 - waiters must see the cause
                 with self._cond:
                     self._failed = (through, exc)
@@ -216,24 +322,43 @@ class _GroupCommitJournal:
                 self._writing = False
                 self._cond.notify_all()
 
-    def _commit(self, data: bytes) -> None:
+    def _commit(self, batch: list[tuple[str, Any]]) -> None:
+        buffered: list[bytes] = []
+        for kind, payload in batch:
+            if kind == "line":
+                buffered.append(payload)
+                continue
+            # Roll marker: everything buffered belongs to the sealed
+            # segment — write + fsync it there, then switch files.
+            self._write_fsync(b"".join(buffered))
+            buffered = []
+            self._close_fh()
+            self._commit_path = payload
+        self._write_fsync(b"".join(buffered))
+
+    def _write_fsync(self, data: bytes) -> None:
+        if not data:
+            return
         if self._fh is None:
-            fh = self.path.open("ab")
+            fh = self._commit_path.open("ab")
             # Repair a killed predecessor's torn tail before appending,
             # exactly as append_jsonl would.
-            if fh.tell() > 0 and not _ends_with_newline(self.path):
+            if fh.tell() > 0 and not _ends_with_newline(self._commit_path):
                 fh.write(b"\n")
             self._fh = fh
         self._fh.write(data)
         self._fh.flush()
         os.fsync(self._fh.fileno())
 
-    def close(self) -> None:
-        with self._cond:
-            fh, self._fh = self._fh, None
+    def _close_fh(self) -> None:
+        fh, self._fh = self._fh, None
         if fh is not None:
             with contextlib.suppress(OSError):
                 fh.close()
+
+    def close(self) -> None:
+        with self._cond:
+            self._close_fh()
 
 
 class Coordinator:
@@ -253,11 +378,17 @@ class Coordinator:
         *,
         ttl: float = DEFAULT_LEASE_TTL,
         unit_keys: list[str] | None = None,
+        segment_bytes: int | None = None,
     ) -> None:
         if ttl <= 0:
             raise ValueError(f"lease ttl must be positive, got {ttl}")
         self.run_dir = Path(run_dir)
         self.ttl = float(ttl)
+        self.segment_bytes = (
+            DEFAULT_SEGMENT_BYTES if segment_bytes is None else int(segment_bytes)
+        )
+        if self.segment_bytes <= 0:
+            raise ValueError(f"segment_bytes must be positive, got {segment_bytes}")
         self.checkpoint = RunCheckpoint(self.run_dir)  # raw results; codecs stay client-side
         manifest = self.checkpoint.manifest()
         if manifest is None:
@@ -271,37 +402,131 @@ class Coordinator:
         self.unit_keys = None if unit_keys is None else set(unit_keys)
         total = manifest.get("units")
         self.total_units: int | None = total if isinstance(total, int) else None
-        self._journal_path = self.run_dir / JOURNAL_NAME
-        self._journal = _GroupCommitJournal(self._journal_path)
         self._lock = threading.Lock()
+        #: Authoritative completion set.  Result *values* live in
+        #: ``_results`` — populated eagerly on a full replay (shard scan),
+        #: lazily on a snapshot restart (that laziness is what makes
+        #: restart O(live state); ``GET /results`` hydrates on demand).
+        self._completed: set[str] = set()
         self._results: dict[str, Any] = {}
+        self._results_hydrated = False
         self._shard_counts: dict[str, int] = {}
         self._duplicates = 0
         self._leases: dict[str, _LeaseEntry] = {}
+        self._segment_seq = 0
         self._recover()
+        self._journal = _GroupCommitJournal(
+            journal_segment_path(self.run_dir, self._segment_seq)
+        )
 
     # ------------------------------------------------------------------ #
     # Recovery
     # ------------------------------------------------------------------ #
+    def _manifest_hash(self) -> str:
+        """A digest binding snapshots to this run's identity: a snapshot
+        of a *different* experiment (a reused directory) must never seed
+        this coordinator's state."""
+        return sha1(json.dumps(self.manifest, sort_keys=True).encode()).hexdigest()
+
     def _recover(self) -> None:
         """Rebuild in-memory state after a (possibly SIGKILLed) restart.
 
-        Results come from the run directory's shard files (the durable
-        source of truth), the lease table from replaying the journal.
-        Heartbeats reset to *now*: in-flight holders get one fresh TTL to
-        prove they are alive before their units are re-granted.
+        Snapshot-first: the newest valid ``snapshot.<seq>.json`` seeds
+        the completion set, shard counts, and lease table, then only the
+        journal segments *after* it replay — O(live state), not
+        O(history).  A torn or mismatched snapshot falls back to the
+        previous one; with no usable snapshot at all (including every
+        pre-segmentation run directory), results are rebuilt by scanning
+        the shard files and the lease table replays from every surviving
+        segment — the original full-replay path.
+
+        Every acknowledged transition is fsynced in some segment covered
+        by this chain, so acked state always survives; a journal line
+        torn by the kill was never acked, and its worker's retry is
+        idempotent.  Heartbeats reset to *now* and restored leases are
+        flagged (``restored=True``) until their first real renewal:
+        in-flight holders get one fresh TTL to prove they are alive
+        before their units are re-granted, but status consumers can see
+        that a fresh-looking heartbeat is only the restart instant.
         """
-        for path in self.checkpoint.result_paths():
-            for record in iter_result_records(path):
-                key = record["key"]
-                if key in self._results:
-                    self._duplicates += 1
-                    continue
-                self._results[key] = record["result"]
-                self._shard_counts[path.name] = self._shard_counts.get(path.name, 0) + 1
         now = time.monotonic()
+        snap_seq = -1
+        for seq, path in reversed(journal_snapshots(self.run_dir)):
+            state = self._load_snapshot(path)
+            if state is None:
+                logger.warning(
+                    "%s: torn or mismatched snapshot; falling back to the previous one",
+                    path,
+                )
+                continue
+            snap_seq = seq
+            self._completed = set(state["completed"])
+            self._shard_counts = dict(state["shard_counts"])
+            self._duplicates = int(state["duplicates"])
+            for item in state["leases"]:
+                self._leases[item["unit"]] = _LeaseEntry(
+                    worker=item["worker"],
+                    token=item["token"],
+                    ttl=item["ttl"],
+                    reclaimed=item["reclaimed"],
+                    heartbeat=now,
+                    restored=True,
+                )
+            break
+        if snap_seq < 0:
+            # Full replay: the shard files are the durable record store.
+            for path in self.checkpoint.result_paths():
+                for record in iter_result_records(path):
+                    key = record["key"]
+                    if key in self._completed:
+                        self._duplicates += 1
+                        continue
+                    self._completed.add(key)
+                    self._results[key] = record["result"]
+                    self._shard_counts[path.name] = (
+                        self._shard_counts.get(path.name, 0) + 1
+                    )
+            self._results_hydrated = True
+        segments = journal_segments(self.run_dir)
         replayed = 0
-        for event in iter_jsonl(self._journal_path, what="coordinator journal"):
+        for seq, path in segments:
+            if seq <= snap_seq:
+                continue  # fully covered by the snapshot
+            replayed += self._replay_segment(path, now)
+        # A record whose journal line was torn still completed durably
+        # (the shard append precedes the journal append's acknowledgement
+        # path only in memory; both precede the reply) — drop any lease
+        # the replay left on a completed unit.
+        for unit in [u for u in self._leases if u in self._completed]:
+            del self._leases[unit]
+        # Appends go to a segment no snapshot claims to fully cover:
+        # past the newest existing segment *and* past the newest snapshot
+        # (writing into a snapshot-covered segment would hide events from
+        # the next restart).
+        max_segment = segments[-1][0] if segments else 0
+        self._segment_seq = max(max_segment, snap_seq + 1, 0)
+        if replayed or self._completed:
+            logger.info(
+                "coordinator recovered %d completed unit(s) and %d in-flight "
+                "lease(s) from %s (%s + %d replayed event(s))",
+                len(self._completed),
+                len(self._leases),
+                self.run_dir,
+                f"snapshot {snap_seq}" if snap_seq >= 0 else "shard scan",
+                replayed,
+            )
+
+    def _replay_segment(self, path: Path, now: float) -> int:
+        """Replay one journal segment into the state; returns event count.
+
+        Replay is *prefix-idempotent*: claims overwrite the lease row,
+        releases/expiries pop it, records are guarded by the completion
+        set — so replaying events a snapshot already includes converges
+        to the same state, which is what makes the snapshot/segment
+        boundary safe against every kill point.
+        """
+        replayed = 0
+        for event in iter_jsonl(path, what="coordinator journal"):
             if not isinstance(event, dict):
                 continue
             kind = event.get("event")
@@ -328,30 +553,205 @@ class Coordinator:
                         ttl=ttl,
                         reclaimed=unit in reclaimed_units,
                         heartbeat=now,
+                        restored=True,
                     )
-            elif kind in ("release", "expire", "record"):
+            elif kind == "record":
+                worker = event.get("worker")
+                shard = (
+                    self.checkpoint.shard_path(worker).name
+                    if isinstance(worker, str)
+                    else None
+                )
                 for unit in units:
                     self._leases.pop(unit, None)
-        # A record whose journal line was torn still completed durably
-        # (the shard append precedes the journal append's acknowledgement
-        # path only in memory; both precede the reply) — drop any lease
-        # the replay left on a completed unit.
-        for unit in [u for u in self._leases if u in self._results]:
-            del self._leases[unit]
-        if replayed or self._results:
-            logger.info(
-                "coordinator recovered %d completed unit(s) and %d in-flight "
-                "lease(s) from %s",
-                len(self._results),
-                len(self._leases),
-                self.run_dir,
-            )
+                    if unit not in self._completed:
+                        self._completed.add(unit)
+                        if shard is not None:
+                            self._shard_counts[shard] = (
+                                self._shard_counts.get(shard, 0) + 1
+                            )
+            elif kind in ("release", "expire"):
+                for unit in units:
+                    self._leases.pop(unit, None)
+        return replayed
 
-    def _wait(self, ticket: int | None) -> None:
-        """Block until an enqueued journal event is durable (group
-        commit); called *outside* the state lock so commits coalesce."""
-        if ticket is not None:
+    def _load_snapshot(self, path: Path) -> dict | None:
+        """Parse + validate one snapshot file; None means fall back."""
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict) or data.get("schema") != SNAPSHOT_SCHEMA_VERSION:
+            return None
+        if data.get("manifest_sha1") != self._manifest_hash():
+            return None  # another experiment's snapshot in a reused directory
+        completed = data.get("completed")
+        shard_counts = data.get("shard_counts")
+        duplicates = data.get("duplicates")
+        leases = data.get("leases")
+        if not (
+            isinstance(completed, list)
+            and all(isinstance(k, str) for k in completed)
+            and isinstance(shard_counts, dict)
+            and all(
+                isinstance(k, str) and isinstance(v, int)
+                for k, v in shard_counts.items()
+            )
+            and isinstance(duplicates, int)
+            and isinstance(leases, list)
+        ):
+            return None
+        entries = []
+        for item in leases:
+            if not isinstance(item, dict):
+                return None
+            try:
+                entries.append(
+                    {
+                        "unit": str(item["unit"]),
+                        "worker": str(item["worker"]),
+                        "token": str(item["token"]),
+                        "ttl": float(item["ttl"]),
+                        "reclaimed": bool(item.get("reclaimed", False)),
+                    }
+                )
+            except (KeyError, TypeError, ValueError):
+                return None
+        return {
+            "completed": completed,
+            "shard_counts": shard_counts,
+            "duplicates": duplicates,
+            "leases": entries,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Rollover + snapshots
+    # ------------------------------------------------------------------ #
+    def _maybe_roll_locked(self) -> _PendingSnapshot | None:
+        """Roll the journal if the active segment crossed the threshold.
+
+        Caller holds the state lock.  Returns the pending snapshot to
+        publish via :meth:`_finish` (outside the lock), or None.
+        """
+        if self._journal.segment_bytes < self.segment_bytes:
+            return None
+        return self._roll_locked()
+
+    def _roll_locked(self) -> _PendingSnapshot:
+        """Seal the active segment and capture a state snapshot.
+
+        The captured state may include effects of events not yet durable
+        (still queued for the group commit) — that is safe because
+        :meth:`_finish` publishes the snapshot only after the sealed
+        segment's last ticket commits, and replay on top of a snapshot is
+        prefix-idempotent anyway.
+        """
+        sealed = self._segment_seq
+        ticket = self._journal.last_ticket()
+        state = {
+            "schema": SNAPSHOT_SCHEMA_VERSION,
+            "seq": sealed,
+            "manifest_sha1": self._manifest_hash(),
+            "completed": sorted(self._completed),
+            "shard_counts": dict(self._shard_counts),
+            "duplicates": self._duplicates,
+            "leases": [
+                {
+                    "unit": unit,
+                    "worker": entry.worker,
+                    "token": entry.token,
+                    "ttl": entry.ttl,
+                    "reclaimed": entry.reclaimed,
+                }
+                for unit, entry in sorted(self._leases.items())
+            ],
+        }
+        self._segment_seq = sealed + 1
+        self._journal.roll(journal_segment_path(self.run_dir, self._segment_seq))
+        return _PendingSnapshot(seq=sealed, ticket=ticket, state=state)
+
+    def _finish(self, ticket: int | None, pending: _PendingSnapshot | None = None) -> None:
+        """Outside the state lock: wait for this operation's journal
+        event to be durable (group commit), and publish a pending
+        snapshot once everything it covers is durable too.
+
+        The snapshot wait costs no extra fsync: the roll-triggering
+        operation's own event is the last line of the sealed segment, so
+        waiting on the sealed ticket *is* waiting on this operation.
+        """
+        if pending is not None:
+            self._journal.wait_durable(max(ticket or 0, pending.ticket))
+            self._publish_snapshot(pending)
+        elif ticket is not None:
             self._journal.wait_durable(ticket)
+
+    def _publish_snapshot(self, pending: _PendingSnapshot) -> None:
+        """Atomically write ``snapshot.<seq>.json``, then reap history.
+
+        tmp + fsync + ``os.replace``: a kill leaves either the previous
+        snapshot set or the complete new file, never a torn one.  A write
+        failure is logged and swallowed — the snapshot is an optimization;
+        the journal chain it summarizes remains authoritative.
+        """
+        path = snapshot_path(self.run_dir, pending.seq)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            with tmp.open("w") as fh:
+                json.dump(pending.state, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except OSError:
+            logger.exception("could not publish coordinator snapshot %s", path)
+            with contextlib.suppress(OSError):
+                tmp.unlink()
+            return
+        logger.info(
+            "coordinator snapshot %s covers journal segments <= %d "
+            "(%d completed, %d leases)",
+            path.name,
+            pending.seq,
+            len(pending.state["completed"]),
+            len(pending.state["leases"]),
+        )
+        self._reap_covered()
+
+    def _reap_covered(self) -> None:
+        """Delete journal history the two newest snapshots make redundant.
+
+        Keeping two snapshots preserves the torn-snapshot fallback: the
+        newest may be refused at restart (corruption, by validation), and
+        the previous one still covers every surviving segment.  Segments
+        newer than the *previous* snapshot are always kept — they are the
+        replay tail of both snapshots.  With fewer than two snapshots
+        nothing is reaped, so the newest snapshot and uncovered segments
+        can never vanish.
+        """
+        snapshots = journal_snapshots(self.run_dir)
+        if len(snapshots) < 2:
+            return
+        keep = {seq for seq, _ in snapshots[-2:]}
+        previous = snapshots[-2][0]
+        for seq, path in snapshots:
+            if seq not in keep:
+                with contextlib.suppress(OSError):
+                    path.unlink()
+        for seq, path in journal_segments(self.run_dir):
+            if seq <= previous:
+                with contextlib.suppress(OSError):
+                    path.unlink()
+
+    def roll_journal(self) -> Path:
+        """Seal the active segment and publish a snapshot *now*.
+
+        Operational lever (and the restart benchmark's setup): after this
+        returns, a restart loads the snapshot and replays only events
+        that arrive later.  Returns the published snapshot's path.
+        """
+        with self._lock:
+            pending = self._roll_locked()
+        self._finish(None, pending)
+        return snapshot_path(self.run_dir, pending.seq)
 
     def close(self) -> None:
         """Release the journal file handle (clean shutdown only)."""
@@ -392,12 +792,13 @@ class Coordinator:
         """
         with self._lock:
             reply, ticket = self._claim_locked(request)
-        self._wait(ticket)
+            pending = self._maybe_roll_locked() if ticket is not None else None
+        self._finish(ticket, pending)
         return reply
 
     def _claim_locked(self, request: ClaimRequest) -> tuple[ClaimReply, int | None]:
         self._validate_unit(request.unit)
-        if request.unit in self._results:
+        if request.unit in self._completed:
             return ClaimReply(granted=False, completed=True), None
         now = time.monotonic()
         entry = self._leases.get(request.unit)
@@ -405,6 +806,7 @@ class Coordinator:
         if entry is not None:
             if entry.worker == request.worker:
                 entry.heartbeat = now
+                entry.restored = False  # a live re-claim is proof of life
                 return (
                     ClaimReply(
                         granted=True,
@@ -459,7 +861,7 @@ class Coordinator:
             reclaimed: list[str] = []
             completed: list[str] = []
             for unit in request.units:
-                if unit in self._results:
+                if unit in self._completed:
                     completed.append(unit)
                     continue
                 entry = self._leases.get(unit)
@@ -505,7 +907,8 @@ class Coordinator:
                 reclaimed=tuple(reclaimed),
                 completed=tuple(completed),
             )
-        self._wait(ticket)
+            pending = self._maybe_roll_locked()
+        self._finish(ticket, pending)
         return reply
 
     def renew(self, request: LeaseRequest) -> AckReply:
@@ -520,6 +923,7 @@ class Coordinator:
             if entry is None or entry.token != request.token:
                 return AckReply(ok=False, stale=True)
             entry.heartbeat = time.monotonic()
+            entry.restored = False  # first real beat after a restart
             return AckReply(ok=True)
 
     def renew_batch(self, request: BatchLeaseRequest) -> BatchAckReply:
@@ -536,6 +940,7 @@ class Coordinator:
                     stale.append(unit)
                 else:
                     entry.heartbeat = now
+                    entry.restored = False  # first real beat after a restart
                     owned += 1
         return BatchAckReply(ok=owned > 0, stale=tuple(stale))
 
@@ -562,7 +967,8 @@ class Coordinator:
                 }
             )
             del self._leases[request.unit]
-        self._wait(ticket)
+            pending = self._maybe_roll_locked()
+        self._finish(ticket, pending)
         return AckReply(ok=True)
 
     def release_batch(self, request: BatchLeaseRequest) -> BatchAckReply:
@@ -593,7 +999,8 @@ class Coordinator:
                 )
                 for unit in released:
                     del self._leases[unit]
-        self._wait(ticket)
+            pending = self._maybe_roll_locked() if ticket is not None else None
+        self._finish(ticket, pending)
         return BatchAckReply(ok=True, stale=tuple(stale))
 
     def record(self, request: RecordRequest) -> AckReply:
@@ -611,7 +1018,7 @@ class Coordinator:
         """
         with self._lock:
             self._validate_unit(request.unit)
-            if request.unit in self._results:
+            if request.unit in self._completed:
                 self._duplicates += 1
                 logger.warning(
                     "duplicate record for unit %r from worker %s dropped "
@@ -634,10 +1041,12 @@ class Coordinator:
             ticket = self._journal.enqueue(
                 {"event": "record", "unit": request.unit, "worker": request.worker}
             )
+            self._completed.add(request.unit)
             self._results[request.unit] = request.result
             self._shard_counts[shard_name] = self._shard_counts.get(shard_name, 0) + 1
             self._leases.pop(request.unit, None)
-        self._wait(ticket)
+            pending = self._maybe_roll_locked()
+        self._finish(ticket, pending)
         return AckReply(ok=True)
 
     def record_batch(self, request: BatchRecordRequest) -> BatchRecordReply:
@@ -657,7 +1066,7 @@ class Coordinator:
             duplicates: list[str] = []
             fresh: list[tuple[str, Any]] = []
             for unit, result in zip(request.units, request.results):
-                if unit in self._results:
+                if unit in self._completed:
                     duplicates.append(unit)
                     continue
                 entry = self._leases.get(unit)
@@ -681,6 +1090,7 @@ class Coordinator:
                     }
                 )
                 for unit, result in fresh:
+                    self._completed.add(unit)
                     self._results[unit] = result
                 self._shard_counts[shard_name] = (
                     self._shard_counts.get(shard_name, 0) + len(fresh)
@@ -695,7 +1105,8 @@ class Coordinator:
                 )
             for unit in request.units:
                 self._leases.pop(unit, None)
-        self._wait(ticket)
+            pending = self._maybe_roll_locked() if ticket is not None else None
+        self._finish(ticket, pending)
         return BatchRecordReply(ok=True, duplicates=tuple(duplicates))
 
     # ------------------------------------------------------------------ #
@@ -703,16 +1114,29 @@ class Coordinator:
     # ------------------------------------------------------------------ #
     def completed_keys(self) -> list[str]:
         with self._lock:
-            return sorted(self._results)
+            return sorted(self._completed)
 
     def results(self) -> dict[str, Any]:
+        """Every completed unit's result value, keyed by unit.
+
+        After a snapshot restart the values are *hydrated* lazily from
+        the shard files on the first call (first writer wins, matching
+        the merge everywhere else) — the restart itself stays O(live
+        state), and the common server lifecycle (claims, records,
+        status) never pays the scan at all.
+        """
         with self._lock:
-            return dict(self._results)
+            if not self._results_hydrated:
+                for path in self.checkpoint.result_paths():
+                    for record in iter_result_records(path):
+                        self._results.setdefault(record["key"], record["result"])
+                self._results_hydrated = True
+            return {key: self._results[key] for key in self._completed if key in self._results}
 
     @property
     def complete(self) -> bool:
         with self._lock:
-            return self.total_units is not None and len(self._results) >= self.total_units
+            return self.total_units is not None and len(self._completed) >= self.total_units
 
     def status_payload(self) -> dict:
         """A point-in-time snapshot in the shared status schema — the
@@ -729,12 +1153,16 @@ class Coordinator:
                     "worker": entry.worker,
                     "heartbeat_age": max(round(now - entry.heartbeat, 3), 0.0),
                     "ttl": entry.ttl,
+                    # Restored leases' heartbeat is the restart instant, not
+                    # proof of life — a dashboard must not read a worker
+                    # that died during the outage as fresh.
+                    "restored": entry.restored,
                 }
                 (active if now - entry.heartbeat <= entry.ttl else stale).append(item)
             kind = self.manifest.get("kind")
             spec = self.manifest.get("spec")
             name = spec.get("name") if isinstance(spec, dict) else None
-            completed = len(self._results)
+            completed = len(self._completed)
             return {
                 "schema": STATUS_SCHEMA_VERSION,
                 "backend": "coordinator",
@@ -1005,6 +1433,7 @@ def serve_coordinator(
     port: int = 0,
     ttl: float = DEFAULT_LEASE_TTL,
     unit_keys: list[str] | None = None,
+    segment_bytes: int | None = None,
 ) -> CoordinatorHTTPServer:
     """Bind a coordinator server for ``run_dir`` (not yet serving).
 
@@ -1013,7 +1442,9 @@ def serve_coordinator(
     ``server_close()`` to stop.  ``port=0`` binds an ephemeral port —
     read the actual one off ``server.url``.
     """
-    coordinator = Coordinator(run_dir, ttl=ttl, unit_keys=unit_keys)
+    coordinator = Coordinator(
+        run_dir, ttl=ttl, unit_keys=unit_keys, segment_bytes=segment_bytes
+    )
     return CoordinatorHTTPServer((host, port), coordinator)
 
 
@@ -1025,13 +1456,21 @@ def running_coordinator(
     port: int = 0,
     ttl: float = DEFAULT_LEASE_TTL,
     unit_keys: list[str] | None = None,
+    segment_bytes: int | None = None,
 ):
     """Context manager: a coordinator serving on a background thread.
 
     Mostly for tests and in-process benchmarks; the CLI serves in the
     foreground via :func:`serve_coordinator`.
     """
-    server = serve_coordinator(run_dir, host=host, port=port, ttl=ttl, unit_keys=unit_keys)
+    server = serve_coordinator(
+        run_dir,
+        host=host,
+        port=port,
+        ttl=ttl,
+        unit_keys=unit_keys,
+        segment_bytes=segment_bytes,
+    )
     thread = threading.Thread(target=server.serve_forever, daemon=True, name="coordinator")
     thread.start()
     try:
@@ -1040,3 +1479,111 @@ def running_coordinator(
         server.shutdown()
         server.server_close()
         thread.join(timeout=10)
+
+
+# ---------------------------------------------------------------------- #
+# Warm standby
+# ---------------------------------------------------------------------- #
+def _primary_alive(run_dir: Path, probe_host: str, port: int) -> bool:
+    """Whether a primary coordinator still looks alive.
+
+    Two independent signals, either one counts: the port accepts a TCP
+    connection (the primary's listening socket dies with its process),
+    or its advisory lease in ``leases/`` still seems live (the
+    conservative heartbeat-or-mtime rule every advisory consumer
+    shares).  The lease keeps a standby from stealing the port during a
+    network blip; the port probe keeps a *clean* shutdown (which
+    releases the lease) from waiting out a TTL.
+    """
+    try:
+        with socket.create_connection((probe_host, port), timeout=0.5):
+            return True
+    except OSError:
+        pass
+    lease_dir = LeaseDir(run_dir)
+    advisory = lease_dir.lease_path(ADVISORY_LEASE_UNIT)
+    now = time.time()
+    for path, lease in lease_dir.leases():
+        if path == advisory and lease_seems_live(lease, path, now):
+            return True
+    return False
+
+
+def standby_coordinator(
+    run_dir: str | Path,
+    *,
+    host: str = "127.0.0.1",
+    port: int,
+    ttl: float = DEFAULT_LEASE_TTL,
+    unit_keys: list[str] | None = None,
+    segment_bytes: int | None = None,
+    poll: float = 1.0,
+    stop: threading.Event | None = None,
+) -> CoordinatorHTTPServer | None:
+    """Warm standby: block until the primary dies, then take over its port.
+
+    Watches the run directory's snapshot/segment chain while the primary
+    serves (logging progression, so an operator can see the standby is
+    current), declaring the primary dead only when its advisory lease has
+    gone stale *and* the port refuses connections.  Takeover then
+    replays the chain — O(live state) thanks to the snapshots the primary
+    kept publishing — and binds the **same** ``host:port``, so workers'
+    reconnect probes rejoin without any reconfiguration.  Losing the
+    bind race to another standby (``EADDRINUSE``) just resumes watching.
+
+    Token fencing makes the handoff safe even mid-batch: the lease table
+    (with tokens) survives in the snapshot/journal, so in-flight workers'
+    renewals and records keep working, and record-before-release
+    exactly-once holds across the transition.
+
+    Returns the bound (not yet serving) server, or ``None`` if ``stop``
+    was set first.  ``port`` must be explicit — an ephemeral port would
+    take over an address nobody is retrying against.
+    """
+    if port <= 0:
+        raise ValueError("a standby needs the primary's explicit port, not 0")
+    run_dir = Path(run_dir)
+    probe_host = "127.0.0.1" if host in ("0.0.0.0", "::", "") else host
+    last_snapshot: int | None = None
+    while stop is None or not stop.is_set():
+        if _primary_alive(run_dir, probe_host, port):
+            snapshots = journal_snapshots(run_dir)
+            newest = snapshots[-1][0] if snapshots else None
+            if newest != last_snapshot:
+                logger.info(
+                    "standby: primary alive on %s:%d; chain at snapshot %s + %d segment(s)",
+                    probe_host,
+                    port,
+                    newest,
+                    len(journal_segments(run_dir)),
+                )
+                last_snapshot = newest
+            if stop is not None:
+                stop.wait(poll)
+            else:
+                time.sleep(poll)
+            continue
+        logger.warning(
+            "standby: primary on %s:%d looks dead (port closed, advisory lease "
+            "stale); taking over",
+            probe_host,
+            port,
+        )
+        try:
+            return serve_coordinator(
+                run_dir,
+                host=host,
+                port=port,
+                ttl=ttl,
+                unit_keys=unit_keys,
+                segment_bytes=segment_bytes,
+            )
+        except OSError:
+            # Lost the bind race to another standby (or the primary came
+            # back between probe and bind): back off and resume watching.
+            logger.info("standby: lost the takeover race for port %d; resuming watch", port)
+            if stop is not None:
+                stop.wait(poll)
+            else:
+                time.sleep(poll)
+    return None

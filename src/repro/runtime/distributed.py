@@ -212,8 +212,9 @@ class LeaseDir:
         self.path = Path(run_dir) / LEASES_DIR
         self.ttl = float(ttl)
         #: lease file name -> (last observed heartbeat value or None for a
-        #: torn file, monotonic instant that value was first observed)
-        self._observed: dict[str, tuple[float | None, float]] = {}
+        #: torn file, monotonic instant that value was first observed, the
+        #: TTL the holder declared on that sighting)
+        self._observed: dict[str, tuple[float | None, float, float]] = {}
 
     def lease_path(self, unit_key: str) -> Path:
         return self.path / f"{safe_filename(unit_key)}.json"
@@ -234,6 +235,16 @@ class LeaseDir:
         reclaimed = False
         try:
             fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+            # A first-try create can still be a takeover: a sibling
+            # contender may have torn down the stale lease (rename to
+            # tombstone in ``_expire``) between our last probe and this
+            # create.  If our own watch on this unit had already run past
+            # the departed holder's declared TTL, the holder was presumed
+            # dead by the time the path cleared — flag the claim reclaimed
+            # so the handover is not invisible in status/logs.
+            seen = self._observed.get(path.name)
+            if seen is not None and time.monotonic() - seen[1] > seen[2]:
+                reclaimed = True
         except FileExistsError:
             outcome = self._expire(path)
             if outcome is None:
@@ -283,7 +294,7 @@ class LeaseDir:
             # First sighting of this heartbeat value: start (or restart)
             # the unchanged-for-TTL watch.  A renewing holder resets it
             # every beat, so live leases are never presumed dead.
-            self._observed[path.name] = (marker, mono)
+            self._observed[path.name] = (marker, mono, ttl)
             return None
         if mono - seen[1] <= ttl:
             return None
@@ -1062,9 +1073,13 @@ def render_status_payload(payload: dict) -> str:
             "(first writer wins on merge)"
         )
     for lease in payload.get("active_leases") or []:
+        # Replay-restored leases had their heartbeat reset at coordinator
+        # restart, so heartbeat_age says nothing about worker liveness
+        # until the holder renews once.
+        restored = "; restored from journal, awaiting renewal" if lease.get("restored") else ""
         lines.append(
             f"  lease {lease['unit']}: held by {lease['worker']} "
-            f"(heartbeat {lease['heartbeat_age']:.1f}s ago, ttl {lease['ttl']:.0f}s)"
+            f"(heartbeat {lease['heartbeat_age']:.1f}s ago, ttl {lease['ttl']:.0f}s{restored})"
         )
     for lease in payload.get("stale_leases") or []:
         lines.append(

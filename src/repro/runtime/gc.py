@@ -34,7 +34,12 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.runtime.checkpoint import RunCheckpoint, result_file_paths
+from repro.runtime.checkpoint import (
+    RunCheckpoint,
+    journal_segments,
+    journal_snapshots,
+    result_file_paths,
+)
 from repro.runtime.distributed import LEASES_DIR, inspect_run_dir
 
 __all__ = ["RunStatus", "scan_runs", "collectable", "gc_runs"]
@@ -94,7 +99,18 @@ def _status(run_dir: Path, now: float) -> RunStatus | None:
         return None
     mtimes = []
     lease_paths = sorted((run_dir / LEASES_DIR).glob("*.json"))
-    for path in [run_dir / RunCheckpoint.MANIFEST_NAME, *result_paths, *lease_paths]:
+    # Coordinator journal segments and snapshots are part of the run's
+    # resumable state: a coordinator actively rolling its journal keeps
+    # the directory's idle age at ~0 even between result-shard flushes,
+    # and a freshly snapshotted-but-unconsumed run is not "stale".
+    journal_paths = [path for _, path in journal_segments(run_dir)]
+    journal_paths += [path for _, path in journal_snapshots(run_dir)]
+    for path in [
+        run_dir / RunCheckpoint.MANIFEST_NAME,
+        *result_paths,
+        *lease_paths,
+        *journal_paths,
+    ]:
         try:
             mtimes.append(path.stat().st_mtime)
         except OSError:

@@ -11,17 +11,25 @@ branch when disabled:
     if phases.enabled:
         phases.add("schedule", perf_counter() - t0)
 
-The accumulators are process-local; the sweep runner enables them only
-for single-process runs (``jobs=1``) where the totals are meaningful.
+The accumulators are process-local but **not** thread-local:
+instrumented code can run on coordinator executor threads and the
+heartbeat daemon, so :func:`add` updates under a lock — an
+unsynchronized read-modify-write on the module dicts would silently
+drop concurrent updates and corrupt ``--profile`` totals.  The
+``enabled`` read in the hot path stays lock-free (a stale read costs at
+most one mis-skipped sample around a toggle, never a lost one).
 """
 
 from __future__ import annotations
+
+import threading
 
 __all__ = ["enabled", "enable", "disable", "reset", "add", "snapshot"]
 
 #: Read directly by instrumented hot paths; toggle via enable()/disable().
 enabled = False
 
+_lock = threading.Lock()
 _totals: dict[str, float] = {}
 _counts: dict[str, int] = {}
 
@@ -39,18 +47,22 @@ def disable() -> None:
 
 def reset() -> None:
     """Zero the accumulators (does not change the enabled flag)."""
-    _totals.clear()
-    _counts.clear()
+    with _lock:
+        _totals.clear()
+        _counts.clear()
 
 
 def add(name: str, seconds: float) -> None:
-    """Accumulate ``seconds`` under phase ``name``."""
-    _totals[name] = _totals.get(name, 0.0) + seconds
-    _counts[name] = _counts.get(name, 0) + 1
+    """Accumulate ``seconds`` under phase ``name`` (thread-safe)."""
+    with _lock:
+        _totals[name] = _totals.get(name, 0.0) + seconds
+        _counts[name] = _counts.get(name, 0) + 1
 
 
 def snapshot() -> dict[str, dict[str, float]]:
     """``{phase: {"seconds": total, "calls": n}}``, sorted by phase name."""
-    return {
-        name: {"seconds": _totals[name], "calls": _counts[name]} for name in sorted(_totals)
-    }
+    with _lock:
+        return {
+            name: {"seconds": _totals[name], "calls": _counts[name]}
+            for name in sorted(_totals)
+        }

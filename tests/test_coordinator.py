@@ -1102,7 +1102,13 @@ def _free_port() -> int:
     return port
 
 
-def _start_serve(run_dir: Path, port: int, spec_path: Path | None, ttl: float = 2.0):
+def _start_serve(
+    run_dir: Path,
+    port: int,
+    spec_path: Path | None,
+    ttl: float = 2.0,
+    extra: list[str] | None = None,
+):
     cmd = [
         sys.executable,
         "-m",
@@ -1117,6 +1123,8 @@ def _start_serve(run_dir: Path, port: int, spec_path: Path | None, ttl: float = 
     ]
     if spec_path is not None:
         cmd += ["--spec", str(spec_path)]
+    if extra:
+        cmd += extra
     return subprocess.Popen(
         cmd, env=_env(), stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True
     )
@@ -1259,11 +1267,99 @@ class TestFaultInjection:
             assert best.task_graph == res.best_instance.task_graph
             assert best.network == res.best_instance.network
 
+    def test_standby_takeover_bit_identical_to_serial(self, tmp_path):
+        """Warm-standby HA end to end: batched workers drain a fig4
+        sweep, the primary coordinator is SIGKILLed mid-batch, the
+        standby replays the snapshot/segment chain and binds the same
+        port, and the workers' reconnect probes rejoin it — the merged
+        report must still be bit-identical to ``run_sweep(spec, jobs=1)``.
+        """
+        spec = tiny_fig4_spec()
+        serial = run_sweep(spec, jobs=1)
+        expected_keys = sorted(
+            f"{t}|{b}|r{r}"
+            for t in SCHEDULERS
+            for b in SCHEDULERS
+            if t != b
+            for r in range(TINY.restarts)
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(spec.to_json())
+        run_dir = tmp_path / "run"
+        port = _free_port()
+        url = f"http://127.0.0.1:{port}"
+
+        # A small segment threshold so the primary has published real
+        # snapshots by the time it dies — the takeover replay is the
+        # snapshot path, not a full-history replay.
+        primary = _start_serve(
+            run_dir, port, spec_path, ttl=2.0, extra=["--segment-bytes", "2000"]
+        )
+        standby = None
+        workers: list[subprocess.Popen] = []
+        try:
+            _wait_until(lambda: _status(url) is not None, 60, "primary to serve")
+            standby = _start_serve(
+                run_dir, port, spec_path=None, ttl=2.0, extra=["--standby"]
+            )
+
+            workers = [
+                _start_worker(url, f"w{i}", delay=0.3, batch=3) for i in range(2)
+            ]
+            _wait_until(
+                lambda: (_status(url) or {}).get("completed_units", 0) >= 2,
+                120,
+                "progress before the primary dies",
+            )
+            assert not (_status(url) or {}).get("complete"), (
+                "primary kill must land mid-sweep; slow the workers down"
+            )
+            assert standby.poll() is None, "standby died while the primary lived"
+
+            os.kill(primary.pid, signal.SIGKILL)
+            primary.wait(timeout=30)
+
+            # The standby must take over the same port and keep serving
+            # the same run (workers rejoin via their reconnect probes).
+            _wait_until(lambda: _status(url) is not None, 60, "standby to take over")
+            assert standby.poll() is None
+
+            for worker in workers:
+                out, err = worker.communicate(timeout=240)
+                assert worker.returncode == 0, err
+            _wait_until(
+                lambda: bool((_status(url) or {}).get("complete")),
+                60,
+                "takeover coordinator to see the sweep complete",
+            )
+        finally:
+            for proc in [primary, standby, *workers]:
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+
+        # Every unit recorded exactly once across the shards.
+        recorded = []
+        for shard in run_dir.glob("units-*.jsonl"):
+            recorded += [
+                json.loads(line)["key"]
+                for line in shard.read_text().splitlines()
+                if line.strip()
+            ]
+        assert sorted(recorded) == expected_keys
+
+        merged = run_sweep(spec, run_dir=run_dir, resume=True, jobs=1)
+        assert _ratios(merged) == _ratios(serial)
+
     def test_sigkill_under_load_loses_no_acked_flush(self, tmp_path):
         """Group commit's contract under fire: four workers hammering
         batched claims and record flushes while the coordinator is
         SIGKILLed mid-load.  Acks follow durability, so after a restart
-        every flush acked before the kill must still be there."""
+        every flush acked before the kill must still be there.
+
+        The segment threshold is tiny, so the kill also lands amid
+        journal rollovers and snapshot publishes — the restart must
+        reconstruct from whatever snapshot/segment chain the kill left.
+        """
         run_dir = tmp_path / "run"
         keys = [f"u{i}" for i in range(600)]
         RunCheckpoint(run_dir).initialize(
@@ -1275,7 +1371,8 @@ class TestFaultInjection:
             "import sys\n"
             "from repro.runtime.coordinator import serve_coordinator\n"
             f"keys = [f'u{{i}}' for i in range({len(keys)})]\n"
-            f"server = serve_coordinator(sys.argv[1], port={port}, ttl=30.0, unit_keys=keys)\n"
+            f"server = serve_coordinator(sys.argv[1], port={port}, ttl=30.0, "
+            "unit_keys=keys, segment_bytes=1500)\n"
             "server.serve_forever()\n"
         )
         coordinator = subprocess.Popen(
@@ -1322,6 +1419,15 @@ class TestFaultInjection:
         with acked_lock:
             flushed = set(acked)
         assert flushed, "no flush was acked before the kill"
+        # The tiny threshold must actually have exercised the rollover
+        # machinery under load before the kill.
+        from repro.runtime.checkpoint import journal_segments, journal_snapshots
+
+        assert len(journal_segments(run_dir)) >= 1
+        assert journal_snapshots(run_dir), (
+            "no snapshot was published before the kill; the restart below "
+            "would not exercise the snapshot path"
+        )
         restarted = Coordinator(run_dir, ttl=30.0, unit_keys=keys)
         survived = set(restarted.results())
         missing = flushed - survived
