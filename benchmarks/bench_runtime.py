@@ -603,3 +603,104 @@ def test_coordinator_restart_speedup(report_dir, tmp_path):
         f"snapshot restart only {speedup:.1f}x over full replay "
         f"({t_full:.3f}s -> {t_snapshot:.3f}s on {len(events)} events)"
     )
+
+
+# ---------------------------------------------------------------------- #
+# Telemetry overhead on the coordinator worker loop
+# ---------------------------------------------------------------------- #
+TELEMETRY_UNITS = 240
+#: speedup = telemetry-on rate / telemetry-off rate; >= 0.95 is the
+#: "telemetry costs <= 5% on the coordinator path" acceptance bound.
+#: compare.py reads ``speedup_floor`` and enforces it as a hard floor
+#: regardless of baseline drift.
+TELEMETRY_FLOOR = 0.95
+
+
+def _bench_unit_worker(unit):
+    return {"k": unit.key, "v": 1.0}
+
+
+def test_telemetry_overhead(report_dir, tmp_path):
+    """drain_units through the coordinator, telemetry on vs off.
+
+    The measured loop is the real worker hot path — batched claims over
+    a persistent connection against a live coordinator — with trivial
+    work units, so coordination + telemetry dominate the wall clock (the
+    worst case for overhead; real PISA units bury both).  Telemetry-on
+    additionally writes per-unit trace spans and worker counters; the
+    coordinator's own metrics registry runs in both configurations (it
+    is not switchable and its cost is gated by the scaling curve).
+    Results must be identical either way, and the throughput ratio must
+    stay >= TELEMETRY_FLOOR.
+    """
+    from repro.runtime import RunCheckpoint
+    from repro.runtime.backends import HttpWorkBackend
+    from repro.runtime.coordinator import running_coordinator
+    from repro.runtime.distributed import drain_units
+    from repro.runtime.units import WorkUnit
+
+    keys = [f"u{i}" for i in range(TELEMETRY_UNITS)]
+    manifest = {"kind": "sweep", "spec": {"name": "bench"}, "units": len(keys)}
+    counter = {"n": 0}
+    saved = os.environ.get("REPRO_TELEMETRY")
+
+    def drain_once(telemetry_on: bool) -> set:
+        counter["n"] += 1
+        tag = f"{'on' if telemetry_on else 'off'}{counter['n']}"
+        run_dir = tmp_path / f"telemetry-{tag}"
+        RunCheckpoint(run_dir).initialize(manifest, resume=True)
+        os.environ["REPRO_TELEMETRY"] = "1" if telemetry_on else "0"
+        telemetry_dir = tmp_path / f"telemetry-shards-{tag}"
+        telemetry_dir.mkdir()
+        with running_coordinator(run_dir, unit_keys=keys) as server:
+            backend = HttpWorkBackend(server.url, retry_timeout=30, persistent=True)
+            units = [WorkUnit(key) for key in keys]
+            drain_units(
+                units,
+                _bench_unit_worker,
+                backend=backend,
+                worker_id=f"bench-{tag}",
+                claim_batch=16,
+                telemetry_dir=telemetry_dir,
+            )
+            backend.close()
+        recorded = set(RunCheckpoint(run_dir).completed())
+        shards = list(telemetry_dir.glob("telemetry-*.jsonl"))
+        assert bool(shards) == telemetry_on, (
+            f"telemetry shards {'missing' if telemetry_on else 'written'} "
+            f"with REPRO_TELEMETRY={'1' if telemetry_on else '0'}"
+        )
+        return recorded
+
+    try:
+        (done_on, t_on), (done_off, t_off) = _interleaved_best(
+            lambda: drain_once(True), lambda: drain_once(False)
+        )
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_TELEMETRY", None)
+        else:
+            os.environ["REPRO_TELEMETRY"] = saved
+
+    assert done_on == done_off == set(keys), "telemetry changed what was recorded"
+    rate_on = TELEMETRY_UNITS / t_on if t_on > 0 else math.inf
+    rate_off = TELEMETRY_UNITS / t_off if t_off > 0 else math.inf
+    speedup = rate_on / rate_off if rate_off > 0 else 1.0
+    _write_timings(
+        report_dir,
+        "telemetry_overhead",
+        {
+            "units": TELEMETRY_UNITS,
+            "telemetry_on_seconds": round(t_on, 4),
+            "telemetry_off_seconds": round(t_off, 4),
+            "telemetry_on_units_per_second": round(rate_on, 1),
+            "telemetry_off_units_per_second": round(rate_off, 1),
+            "overhead_pct": round(max(0.0, (1.0 - speedup) * 100.0), 2),
+            "speedup": round(speedup, 3),
+            "speedup_floor": TELEMETRY_FLOOR,
+        },
+    )
+    assert speedup >= TELEMETRY_FLOOR, (
+        f"telemetry overhead too high: {(1.0 - speedup) * 100.0:.1f}% "
+        f"({rate_off:.0f}/s off -> {rate_on:.0f}/s on)"
+    )

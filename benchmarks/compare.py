@@ -13,6 +13,11 @@ What is compared
   dimensionless ratios (compiled-vs-reference, parallel-vs-serial), so
   they transfer across machines.  Higher is better; a fresh value below
   ``baseline * (1 - tolerance)`` fails.
+* A section may declare ``speedup_floor``: an absolute hard floor for
+  its ``speedup`` that applies regardless of baseline drift or the
+  tolerance.  ``telemetry_overhead`` uses it to pin "telemetry costs
+  <= 5% on the coordinator path" (speedup >= 0.95) — a bound that a
+  sloppy baseline refresh must not be able to relax.
 * With ``--seconds``, ``*_seconds`` entries are compared too (lower is
   better).  Off by default: absolute wall-clock only means something
   when baseline and fresh ran on the same class of machine.
@@ -83,6 +88,9 @@ def compare(
         value = cur_metrics[name][0]
         if sense == "higher":
             floor = base_value * (1.0 - tolerance)
+            hard_floor = (baseline.get(section) or {}).get("speedup_floor")
+            if name.endswith(".speedup") and isinstance(hard_floor, (int, float)):
+                floor = max(floor, float(hard_floor))
             ok = value >= floor
             bound = f">= {floor:.3f}"
         else:

@@ -20,7 +20,10 @@ sweep
     shared run directory, or over ``--coordinator http://host:port``
     with no shared filesystem), ``status`` reports a run's progress,
     shards, and leases (``--json`` for the machine-readable schema,
-    ``--coordinator`` for a live coordinator's snapshot).
+    ``--coordinator`` for a live coordinator's snapshot, ``--watch
+    SECONDS`` to re-render periodically), ``top`` is the live fleet
+    dashboard (throughput, ETA, per-worker rates, reclaim/duplicate
+    counts, journal lag) over a run directory or ``--coordinator URL``.
 runs
     Run-directory housekeeping: ``gc`` lists (default) or deletes
     completed/stale checkpoint directories (never ones with live worker
@@ -41,6 +44,8 @@ Examples
     python -m repro sweep work --coordinator http://host:8642       # any host, no NFS
     python -m repro sweep status runs/my-sweep
     python -m repro sweep status --coordinator http://host:8642 --json
+    python -m repro sweep top runs/my-sweep --interval 2
+    python -m repro sweep top --coordinator http://host:8642
     python -m repro sweep show fig4
     python -m repro runs gc runs/ --stale-hours 48 --delete
 """
@@ -48,6 +53,8 @@ Examples
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import sys
 import time
 from pathlib import Path
@@ -70,6 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SAGA + PISA reproduction: task-graph scheduling and adversarial analysis",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default=None,
+        help="level for the repro.* loggers (worker leases, coordinator "
+        "journal, checkpoint repair diagnostics); defaults to "
+        "$REPRO_LOG_LEVEL or warning",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -178,8 +193,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="print per-phase timings (compile / schedule / perturb) "
-        "after the run; single-process only (--jobs 1, --backend local) "
-        "because the accumulators are process-local",
+        "after the run; works at any --jobs and on every backend — "
+        "worker processes serialize their phase accumulators into "
+        "telemetry shards, which are merged here",
     )
 
     q = sweep_sub.add_parser(
@@ -302,6 +318,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit when nothing is claimable instead of waiting for the "
         "whole run to complete",
     )
+    q.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-phase timings after draining; in shared-directory "
+        "mode the merge covers every worker's dumped accumulators, in "
+        "coordinator mode this worker's own",
+    )
 
     q = sweep_sub.add_parser(
         "status", help="report a run's progress, shards, and leases"
@@ -322,6 +345,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="machine-readable output (one schema for both backends)",
+    )
+    q.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="re-render every SECONDS until interrupted (or until the run "
+        "completes)",
+    )
+
+    q = sweep_sub.add_parser(
+        "top",
+        help="live fleet dashboard: throughput, ETA, per-worker rates, "
+        "reclaim/duplicate counts, journal lag",
+    )
+    q.add_argument(
+        "run_dir",
+        nargs="?",
+        default=None,
+        help="run directory to watch (omit with --coordinator)",
+    )
+    q.add_argument(
+        "--coordinator",
+        default=None,
+        metavar="URL",
+        help="watch the live coordinator at URL (GET /status + GET /metrics) "
+        "instead of a run directory",
+    )
+    q.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls (default 2)",
+    )
+    q.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        help="render N frames then exit (default: run until interrupted or "
+        "the run completes)",
     )
 
     q = sweep_sub.add_parser(
@@ -527,6 +590,9 @@ def _cmd_sweep(args) -> int:
     if args.sweep_command == "status":
         return _cmd_sweep_status(args)
 
+    if args.sweep_command == "top":
+        return _cmd_sweep_top(args)
+
     if args.sweep_command == "init":
         out = Path(args.out)
         if out.exists() and not args.force:
@@ -584,46 +650,96 @@ def _cmd_sweep(args) -> int:
             return 2
     from repro.runtime.backends import CoordinatorError, CoordinatorProtocolError
 
-    if args.profile and (args.jobs != 1 or args.backend != "local"):
-        print(
-            "error: --profile is single-process only (--jobs 1, "
-            "--backend local); worker processes do not report phase "
-            "timings back",
-            file=sys.stderr,
-        )
-        return 2
+    profile_dir: Path | None = None
+    profile_tmp: str | None = None
     if args.profile:
-        from repro.utils import phases
-
-        phases.reset()
-        phases.enable()
+        profile_dir, profile_tmp = _profile_begin(args.run_dir)
 
     try:
-        result = run_sweep(
-            spec,
-            jobs=args.jobs,
-            run_dir=args.run_dir,
-            resume=args.resume,
-            progress=progress,
-            backend=args.backend,
-            coordinator=args.coordinator,
-            claim_batch=args.batch,
-        )
-    except (SpecError, CheckpointError, CoordinatorError, CoordinatorProtocolError) as exc:
-        # CheckpointError covers the run-dir refusals (existing run dir
-        # without --resume, manifest mismatch on --resume) and the
-        # coordinator-manifest mismatch; the coordinator errors cover an
-        # unreachable or foreign coordinator.  Anything else is a real
-        # failure and keeps its traceback.
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    print(render_report(result))
-    if args.profile:
-        from repro.utils import phases
+        try:
+            result = run_sweep(
+                spec,
+                jobs=args.jobs,
+                run_dir=args.run_dir,
+                resume=args.resume,
+                progress=progress,
+                backend=args.backend,
+                coordinator=args.coordinator,
+                claim_batch=args.batch,
+            )
+        except (SpecError, CheckpointError, CoordinatorError, CoordinatorProtocolError) as exc:
+            # CheckpointError covers the run-dir refusals (existing run dir
+            # without --resume, manifest mismatch on --resume) and the
+            # coordinator-manifest mismatch; the coordinator errors cover an
+            # unreachable or foreign coordinator.  Anything else is a real
+            # failure and keeps its traceback.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(render_report(result))
+        if args.profile:
+            print(_profile_render_merged(profile_dir), file=sys.stderr)
+        return 0
+    finally:
+        if args.profile:
+            _profile_cleanup(profile_tmp)
 
-        phases.disable()
-        print(_render_phase_profile(phases.snapshot()), file=sys.stderr)
-    return 0
+
+def _profile_begin(run_dir: str | None) -> tuple[Path, str | None]:
+    """Arm ``--profile`` for a multi-process run.
+
+    Worker processes (pool children, forked/spawned drain workers, remote
+    backends' local workers) read ``REPRO_PROFILE`` and serialize their
+    phase accumulators into telemetry shards; the merge in
+    :func:`_profile_render_merged` folds them back together — this is
+    what lets ``--profile`` run at any ``--jobs`` and backend.  Returns
+    ``(shard_dir, tempdir_to_clean_up)``; the tempdir is created (and
+    exported as ``REPRO_TELEMETRY_DIR``) only when there is no run
+    directory for the shards to land in.
+    """
+    import os
+
+    from repro.utils import phases
+
+    os.environ["REPRO_PROFILE"] = "1"
+    tmp: str | None = None
+    if run_dir is not None:
+        profile_dir = Path(run_dir)
+    else:
+        import tempfile
+
+        tmp = tempfile.mkdtemp(prefix="repro-telemetry-")
+        os.environ["REPRO_TELEMETRY_DIR"] = tmp
+        profile_dir = Path(tmp)
+    phases.reset()
+    phases.enable()
+    return profile_dir, tmp
+
+
+def _profile_render_merged(profile_dir: Path | None) -> str:
+    """Merge shard-dumped phase tables with this process's accumulators."""
+    from repro.observability.aggregate import merge_phase_tables, summarize_run_dir
+    from repro.utils import phases
+
+    phases.disable()
+    # Shard-dumped tables (any worker process, any backend) plus whatever
+    # is still in this process's accumulators (jobs=1 local work never
+    # leaves the process).
+    tables = []
+    if profile_dir is not None:
+        tables.append(summarize_run_dir(profile_dir).phases)
+    tables.append(phases.snapshot())
+    return _render_phase_profile(merge_phase_tables(tables))
+
+
+def _profile_cleanup(profile_tmp: str | None) -> None:
+    import os
+
+    os.environ.pop("REPRO_PROFILE", None)
+    if profile_tmp is not None:
+        import shutil
+
+        os.environ.pop("REPRO_TELEMETRY_DIR", None)
+        shutil.rmtree(profile_tmp, ignore_errors=True)
 
 
 def _render_phase_profile(snapshot: dict) -> str:
@@ -710,9 +826,20 @@ def _cmd_sweep_work(args) -> int:
             )
             return 2
     wid = args.worker_id if args.worker_id is not None else worker_identity()
+    worker_log = logging.getLogger("repro.runtime.worker")
+    if args.log_level is None and not os.environ.get("REPRO_LOG_LEVEL"):
+        # Per-unit completions were always visible before the logging
+        # migration; keep that default unless the operator set a level.
+        worker_log.setLevel(logging.INFO)
 
     def on_unit(key: str) -> None:
-        print(f"[{wid}] completed {key}", file=sys.stderr, flush=True)
+        # Routed through the repro.runtime.* namespace (not a bare stderr
+        # print) so fleet operators can set levels / redirect per host.
+        worker_log.info("[%s] completed %s", wid, key)
+
+    profile_dir = profile_tmp = None
+    if args.profile:
+        profile_dir, profile_tmp = _profile_begin(args.run_dir)
 
     try:
         if args.coordinator is not None:
@@ -757,8 +884,13 @@ def _cmd_sweep_work(args) -> int:
             completed_units = status.completed_units
             total_units = status.total_units
     except (SpecError, CheckpointError, CoordinatorError, CoordinatorProtocolError) as exc:
+        if args.profile:
+            _profile_cleanup(profile_tmp)
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.profile:
+        print(_profile_render_merged(profile_dir), file=sys.stderr)
+        _profile_cleanup(profile_tmp)
     reclaimed = f", reclaimed {stats.reclaimed} stale lease(s)" if stats.reclaimed else ""
     print(
         f"worker {wid}: executed {stats.executed} unit(s){reclaimed}; "
@@ -878,6 +1010,28 @@ def _cmd_sweep_serve(args) -> int:
     return 0
 
 
+def _watch_loop(render_once, interval: float, frames: int | None = None) -> int:
+    """Shared polling loop for ``sweep status --watch`` and ``sweep top``.
+
+    ``render_once()`` returns ``(text, stop)``; the loop prints each
+    frame (clearing the screen between frames on a TTY), sleeps
+    ``interval``, and exits cleanly on Ctrl-C, after ``frames`` renders,
+    or when ``render_once`` reports the run is done.
+    """
+    clear = "\x1b[H\x1b[2J" if sys.stdout.isatty() else ""
+    rendered = 0
+    try:
+        while True:
+            text, stop = render_once()
+            print(f"{clear}{text}", flush=True)
+            rendered += 1
+            if stop or (frames is not None and rendered >= frames):
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_sweep_status(args) -> int:
     import json as _json
 
@@ -886,6 +1040,7 @@ def _cmd_sweep_status(args) -> int:
         CoordinatorProtocolError,
         HttpWorkBackend,
     )
+    from repro.runtime.checkpoint import CheckpointError
     from repro.runtime.distributed import inspect_run_dir, render_status_payload
 
     if (args.run_dir is None) == (args.coordinator is None):
@@ -894,24 +1049,77 @@ def _cmd_sweep_status(args) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.coordinator is not None:
-        # A status probe should fail fast, not ride out a long restart.
-        try:
-            payload = HttpWorkBackend(args.coordinator, retry_timeout=5.0).status()
-        except (CoordinatorError, CoordinatorProtocolError, ValueError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-    else:
+    if args.watch is not None and args.watch <= 0:
+        print(f"error: --watch must be positive, got {args.watch}", file=sys.stderr)
+        return 2
+
+    def _payload() -> dict:
+        if args.coordinator is not None:
+            # A status probe should fail fast, not ride out a long restart.
+            return HttpWorkBackend(args.coordinator, retry_timeout=5.0).status()
         status = inspect_run_dir(args.run_dir)
         if status.kind is None and not status.shard_counts:
-            print(f"error: {args.run_dir} is not a run directory", file=sys.stderr)
-            return 2
-        payload = status.to_payload()
-    if args.json:
-        print(_json.dumps(payload, indent=2, sort_keys=True))
-    else:
-        print(render_status_payload(payload))
-    return 0
+            raise CheckpointError(f"{args.run_dir} is not a run directory")
+        return status.to_payload()
+
+    def _render_once() -> tuple[str, bool]:
+        payload = _payload()
+        text = (
+            _json.dumps(payload, indent=2, sort_keys=True)
+            if args.json
+            else render_status_payload(payload)
+        )
+        return text, bool(payload.get("complete"))
+
+    try:
+        if args.watch is None:
+            print(_render_once()[0])
+            return 0
+        return _watch_loop(_render_once, args.watch)
+    except (CoordinatorError, CoordinatorProtocolError, CheckpointError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_sweep_top(args) -> int:
+    from repro.observability.dashboard import (
+        collect_coordinator_frame,
+        collect_run_dir_frame,
+        render_frame,
+    )
+    from repro.runtime.backends import CoordinatorError, CoordinatorProtocolError
+    from repro.runtime.checkpoint import CheckpointError
+
+    if (args.run_dir is None) == (args.coordinator is None):
+        print(
+            "error: pass exactly one of <run_dir> or --coordinator URL",
+            file=sys.stderr,
+        )
+        return 2
+    if args.interval <= 0:
+        print(f"error: --interval must be positive, got {args.interval}", file=sys.stderr)
+        return 2
+    if args.frames is not None and args.frames < 1:
+        print(f"error: --frames must be >= 1, got {args.frames}", file=sys.stderr)
+        return 2
+
+    prev = None
+
+    def _render_once() -> tuple[str, bool]:
+        nonlocal prev
+        if args.coordinator is not None:
+            frame = collect_coordinator_frame(args.coordinator)
+        else:
+            frame = collect_run_dir_frame(args.run_dir)
+        text = render_frame(frame, prev)
+        prev = frame
+        return text, frame.complete
+
+    try:
+        return _watch_loop(_render_once, args.interval, frames=args.frames)
+    except (CoordinatorError, CoordinatorProtocolError, CheckpointError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _scaffold_spec(name: str, mode: str, seed: int):
@@ -1006,8 +1214,32 @@ _COMMANDS = {
 }
 
 
+def _configure_logging(level_name: str | None) -> None:
+    """Route the ``repro.*`` logger namespace to stderr at one level.
+
+    Runtime diagnostics (lease churn, journal repair, duplicate records,
+    worker completions) all log under ``repro.runtime.*``; this is the
+    single knob — ``--log-level`` or ``$REPRO_LOG_LEVEL`` — that fleets
+    use to raise or silence them.  Only the ``repro`` logger is touched:
+    no ``basicConfig``, so embedding applications keep their own root
+    handler setup.
+    """
+    if level_name is None:
+        level_name = os.environ.get("REPRO_LOG_LEVEL") or "warning"
+    level = getattr(logging, level_name.upper(), logging.WARNING)
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s [%(levelname)s] %(message)s")
+        )
+        logger.addHandler(handler)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(args.log_level)
     return _COMMANDS[args.command](args)
 
 

@@ -762,6 +762,20 @@ class HttpWorkBackend:
         self._secure = split.scheme == "https"
         self._address = (split.hostname or "localhost", split.port or (443 if self._secure else 80))
         self._local = threading.local()
+        # Client-side transport telemetry (process-global registry): how
+        # many wire requests this worker issued and how many were retried
+        # after a transient failure — the worker-side mirror of the
+        # coordinator's request metrics.
+        from repro.observability.metrics import global_registry
+
+        registry = global_registry()
+        self._m_requests = registry.counter(
+            "repro_backend_requests_total", "Coordinator wire requests issued."
+        )
+        self._m_retries = registry.counter(
+            "repro_backend_retries_total",
+            "Coordinator wire requests retried after a transient failure.",
+        )
 
     # ------------------------------------------------------------------ #
     # Transport
@@ -784,11 +798,12 @@ class HttpWorkBackend:
         """Close the calling thread's persistent connection, if any."""
         self._drop_connection()
 
-    def _roundtrip(self, path: str, body: bytes | None) -> Any:
+    def _roundtrip(self, path: str, body: bytes | None, *, raw: bool = False) -> Any:
         conn = getattr(self._local, "conn", None)
         reused = conn is not None
         if conn is None:
             conn = self._new_connection()
+        self._m_requests.inc()
         try:
             conn.request(
                 "GET" if body is None else "POST",
@@ -798,7 +813,7 @@ class HttpWorkBackend:
             )
             resp = conn.getresponse()
             status, reason = resp.status, resp.reason
-            raw = resp.read()
+            response_body = resp.read()
         except (http.client.HTTPException, ConnectionError, TimeoutError, OSError) as exc:
             self._drop_connection(conn)
             raise _TransientError(f"{type(exc).__name__}: {exc}", retry_now=reused) from exc
@@ -808,28 +823,32 @@ class HttpWorkBackend:
             self._drop_connection(conn)
         if 400 <= status < 500:
             raise CoordinatorProtocolError(
-                f"coordinator rejected {path}: {_error_detail(status, reason, raw)}"
+                f"coordinator rejected {path}: {_error_detail(status, reason, response_body)}"
             )
         if status >= 500:
             raise _TransientError(f"{status} {reason}")
+        if raw:
+            # Non-JSON endpoints (GET /metrics serves Prometheus text).
+            return response_body.decode(errors="replace")
         try:
-            return json.loads(raw)
+            return json.loads(response_body)
         except json.JSONDecodeError as exc:
             raise CoordinatorProtocolError(
                 f"coordinator at {self.url} returned non-JSON for {path}: {exc}"
             ) from None
 
-    def _request(self, path: str, payload: dict | None = None) -> Any:
-        """One JSON round-trip with bounded retry on transient failures."""
+    def _request(self, path: str, payload: dict | None = None, *, raw: bool = False) -> Any:
+        """One round-trip with bounded retry on transient failures."""
         body = None if payload is None else json.dumps(payload).encode()
         deadline = time.monotonic() + self.retry_timeout
         backoff = 0.05
         last: Exception | None = None
         while True:
             try:
-                return self._roundtrip(path, body)
+                return self._roundtrip(path, body, raw=raw)
             except _TransientError as exc:
                 last = exc
+                self._m_retries.inc()
                 if exc.retry_now:
                     continue  # stale keep-alive: next attempt opens fresh, no pause
             remaining = deadline - time.monotonic()
@@ -996,6 +1015,14 @@ class HttpWorkBackend:
         if not isinstance(results, dict):
             raise CoordinatorProtocolError(f"coordinator /results reply malformed: {reply!r}")
         return results
+
+    def metrics_text(self) -> str:
+        """The coordinator's ``GET /metrics`` body (Prometheus text
+        exposition format, not JSON) — what ``repro sweep top`` polls."""
+        text = self._request("/metrics", raw=True)
+        if not isinstance(text, str):
+            raise CoordinatorProtocolError(f"coordinator /metrics reply malformed: {text!r}")
+        return text
 
 
 def _error_detail(status: int, reason: str, raw: bytes) -> str:

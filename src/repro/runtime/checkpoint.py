@@ -337,11 +337,13 @@ class RunCheckpoint:
         self.units_path.write_text("")
         # A fresh run over a previously-abandoned directory must not
         # inherit its (empty — the refusal above covers non-empty) shards,
-        # its dead lease files, or the previous sweep's coordinator
-        # journal chain — replaying another experiment's journal segments
-        # or snapshot into a fresh coordinator would resurrect its leases
-        # and completion set.
+        # its dead lease files, its telemetry shards, or the previous
+        # sweep's coordinator journal chain — replaying another
+        # experiment's journal segments or snapshot into a fresh
+        # coordinator would resurrect its leases and completion set, and
+        # stale telemetry would misreport this run's fleet.
         stale: list[Path] = list(self.run_dir.glob(SHARD_GLOB))
+        stale += list(self.run_dir.glob("telemetry-*.jsonl"))
         stale += [path for _, path in journal_segments(self.run_dir)]
         stale += [path for _, path in journal_snapshots(self.run_dir)]
         for path in stale:

@@ -249,8 +249,23 @@ class _GroupCommitJournal:
     sealed segment's last ticket is durable.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, metrics: Any | None = None) -> None:
         self.path = Path(path)  # the active (newest) segment
+        # Group-commit observability (``metrics`` is a MetricsRegistry):
+        # how many transitions each fsync amortizes, and what the fsync
+        # itself costs — the two numbers that explain coordinator write
+        # throughput.
+        self._m_batch = self._m_fsync = None
+        if metrics is not None:
+            self._m_batch = metrics.histogram(
+                "coordinator_journal_batch_size",
+                "Journal events per group commit (transitions amortized per fsync).",
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+            )
+            self._m_fsync = metrics.histogram(
+                "coordinator_journal_fsync_seconds",
+                "Wall seconds per journal write+flush+fsync.",
+            )
         #: Bytes in the active segment, counting buffered-but-unwritten
         #: lines; read by the coordinator (under its state lock, the same
         #: lock serializing enqueue/roll) to decide when to roll.
@@ -281,6 +296,11 @@ class _GroupCommitJournal:
         """The most recently issued ticket (0 if nothing was enqueued)."""
         with self._cond:
             return self._enqueued
+
+    def pending(self) -> int:
+        """Events enqueued but not yet durable (the journal's commit lag)."""
+        with self._cond:
+            return max(self._enqueued - self._durable, 0)
 
     def roll(self, new_path: str | Path) -> None:
         """Seal the active segment and append to ``new_path`` from now on.
@@ -323,6 +343,10 @@ class _GroupCommitJournal:
                 self._cond.notify_all()
 
     def _commit(self, batch: list[tuple[str, Any]]) -> None:
+        if self._m_batch is not None:
+            lines = sum(1 for kind, _ in batch if kind == "line")
+            if lines:
+                self._m_batch.observe(lines)
         buffered: list[bytes] = []
         for kind, payload in batch:
             if kind == "line":
@@ -339,6 +363,7 @@ class _GroupCommitJournal:
     def _write_fsync(self, data: bytes) -> None:
         if not data:
             return
+        t0 = time.perf_counter() if self._m_fsync is not None else 0.0
         if self._fh is None:
             fh = self._commit_path.open("ab")
             # Repair a killed predecessor's torn tail before appending,
@@ -349,6 +374,8 @@ class _GroupCommitJournal:
         self._fh.write(data)
         self._fh.flush()
         os.fsync(self._fh.fileno())
+        if self._m_fsync is not None:
+            self._m_fsync.observe(time.perf_counter() - t0)
 
     def _close_fh(self) -> None:
         fh, self._fh = self._fh, None
@@ -414,9 +441,69 @@ class Coordinator:
         self._duplicates = 0
         self._leases: dict[str, _LeaseEntry] = {}
         self._segment_seq = 0
+        # Per-instance metrics registry: a restarted coordinator (or a
+        # promoting standby) builds a fresh one and seeds it from the
+        # recovered state below, so `GET /metrics` is always consistent
+        # with the server's actual authority — never a stale carry-over.
+        from repro.observability.metrics import MetricsRegistry
+
+        self.metrics = MetricsRegistry()
+        self._started_at = time.monotonic()
+        self._m_claims = self.metrics.counter(
+            "coordinator_claims_granted_total", "Lease claims granted (incl. batch members)."
+        )
+        self._m_reclaims = self.metrics.counter(
+            "coordinator_claims_reclaimed_total",
+            "Granted claims that reclaimed an expired peer lease.",
+        )
+        self._m_expired = self.metrics.counter(
+            "coordinator_leases_expired_total", "Stale leases expired and re-granted."
+        )
+        self._m_records = self.metrics.counter(
+            "coordinator_records_total",
+            "Units durably recorded (seeded with recovered completions on restart).",
+        )
+        self._m_duplicates = self.metrics.counter(
+            "coordinator_duplicate_records_total",
+            "Duplicate records dropped (first writer wins).",
+        )
+        self._m_releases = self.metrics.counter(
+            "coordinator_releases_total", "Leases released (incl. batch members)."
+        )
+        # Per-worker attribution is live-traffic only (recovery cannot map
+        # mangled shard names back to worker ids); `sweep top` uses the
+        # frame-to-frame delta, so a restart just restarts the window.
+        self._m_worker_records = self.metrics.counter(
+            "coordinator_worker_records_total",
+            "Results recorded since this coordinator started, by worker.",
+            labelnames=("worker",),
+        )
+        self._m_recoveries = self.metrics.counter(
+            "coordinator_recoveries_total",
+            "Restarts that rebuilt state from snapshot/journal/shards.",
+        )
+        self._m_roll_s = self.metrics.histogram(
+            "coordinator_rollover_seconds", "Wall seconds sealing a journal segment."
+        )
+        self._m_snapshot_s = self.metrics.histogram(
+            "coordinator_snapshot_write_seconds",
+            "Wall seconds writing+fsyncing one state snapshot.",
+        )
+        self._m_snapshots = self.metrics.counter(
+            "coordinator_snapshots_total", "State snapshots published."
+        )
         self._recover()
+        # Seed the cumulative series from recovered state: after a restart
+        # or standby takeover, records_total keeps matching the completion
+        # set the merged report will show.
+        if self._completed:
+            self._m_records.inc(len(self._completed))
+        if self._duplicates:
+            self._m_duplicates.inc(self._duplicates)
+        if self._completed or self._leases:
+            self._m_recoveries.inc()
         self._journal = _GroupCommitJournal(
-            journal_segment_path(self.run_dir, self._segment_seq)
+            journal_segment_path(self.run_dir, self._segment_seq), metrics=self.metrics
         )
 
     # ------------------------------------------------------------------ #
@@ -646,6 +733,7 @@ class Coordinator:
         segment's last ticket commits, and replay on top of a snapshot is
         prefix-idempotent anyway.
         """
+        roll_t0 = time.perf_counter()
         sealed = self._segment_seq
         ticket = self._journal.last_ticket()
         state = {
@@ -668,6 +756,7 @@ class Coordinator:
         }
         self._segment_seq = sealed + 1
         self._journal.roll(journal_segment_path(self.run_dir, self._segment_seq))
+        self._m_roll_s.observe(time.perf_counter() - roll_t0)
         return _PendingSnapshot(seq=sealed, ticket=ticket, state=state)
 
     def _finish(self, ticket: int | None, pending: _PendingSnapshot | None = None) -> None:
@@ -695,6 +784,7 @@ class Coordinator:
         """
         path = snapshot_path(self.run_dir, pending.seq)
         tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        snap_t0 = time.perf_counter()
         try:
             with tmp.open("w") as fh:
                 json.dump(pending.state, fh)
@@ -706,6 +796,8 @@ class Coordinator:
             with contextlib.suppress(OSError):
                 tmp.unlink()
             return
+        self._m_snapshot_s.observe(time.perf_counter() - snap_t0)
+        self._m_snapshots.inc()
         logger.info(
             "coordinator snapshot %s covers journal segments <= %d "
             "(%d completed, %d leases)",
@@ -767,6 +859,7 @@ class Coordinator:
             {"event": "expire", "unit": unit, "worker": entry.worker, "token": entry.token}
         )
         del self._leases[unit]
+        self._m_expired.inc()
         logger.warning(
             "expired stale lease on unit %r (worker %s silent past its "
             "%.0fs ttl); re-granting to %s",
@@ -807,6 +900,7 @@ class Coordinator:
             if entry.worker == request.worker:
                 entry.heartbeat = now
                 entry.restored = False  # a live re-claim is proof of life
+                self._m_claims.inc()
                 return (
                     ClaimReply(
                         granted=True,
@@ -838,6 +932,9 @@ class Coordinator:
             reclaimed=reclaimed,
             heartbeat=now,
         )
+        self._m_claims.inc()
+        if reclaimed:
+            self._m_reclaims.inc()
         return ClaimReply(granted=True, token=token, ttl=self.ttl, reclaimed=reclaimed), ticket
 
     def claim_batch(self, request: BatchClaimRequest) -> BatchClaimReply:
@@ -900,6 +997,9 @@ class Coordinator:
                     reclaimed=unit in reclaimed_set,
                     heartbeat=now,
                 )
+            self._m_claims.inc(len(granted))
+            if reclaimed:
+                self._m_reclaims.inc(len(reclaimed))
             reply = BatchClaimReply(
                 granted=tuple(granted),
                 token=token,
@@ -967,6 +1067,7 @@ class Coordinator:
                 }
             )
             del self._leases[request.unit]
+            self._m_releases.inc()
             pending = self._maybe_roll_locked()
         self._finish(ticket, pending)
         return AckReply(ok=True)
@@ -999,6 +1100,7 @@ class Coordinator:
                 )
                 for unit in released:
                     del self._leases[unit]
+                self._m_releases.inc(len(released))
             pending = self._maybe_roll_locked() if ticket is not None else None
         self._finish(ticket, pending)
         return BatchAckReply(ok=True, stale=tuple(stale))
@@ -1020,6 +1122,7 @@ class Coordinator:
             self._validate_unit(request.unit)
             if request.unit in self._completed:
                 self._duplicates += 1
+                self._m_duplicates.inc()
                 logger.warning(
                     "duplicate record for unit %r from worker %s dropped "
                     "(first writer wins)",
@@ -1045,6 +1148,8 @@ class Coordinator:
             self._results[request.unit] = request.result
             self._shard_counts[shard_name] = self._shard_counts.get(shard_name, 0) + 1
             self._leases.pop(request.unit, None)
+            self._m_records.inc()
+            self._m_worker_records.labels(request.worker).inc()
             pending = self._maybe_roll_locked()
         self._finish(ticket, pending)
         return AckReply(ok=True)
@@ -1095,8 +1200,11 @@ class Coordinator:
                 self._shard_counts[shard_name] = (
                     self._shard_counts.get(shard_name, 0) + len(fresh)
                 )
+                self._m_records.inc(len(fresh))
+                self._m_worker_records.labels(request.worker).inc(len(fresh))
             if duplicates:
                 self._duplicates += len(duplicates)
+                self._m_duplicates.inc(len(duplicates))
                 logger.warning(
                     "duplicate record(s) for %d unit(s) from worker %s dropped "
                     "(first writer wins)",
@@ -1164,7 +1272,10 @@ class Coordinator:
             name = spec.get("name") if isinstance(spec, dict) else None
             completed = len(self._completed)
             return {
+                # "schema" is the legacy alias; dashboard consumers should
+                # key off "schema_version" to detect payload drift.
                 "schema": STATUS_SCHEMA_VERSION,
+                "schema_version": STATUS_SCHEMA_VERSION,
                 "backend": "coordinator",
                 "source": str(self.run_dir),
                 "kind": kind if isinstance(kind, str) else None,
@@ -1180,6 +1291,48 @@ class Coordinator:
                 "torn_live": 0,
             }
 
+    def metrics_text(self) -> str:
+        """The registry in Prometheus text format, point-in-time gauges
+        refreshed first (lease-table size, completion, journal position).
+
+        This is what ``GET /metrics`` serves.  Cumulative series survive
+        restart/takeover via the seeding in ``__init__``; the gauges here
+        are derived from live state on every scrape, so they are correct
+        by construction on any coordinator generation.
+        """
+        with self._lock:
+            leases = len(self._leases)
+            completed = len(self._completed)
+            segment_seq = self._segment_seq
+            segment_bytes = self._journal.segment_bytes
+        gauges = {
+            "coordinator_lease_table_size": (
+                leases, "In-flight leases (batch members count individually)."
+            ),
+            "coordinator_completed_units": (completed, "Units durably completed."),
+            "coordinator_total_units": (
+                self.total_units if self.total_units is not None else 0,
+                "Units in this run's manifest (0 if unknown).",
+            ),
+            "coordinator_journal_segment_seq": (
+                segment_seq, "Active journal segment sequence number."
+            ),
+            "coordinator_journal_segment_bytes": (
+                segment_bytes, "Bytes in the active journal segment."
+            ),
+            "coordinator_journal_pending_events": (
+                self._journal.pending(),
+                "Journal events enqueued but not yet fsynced (commit lag).",
+            ),
+            "coordinator_uptime_seconds": (
+                time.monotonic() - self._started_at,
+                "Seconds since this coordinator process recovered.",
+            ),
+        }
+        for name, (value, help_text) in gauges.items():
+            self.metrics.gauge(name, help_text).set(value)
+        return self.metrics.render_prometheus()
+
 
 # ---------------------------------------------------------------------- #
 # The HTTP face
@@ -1189,6 +1342,39 @@ class Coordinator:
 #: wait, so a handful of threads saturate the lock while any number of
 #: idle keep-alive connections cost the event loop nothing.
 _OPERATION_THREADS = 32
+
+#: Content type of the Prometheus text exposition format.
+_PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Endpoints that get their own ``coordinator_request_seconds{op=...}``
+#: series; anything else is folded into ``op="other"``.
+_KNOWN_ENDPOINTS = frozenset(
+    {
+        "/status",
+        "/completed",
+        "/results",
+        "/manifest",
+        "/healthz",
+        "/metrics",
+        "/claim",
+        "/claim-batch",
+        "/renew",
+        "/renew-batch",
+        "/release",
+        "/release-batch",
+        "/record",
+        "/record-batch",
+    }
+)
+
+
+@dataclass(frozen=True)
+class _RawBody:
+    """A dispatch result that is already encoded — bypasses the default
+    JSON response path (``GET /metrics`` serves Prometheus text)."""
+
+    data: bytes
+    content_type: str
 
 
 class CoordinatorHTTPServer:
@@ -1293,10 +1479,13 @@ class CoordinatorHTTPServer:
                 body = await reader.readexactly(length) if length > 0 else b""
                 close_after = headers.get("connection", "").lower() == "close"
                 status, reason, payload = await self._dispatch(method, target, body)
-                data = json.dumps(payload).encode()
+                if isinstance(payload, _RawBody):
+                    data, content_type = payload.data, payload.content_type
+                else:
+                    data, content_type = json.dumps(payload).encode(), "application/json"
                 head_out = (
                     f"HTTP/1.1 {status} {reason}\r\n"
-                    "Content-Type: application/json\r\n"
+                    f"Content-Type: {content_type}\r\n"
                     f"Content-Length: {len(data)}\r\n"
                     f"{'Connection: close' + chr(13) + chr(10) if close_after else ''}"
                     "\r\n"
@@ -1319,6 +1508,24 @@ class CoordinatorHTTPServer:
         return await loop.run_in_executor(self._pool, lambda: fn(*args))
 
     async def _dispatch(self, method: str, target: str, body: bytes) -> tuple[int, str, Any]:
+        # Per-op request latency: one histogram series per known endpoint
+        # (unknown targets share "other" so a port scan cannot explode the
+        # label space).  The observation covers parse + queue + operation.
+        metrics = self.coordinator.metrics
+        op = target if target in _KNOWN_ENDPOINTS else "other"
+        t0 = time.perf_counter()
+        try:
+            return await self._dispatch_inner(method, target, body)
+        finally:
+            metrics.histogram(
+                "coordinator_request_seconds",
+                "Request latency by endpoint (parse + queue + operation).",
+                ("op",),
+            ).labels(op).observe(time.perf_counter() - t0)
+
+    async def _dispatch_inner(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, str, Any]:
         coordinator = self.coordinator
         if method == "GET":
             reads = {
@@ -1327,6 +1534,9 @@ class CoordinatorHTTPServer:
                 "/results": lambda: {"results": coordinator.results()},
                 "/manifest": lambda: coordinator.manifest,
                 "/healthz": lambda: {"ok": True},
+                "/metrics": lambda: _RawBody(
+                    coordinator.metrics_text().encode(), _PROMETHEUS_CONTENT_TYPE
+                ),
             }
             fn = reads.get(target)
             if fn is None:

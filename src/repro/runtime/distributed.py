@@ -501,6 +501,7 @@ def drain_units(
     wait: bool = True,
     on_unit: Callable[[str], None] | None = None,
     claim_batch: int = 1,
+    telemetry_dir: str | Path | None = None,
 ) -> WorkerStats:
     """Drain ``units`` through a work backend as one worker.
 
@@ -545,6 +546,14 @@ def drain_units(
         HTTP backend — while results are still recorded (and members
         released) one by one, so a worker that dies mid-batch leaks
         only the *unfinished* remainder to TTL expiry.
+    telemetry_dir:
+        Where this worker's ``telemetry-<worker>.jsonl`` trace shard
+        goes.  Defaults to the run directory for the filesystem backend
+        and to ``$REPRO_TELEMETRY_DIR`` (if set) otherwise; ``None``
+        with no default means no trace shard.  Telemetry is inert — it
+        records wall-clock observations about completed units and never
+        touches RNG streams or results — and is disabled entirely by
+        ``REPRO_TELEMETRY=0``.
     """
     from repro.runtime.backends import FilesystemWorkBackend
 
@@ -598,6 +607,32 @@ def drain_units(
     stats = WorkerStats(worker_id=wid)
     by_key = {u.key: u for u in units}
 
+    from repro.observability.metrics import global_registry
+    from repro.observability.trace import TelemetryWriter, profile_requested
+    from repro.utils import phases
+
+    if telemetry_dir is None:
+        if checkpoint is not None:
+            telemetry_dir = checkpoint.run_dir
+        else:
+            telemetry_dir = os.environ.get("REPRO_TELEMETRY_DIR") or None
+    telemetry = TelemetryWriter.open(telemetry_dir, wid)
+    if profile_requested():
+        phases.enable()
+    registry = global_registry()
+    # Children resolved once: steady-state recording is one lock + add.
+    m_executed = registry.counter(
+        "repro_worker_units_total", "Units this process executed.", ("worker",)
+    ).labels(wid)
+    m_reclaimed = registry.counter(
+        "repro_worker_reclaims_total", "Stale leases this process stole.", ("worker",)
+    ).labels(wid)
+    m_skipped = registry.counter(
+        "repro_worker_skips_total",
+        "Claims that turned out to be already completed.",
+        ("worker",),
+    ).labels(wid)
+
     def _execute(key: str) -> Any:
         if delay > 0:
             time.sleep(delay)  # fault-injection window (see module docstring)
@@ -606,80 +641,143 @@ def drain_units(
     def _finished(key: str) -> None:
         stats.executed += 1
         stats.executed_keys.add(key)
+        m_executed.inc()
         if on_unit is not None:
             on_unit(key)
 
-    while True:
-        done = backend.completed_keys()
-        pending = [k for k in by_key if k not in done]
-        if not pending:
-            backend.cleanup(done)
-            return stats
-        progressed = False
-        if batch_size > 1:
-            for start in range(0, len(pending), batch_size):
-                chunk = pending[start : start + batch_size]
-                batch = backend.claim_batch(chunk, wid)
-                if batch is None:
-                    continue
-                progressed = True
-                stats.reclaimed += len(batch.reclaimed_units)
-                try:
-                    with _renewing(
-                        backend, batch, _beat_for(batch), renew=backend.renew_batch
-                    ):
-                        for key in list(batch.units):
-                            # Same post-claim recheck as the per-unit path
-                            # below, per member.
-                            if backend.recheck_after_claim and key in backend.completed_keys():
-                                backend.release_unit(batch, key)
-                                stats.skipped += 1
-                                continue
-                            result = _execute(key)
-                            # Record-and-release member by member: a crash
-                            # from here on costs peers only the *unfinished*
-                            # remainder after TTL expiry.
-                            backend.record_in_batch(batch, key, result)
-                            _finished(key)
-                finally:
-                    # Success path: every member was recorded and released,
-                    # so this releases nothing.  Failure path: hands the
-                    # unfinished remainder back to peers immediately.
-                    backend.release_batch(batch)
-        else:
-            for key in pending:
-                lease = backend.claim(key, wid)
-                if lease is None:
-                    continue
-                progressed = True
-                if lease.reclaimed:
-                    stats.reclaimed += 1
-                # Results are recorded *before* leases are released, so a
-                # post-claim recheck sees everything any peer finished: a dead
-                # worker that recorded then crashed before releasing, or a live
-                # one that completed this unit after this pass listed it as
-                # pending.  Never execute a completed unit twice.  (A
-                # coordinator backend refuses the claim atomically instead, so
-                # the recheck round-trip is skipped there.)
-                if backend.recheck_after_claim and key in backend.completed_keys():
-                    backend.release(lease)
-                    stats.skipped += 1
-                    continue
-                try:
-                    with _renewing(backend, lease, _beat_for(lease)):
-                        result = _execute(key)
-                    backend.record(lease, result)
-                finally:
-                    # Success path: record-before-release (the correctness
-                    # ordering).  Failure path: nothing was recorded, so
-                    # releasing immediately lets peers re-claim the unit now
-                    # instead of waiting out this worker's full TTL.
-                    backend.release(lease)
-                _finished(key)
-        if not progressed:
-            if not wait:
+    def _close_telemetry() -> None:
+        if telemetry is None:
+            return
+        # Serialize-and-reset: this worker's phase accumulators travel in
+        # its telemetry shard (which is what lets --profile work at any
+        # --jobs and on remote backends), and the reset keeps the parent
+        # process's in-memory snapshot from double-counting what it
+        # already shipped.
+        snap = phases.snapshot()
+        if snap:
+            telemetry.phases(snap)
+            phases.reset()
+        telemetry.event("drain_end", executed=stats.executed, reclaimed=stats.reclaimed)
+        telemetry.close()
+
+    if telemetry is not None:
+        telemetry.event("drain_start", units=len(units))
+    try:
+        while True:
+            done = backend.completed_keys()
+            pending = [k for k in by_key if k not in done]
+            if not pending:
+                backend.cleanup(done)
                 return stats
-            time.sleep(poll)
+            progressed = False
+            if batch_size > 1:
+                for start in range(0, len(pending), batch_size):
+                    chunk = pending[start : start + batch_size]
+                    claim_t0 = time.perf_counter()
+                    batch = backend.claim_batch(chunk, wid)
+                    claim_s = time.perf_counter() - claim_t0
+                    if batch is None:
+                        continue
+                    progressed = True
+                    stats.reclaimed += len(batch.reclaimed_units)
+                    m_reclaimed.inc(len(batch.reclaimed_units))
+                    # One claim round trip covers the batch; spans amortize
+                    # its cost evenly across the granted members.
+                    claim_share = claim_s / max(len(batch.units), 1)
+                    reclaimed_units = set(batch.reclaimed_units)
+                    try:
+                        with _renewing(
+                            backend, batch, _beat_for(batch), renew=backend.renew_batch
+                        ):
+                            for key in list(batch.units):
+                                # Same post-claim recheck as the per-unit path
+                                # below, per member.
+                                if backend.recheck_after_claim and key in backend.completed_keys():
+                                    backend.release_unit(batch, key)
+                                    stats.skipped += 1
+                                    m_skipped.inc()
+                                    continue
+                                t0 = time.perf_counter()
+                                result = _execute(key)
+                                execute_s = time.perf_counter() - t0
+                                # Record-and-release member by member: a crash
+                                # from here on costs peers only the *unfinished*
+                                # remainder after TTL expiry.
+                                t0 = time.perf_counter()
+                                backend.record_in_batch(batch, key, result)
+                                record_s = time.perf_counter() - t0
+                                _finished(key)
+                                if telemetry is not None:
+                                    telemetry.span(
+                                        key,
+                                        claim_s=claim_share,
+                                        execute_s=execute_s,
+                                        record_s=record_s,
+                                        release_s=0.0,  # released with the batch
+                                        reclaimed=key in reclaimed_units,
+                                        batched=True,
+                                    )
+                    finally:
+                        # Success path: every member was recorded and released,
+                        # so this releases nothing.  Failure path: hands the
+                        # unfinished remainder back to peers immediately.
+                        backend.release_batch(batch)
+            else:
+                for key in pending:
+                    claim_t0 = time.perf_counter()
+                    lease = backend.claim(key, wid)
+                    if lease is None:
+                        continue
+                    claim_s = time.perf_counter() - claim_t0
+                    progressed = True
+                    if lease.reclaimed:
+                        stats.reclaimed += 1
+                        m_reclaimed.inc()
+                    # Results are recorded *before* leases are released, so a
+                    # post-claim recheck sees everything any peer finished: a dead
+                    # worker that recorded then crashed before releasing, or a live
+                    # one that completed this unit after this pass listed it as
+                    # pending.  Never execute a completed unit twice.  (A
+                    # coordinator backend refuses the claim atomically instead, so
+                    # the recheck round-trip is skipped there.)
+                    if backend.recheck_after_claim and key in backend.completed_keys():
+                        backend.release(lease)
+                        stats.skipped += 1
+                        m_skipped.inc()
+                        continue
+                    execute_s = record_s = release_s = 0.0
+                    try:
+                        t0 = time.perf_counter()
+                        with _renewing(backend, lease, _beat_for(lease)):
+                            result = _execute(key)
+                        execute_s = time.perf_counter() - t0
+                        t0 = time.perf_counter()
+                        backend.record(lease, result)
+                        record_s = time.perf_counter() - t0
+                    finally:
+                        # Success path: record-before-release (the correctness
+                        # ordering).  Failure path: nothing was recorded, so
+                        # releasing immediately lets peers re-claim the unit now
+                        # instead of waiting out this worker's full TTL.
+                        t0 = time.perf_counter()
+                        backend.release(lease)
+                        release_s = time.perf_counter() - t0
+                    _finished(key)
+                    if telemetry is not None:
+                        telemetry.span(
+                            key,
+                            claim_s=claim_s,
+                            execute_s=execute_s,
+                            record_s=record_s,
+                            release_s=release_s,
+                            reclaimed=lease.reclaimed,
+                        )
+            if not progressed:
+                if not wait:
+                    return stats
+                time.sleep(poll)
+    finally:
+        _close_telemetry()
 
 
 # ---------------------------------------------------------------------- #
@@ -807,6 +905,7 @@ def _drain_coordinator_child(
     poll_interval: float | None,
     retry_timeout: float | None,
     claim_batch: int = 1,
+    telemetry_dir: str | None = None,
 ) -> WorkerStats:
     """Module-level child entry (crosses process boundaries by pickle)."""
     from repro.runtime.backends import HttpWorkBackend
@@ -819,6 +918,7 @@ def _drain_coordinator_child(
         heartbeat_interval=heartbeat_interval,
         poll_interval=poll_interval,
         claim_batch=claim_batch,
+        telemetry_dir=telemetry_dir,
     )
 
 
@@ -836,6 +936,7 @@ def run_units_coordinator(
     retry_timeout: float | None = None,
     claim_batch: int = 1,
     on_result: Callable[[WorkUnit, Any, bool], None] | None = None,
+    telemetry_dir: str | Path | None = None,
 ) -> dict[str, Any]:
     """Execute ``units`` through the HTTP coordinator at ``url``.
 
@@ -876,6 +977,7 @@ def run_units_coordinator(
                     poll_interval,
                     retry_timeout,
                     claim_batch,
+                    None if telemetry_dir is None else str(telemetry_dir),
                 )
                 for _ in range(siblings)
             ]
@@ -887,6 +989,7 @@ def run_units_coordinator(
                 heartbeat_interval=heartbeat_interval,
                 poll_interval=poll_interval,
                 claim_batch=claim_batch,
+                telemetry_dir=telemetry_dir,
             )
             for future in futures:
                 future.result()  # surface child crashes
@@ -899,6 +1002,7 @@ def run_units_coordinator(
             heartbeat_interval=heartbeat_interval,
             poll_interval=poll_interval,
             claim_batch=claim_batch,
+            telemetry_dir=telemetry_dir,
         )
 
     raw = backend.results()
@@ -973,7 +1077,10 @@ class RunDirStatus:
             }
 
         return {
+            # "schema" is the legacy alias; dashboard consumers should key
+            # off "schema_version" to detect payload drift.
             "schema": STATUS_SCHEMA_VERSION,
+            "schema_version": STATUS_SCHEMA_VERSION,
             "backend": "filesystem",
             "source": str(self.run_dir),
             "kind": self.kind,

@@ -23,15 +23,68 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import socket
 from collections.abc import Callable, Iterable
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
+from time import perf_counter
 from typing import Any
 
 from repro.runtime.checkpoint import RunCheckpoint
 from repro.runtime.units import WorkUnit
 
 __all__ = ["run_units", "default_jobs", "reject_distributed_options"]
+
+
+def _pool_child_init(telemetry_dir: str | None) -> None:
+    """Pool-child initializer: arm ``--profile`` accounting.
+
+    Runs once per worker process (fork or spawn).  When profiling is
+    requested the child enables the phase accumulators and registers an
+    exit hook that serializes its snapshot into a per-process telemetry
+    shard — the same serialize-and-merge seam ``drain_units`` uses, which
+    is what lets ``--profile`` work at any ``--jobs``.
+    """
+    from repro.observability.trace import profile_requested
+
+    if not profile_requested():
+        return
+    from repro.utils import phases
+
+    phases.enable()
+    if telemetry_dir is None:
+        return
+    from multiprocessing import util as _mp_util
+
+    def _dump() -> None:
+        from repro.observability.trace import TelemetryWriter
+
+        snap = phases.snapshot()
+        if not snap:
+            return
+        writer = TelemetryWriter.open(
+            telemetry_dir, f"pool-{socket.gethostname()}-{os.getpid()}"
+        )
+        if writer is not None:
+            writer.phases(snap)
+            writer.close()
+
+    # Pool children never run atexit hooks (multiprocessing bootstrap
+    # ends in os._exit); util.Finalize registrations DO run on the way
+    # out, which is the only reliable per-child exit seam.
+    _mp_util.Finalize(None, _dump, exitpriority=10)
+
+
+def _timed_call(worker: Callable[[WorkUnit], Any], unit: WorkUnit) -> tuple[Any, float]:
+    """Run ``worker(unit)`` in a pool child, returning (result, seconds).
+
+    The timing wrapper is telemetry-only: the worker sees the identical
+    unit (own spawned RNG, untouched), so results stay bit-identical with
+    telemetry on or off.
+    """
+    t0 = perf_counter()
+    result = worker(unit)
+    return result, perf_counter() - t0
 
 
 def reject_distributed_options(options: dict[str, Any]) -> None:
@@ -234,21 +287,62 @@ def run_units(
                     on_result(unit, done[unit.key], True)
     pending = [u for u in units if u.key not in results]
 
-    def _finish(unit: WorkUnit, result: Any) -> None:
+    from repro.observability.trace import TelemetryWriter, profile_requested
+    from repro.utils import phases
+
+    telemetry_dir: str | Path | None
+    if checkpoint is not None:
+        telemetry_dir = checkpoint.run_dir
+    else:
+        telemetry_dir = os.environ.get("REPRO_TELEMETRY_DIR") or None
+    wid = f"local-{socket.gethostname()}-{os.getpid()}"
+    telemetry = TelemetryWriter.open(telemetry_dir, wid) if pending else None
+    if profile_requested():
+        phases.enable()
+
+    def _finish(unit: WorkUnit, result: Any, execute_s: float) -> None:
         results[unit.key] = result
+        t0 = perf_counter()
         if checkpoint is not None:
             checkpoint.record(unit.key, result)
+        if telemetry is not None:
+            telemetry.span(
+                unit.key,
+                claim_s=0.0,
+                execute_s=execute_s,
+                record_s=perf_counter() - t0,
+                release_s=0.0,
+            )
         if on_result is not None:
             on_result(unit, result, False)
 
-    if jobs == 1 or len(pending) <= 1:
-        for unit in pending:
-            _finish(unit, worker(unit))
-    elif pending:
-        _ensure_child_importable()
-        max_workers = min(jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=max_workers, mp_context=_mp_context()) as pool:
-            futures = {pool.submit(worker, unit): unit for unit in pending}
-            for future in as_completed(futures):
-                _finish(futures[future], future.result())
+    try:
+        if jobs == 1 or len(pending) <= 1:
+            for unit in pending:
+                t0 = perf_counter()
+                result = worker(unit)
+                _finish(unit, result, perf_counter() - t0)
+        elif pending:
+            _ensure_child_importable()
+            max_workers = min(jobs, len(pending))
+            child_dir = None if telemetry_dir is None else str(telemetry_dir)
+            with ProcessPoolExecutor(
+                max_workers=max_workers,
+                mp_context=_mp_context(),
+                initializer=_pool_child_init,
+                initargs=(child_dir,),
+            ) as pool:
+                futures = {pool.submit(_timed_call, worker, unit): unit for unit in pending}
+                for future in as_completed(futures):
+                    result, execute_s = future.result()
+                    _finish(futures[future], result, execute_s)
+            # Pool children dumped their phase snapshots at exit (the
+            # shutdown above joins them); nothing to collect here.
+    finally:
+        if telemetry is not None:
+            snap = phases.snapshot()
+            if snap:
+                telemetry.phases(snap)
+                phases.reset()
+            telemetry.close()
     return results
